@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParseFigsAll(t *testing.T) {
+	figs, table2, err := parseFigs("all")
+	if err != nil || !table2 || len(figs) != 8 {
+		t.Fatalf("parseFigs(all) = %v, %v, %v", figs, table2, err)
+	}
+	if figs[0] != 2 || figs[7] != 9 {
+		t.Errorf("figure range wrong: %v", figs)
+	}
+}
+
+func TestParseFigsList(t *testing.T) {
+	figs, table2, err := parseFigs("2, 5,table2,9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table2 {
+		t.Error("table2 not recognized")
+	}
+	if len(figs) != 3 || figs[0] != 2 || figs[1] != 5 || figs[2] != 9 {
+		t.Errorf("figs = %v", figs)
+	}
+}
+
+func TestParseFigsEmptyElements(t *testing.T) {
+	figs, _, err := parseFigs("3,,4")
+	if err != nil || len(figs) != 2 {
+		t.Errorf("parseFigs with empties = %v, %v", figs, err)
+	}
+}
+
+func TestParseFigsRejectsInvalid(t *testing.T) {
+	for _, bad := range []string{"1", "10", "abc", "2,99"} {
+		if _, _, err := parseFigs(bad); err == nil {
+			t.Errorf("parseFigs(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// burstrecovery demonstrates the library's extension beyond the paper's
+// single-element scope: an uncorrectable error that takes out a whole
+// 64-byte cache line (16 consecutive float32 elements) of a protected
+// array, recovered as a unit with Engine.RecoverBurst — seeded from the
+// healthy surroundings, then refined Gauss-Seidel style with the
+// allocation's recovery method.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"spatialdue"
+	"spatialdue/internal/sdrbench"
+)
+
+func main() {
+	ds := sdrbench.Generate(sdrbench.CESM, "FLDS", sdrbench.ScaleSmall)
+	eng := spatialdue.NewEngine(spatialdue.Options{Seed: 9})
+	alloc := eng.Protect(ds.Name, ds.Array, ds.DType,
+		spatialdue.RecoverWith(spatialdue.MethodLorenzo1))
+
+	// One cache line = 64 bytes = 16 float32 elements, row-aligned here.
+	base := ds.Array.Offset(45, 80)
+	offsets := make([]int, 16)
+	origs := make([]float64, 16)
+	for i := range offsets {
+		offsets[i] = base + i
+		origs[i] = ds.Array.AtOffset(offsets[i])
+		ds.Array.SetOffset(offsets[i], math.NaN()) // the line is gone
+	}
+
+	out, err := eng.RecoverBurst(alloc, offsets)
+	if err != nil {
+		fmt.Println("burst unrecoverable:", err)
+		return
+	}
+	fmt.Printf("recovered a 16-element cache line with %v in %d refinement sweeps:\n\n",
+		out.Method, out.Sweeps)
+	fmt.Printf("%-4s %-12s %-12s %-10s\n", "i", "true", "recovered", "rel err")
+	worst := 0.0
+	for i := range offsets {
+		re := math.Abs(out.New[i]-origs[i]) / math.Abs(origs[i])
+		if re > worst {
+			worst = re
+		}
+		fmt.Printf("%-4d %-12.6f %-12.6f %.4f%%\n", i, origs[i], out.New[i], 100*re)
+	}
+	fmt.Printf("\nworst element: %.3f%% relative error — the interior of a wide gap\n", 100*worst)
+	fmt.Println("cannot recover sub-texture detail, but every element lands near truth")
+	fmt.Println("instead of forcing a rollback.")
+}

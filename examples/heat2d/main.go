@@ -1,0 +1,130 @@
+// heat2d runs the paper's motivating application (Section 2): a Jacobi
+// solver for 2-D heat diffusion, protected by the FTI-style checkpoint
+// library with the forward-recovery extension. Following Algorithm 1 of
+// the paper, every iteration calls the SDC check; when a fault corrupts an
+// element of the temperature grid, the AID-style temporal detector flags
+// it, the engine forward-recovers it in place, and the solver keeps
+// running — no rollback, no lost work. At the end, the protected run is
+// compared against a fault-free reference.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+
+	"spatialdue"
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/core"
+	"spatialdue/internal/detect"
+	"spatialdue/internal/fti"
+	"spatialdue/internal/heat"
+	"spatialdue/internal/ndarray"
+)
+
+func main() {
+	const (
+		ny, nx = 96, 96
+		steps  = 400
+	)
+
+	dir, err := os.MkdirTemp("", "heat2d-fti-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// One simulated rank; the solver's grid is the protected dataset. The
+	// paper's Algorithm 1: FTI_Protect(0, &grid, 2D, dtype, N, N, ANY).
+	world, err := fti.NewWorld(dir, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	solver, err := heat.New(ny, nx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	solver.SetBoundary(100, 0, 50, 50)
+	rank := world.Rank(0)
+	if err := rank.Protect(0, "T", solver.Grid(), spatialdue.Float32,
+		fti.RecoveryPolicy{Any: true}, ny, nx); err != nil {
+		log.Fatal(err)
+	}
+	if err := world.Checkpoint(1, fti.L2); err != nil {
+		log.Fatal(err)
+	}
+
+	eng := core.NewEngine(core.Options{Seed: 11})
+	repair := eng.FTIRepairer()
+	// The temporal detector extrapolates each element from its history and
+	// flags values that miss the prediction by far more than the solver's
+	// own step-to-step evolution.
+	detector := detect.NewTemporal(6)
+	detector.Observe(solver.Grid())
+
+	rng := rand.New(rand.NewSource(3))
+	injected, repaired := 0, 0
+
+	for t := 1; t <= steps; t++ {
+		solver.Step()
+
+		// A transient fault strikes roughly every 40 steps, flipping a
+		// high mantissa, exponent, or sign bit of one interior element.
+		if rng.Intn(40) == 0 {
+			off := interiorOffset(rng, solver.Grid())
+			v := solver.Grid().AtOffset(off)
+			solver.Grid().SetOffset(off, bitflip.Flip(v, spatialdue.Float32, 21+rng.Intn(11)))
+			injected++
+		}
+
+		// Algorithm 1, line 8: FTI_sdccheck() every iteration.
+		report, err := world.SDCCheck(detector, repair)
+		if err != nil {
+			log.Fatalf("step %d: %v", t, err)
+		}
+		repaired += report.Repaired
+		if report.RolledBack {
+			fmt.Printf("step %4d: forward recovery failed, rolled back from %v\n", t, report.RestartLevel)
+		}
+		detector.Observe(solver.Grid()) // absorb the (repaired) state
+	}
+
+	// Compare against a fault-free run of the same length.
+	refSolver, _ := heat.New(ny, nx)
+	refSolver.SetBoundary(100, 0, 50, 50)
+	for t := 0; t < steps; t++ {
+		refSolver.Step()
+	}
+	maxDiff := maxAbsDiff(solver.Grid(), refSolver.Grid())
+
+	fmt.Printf("ran %d Jacobi steps; injected %d faults, forward-recovered %d elements\n",
+		steps, injected, repaired)
+	fmt.Printf("max deviation from the fault-free run: %.3g on a 0..100 grid (%.4f%% of range)\n",
+		maxDiff, maxDiff)
+	if maxDiff > 1.0 {
+		fmt.Println("warning: recovery left a visible perturbation")
+	} else {
+		fmt.Println("the protected run tracks the fault-free run — DUEs became DCEs")
+	}
+
+}
+
+func interiorOffset(rng *rand.Rand, a *ndarray.Array) int {
+	i := 1 + rng.Intn(a.Dim(0)-2)
+	j := 1 + rng.Intn(a.Dim(1)-2)
+	return a.Offset(i, j)
+}
+
+func maxAbsDiff(a, b *ndarray.Array) float64 {
+	max := 0.0
+	bd := b.Data()
+	for i, v := range a.Data() {
+		d := math.Abs(v - bd[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

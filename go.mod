@@ -1,0 +1,3 @@
+module spatialdue
+
+go 1.22

@@ -1,0 +1,307 @@
+package spatialdue_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialdue"
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/core"
+	"spatialdue/internal/detect"
+	"spatialdue/internal/faultinject"
+	"spatialdue/internal/fti"
+	"spatialdue/internal/heat"
+	"spatialdue/internal/predict"
+	"spatialdue/internal/registry"
+	"spatialdue/internal/sdrbench"
+)
+
+// TestIntegrationProtectedJacobiRun is the paper's Algorithm 1 end to end:
+// a Jacobi heat solver protected by the checkpoint library, SDC-checked
+// every iteration, with faults injected mid-run. The protected run must
+// track a fault-free run to within float noise, with zero rollbacks.
+func TestIntegrationProtectedJacobiRun(t *testing.T) {
+	const ny, nx, steps = 48, 48, 200
+	world, err := fti.NewWorld(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := heat.New(ny, nx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver.SetBoundary(100, 0, 50, 50)
+	if err := world.Rank(0).Protect(0, "T", solver.Grid(), bitflip.Float32,
+		fti.RecoveryPolicy{Any: true}, ny, nx); err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Checkpoint(1, fti.L1); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := core.NewEngine(core.Options{Seed: 11})
+	repair := eng.FTIRepairer()
+	detector := detect.NewTemporal(6)
+	detector.Observe(solver.Grid())
+
+	rng := rand.New(rand.NewSource(5))
+	injected, repaired, rollbacks := 0, 0, 0
+	for step := 1; step <= steps; step++ {
+		solver.Step()
+		if rng.Intn(25) == 0 {
+			i := 1 + rng.Intn(ny-2)
+			j := 1 + rng.Intn(nx-2)
+			v := solver.Grid().At(i, j)
+			solver.Grid().Set(bitflip.Flip(v, bitflip.Float32, 22+rng.Intn(10)), i, j)
+			injected++
+		}
+		rep, err := world.SDCCheck(detector, repair)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		repaired += rep.Repaired
+		if rep.RolledBack {
+			rollbacks++
+		}
+		detector.Observe(solver.Grid())
+	}
+	if injected == 0 {
+		t.Fatal("no faults injected; test is vacuous")
+	}
+	if rollbacks != 0 {
+		t.Errorf("%d rollbacks; forward recovery should have handled everything", rollbacks)
+	}
+	if repaired < injected {
+		t.Errorf("repaired %d < injected %d", repaired, injected)
+	}
+
+	ref, _ := heat.New(ny, nx)
+	ref.SetBoundary(100, 0, 50, 50)
+	for i := 0; i < steps; i++ {
+		ref.Step()
+	}
+	maxDiff := 0.0
+	rd := ref.Grid().Data()
+	for i, v := range solver.Grid().Data() {
+		if d := math.Abs(v - rd[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 0.01 {
+		t.Errorf("protected run deviates by %v from the fault-free run", maxDiff)
+	}
+}
+
+// TestIntegrationCampaignMatchesEngine cross-checks the two measurement
+// paths: the campaign's per-method relative errors (computed without
+// mutating the array) must match what the engine actually writes when
+// recovering an in-place corruption with the same method.
+func TestIntegrationCampaignMatchesEngine(t *testing.T) {
+	ds := sdrbench.Generate(sdrbench.CESM, "FLDS", sdrbench.ScaleTiny)
+	inj := faultinject.New(99, ds.DType)
+	trials := inj.Plan(ds.Array, 60)
+
+	for _, m := range []predict.Method{predict.MethodAverage, predict.MethodLorenzo1, predict.MethodLagrange} {
+		p := predict.New(m)
+		for _, tr := range trials {
+			idx := ds.Array.Coords(tr.Offset)
+			// Campaign path: pristine array.
+			want, errPredict := p.Predict(predict.NewEnv(ds.Array, 1), idx)
+
+			// Engine path: corruption written in place, then recovered.
+			eng := core.NewEngine(core.Options{Seed: 1})
+			alloc := eng.Protect("g", ds.Array, ds.DType, registry.RecoverWith(m))
+			faultinject.Apply(ds.Array, tr)
+			out, errEngine := eng.RecoverElement(alloc, tr.Offset)
+			ds.Array.SetOffset(tr.Offset, tr.Orig) // restore
+
+			if (errPredict == nil) != (errEngine == nil) {
+				t.Fatalf("%v at %v: error mismatch %v vs %v", m, idx, errPredict, errEngine)
+			}
+			if errPredict != nil {
+				continue
+			}
+			if math.Abs(out.New-want) > 1e-12*(math.Abs(want)+1) {
+				t.Fatalf("%v at %v: engine wrote %v, campaign computed %v", m, idx, out.New, want)
+			}
+		}
+	}
+}
+
+// TestIntegrationScrubberDrivenRecoveryAcrossAllocations plants faults in
+// several protected arrays and in unprotected space, scrubs, and checks the
+// engine's bookkeeping.
+func TestIntegrationScrubberDrivenRecoveryAcrossAllocations(t *testing.T) {
+	eng := spatialdue.NewEngine(spatialdue.Options{Seed: 6})
+	machine := spatialdue.NewMCA(8)
+	eng.AttachMCA(machine)
+
+	var allocs []*spatialdue.Allocation
+	var origs []float64
+	var offs []int
+	for _, spec := range []struct {
+		app  sdrbench.App
+		name string
+	}{
+		{sdrbench.CESM, "FLDS"},
+		{sdrbench.Miranda, "density"},
+		{sdrbench.Nyx, "temperature"},
+	} {
+		ds := sdrbench.Generate(spec.app, spec.name, sdrbench.ScaleTiny)
+		alloc := eng.Protect(ds.Name, ds.Array, ds.DType, spatialdue.RecoverAny())
+		off := ds.Array.Len() / 2
+		origs = append(origs, ds.Array.AtOffset(off))
+		ds.Array.SetOffset(off, math.NaN())
+		machine.Plant(alloc.AddrOf(off), 17)
+		allocs = append(allocs, alloc)
+		offs = append(offs, off)
+	}
+	machine.Plant(0xFFFF_FFFF_0000, 1) // unregistered
+
+	found, err := machine.Scrub(0, ^uint64(0))
+	if found != 4 {
+		t.Fatalf("scrub found %d faults, want 4", found)
+	}
+	if err == nil {
+		t.Fatal("unregistered fault should surface an error")
+	}
+	st := eng.Stats()
+	if st.Recovered != 3 || st.Fallbacks != 1 {
+		t.Errorf("stats = %+v, want 3 recovered / 1 fallback", st)
+	}
+	for i, alloc := range allocs {
+		got := alloc.Array.AtOffset(offs[i])
+		if re := bitflip.RelErr(origs[i], got); re > 0.10 {
+			t.Errorf("allocation %d: recovered %v vs %v (rel err %v)", i, got, origs[i], re)
+		}
+	}
+}
+
+// TestIntegrationCheckpointFallbackRestoresConsistency corrupts a dataset
+// so badly that forward recovery refuses (unsupported shape), and verifies
+// SDCCheck rolls the whole world back to the checkpoint.
+func TestIntegrationCheckpointFallbackRestoresConsistency(t *testing.T) {
+	world, err := fti.NewWorld(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(core.Options{Seed: 2})
+
+	// A 1x1 "scalar" dataset: no spatial neighbors, no method applies.
+	scalar, _ := spatialdue.NewArray(1, 1)
+	scalar.Fill(3.14)
+	if err := world.Rank(0).Protect(0, "scalar", scalar, bitflip.Float64,
+		fti.RecoveryPolicy{Method: predict.MethodAverage}); err != nil {
+		t.Fatal(err)
+	}
+	grid := sdrbench.Generate(sdrbench.CESM, "FLNS", sdrbench.ScaleTiny)
+	if err := world.Rank(1).Protect(0, "grid", grid.Array, grid.DType,
+		fti.RecoveryPolicy{Any: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Checkpoint(1, fti.L2); err != nil {
+		t.Fatal(err)
+	}
+
+	scalar.SetOffset(0, math.Inf(1))
+	gridBefore := grid.Array.Clone()
+	rep, err := world.SDCCheck(nonFiniteDetector{}, eng.FTIRepairer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RolledBack || rep.RestartLevel != fti.L1 {
+		t.Fatalf("report = %+v, want rollback at L1", rep)
+	}
+	if scalar.AtOffset(0) != 3.14 {
+		t.Errorf("scalar after rollback = %v, want 3.14", scalar.AtOffset(0))
+	}
+	// The rollback must restore a globally consistent state: the healthy
+	// dataset is back at its checkpointed contents too.
+	for off, v := range grid.Array.Data() {
+		if v != gridBefore.AtOffset(off) {
+			t.Fatalf("grid changed at %d after rollback", off)
+		}
+	}
+	if eng.Stats().Fallbacks == 0 {
+		t.Error("engine did not record the fallback")
+	}
+}
+
+// nonFiniteDetector flags only NaN/Inf elements — a minimal Detector used
+// to drive the rollback path deterministically.
+type nonFiniteDetector struct{}
+
+func (nonFiniteDetector) Name() string { return "nonfinite" }
+
+func (nonFiniteDetector) Scan(a *spatialdue.Array) []int {
+	var out []int
+	for off, v := range a.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			out = append(out, off)
+		}
+	}
+	return out
+}
+
+// TestIntegrationStrategyQuality runs the same faulty Jacobi simulation
+// under forward recovery and under LetGo-style compute-through, and checks
+// the quality claim behind Section 4.5: compute-through is cheap but leaves
+// the state perturbed, forward recovery keeps it on track.
+func TestIntegrationStrategyQuality(t *testing.T) {
+	const ny, nx, steps = 40, 40, 150
+
+	runStrategy := func(forward bool) float64 {
+		solver, _ := heat.New(ny, nx)
+		solver.SetBoundary(100, 0, 50, 50)
+		eng := core.NewEngine(core.Options{Seed: 21})
+		var alloc *registry.Allocation
+		if forward {
+			alloc = eng.Protect("T", solver.Grid(), bitflip.Float32, registry.RecoverAny())
+		}
+		detector := detect.NewTemporal(6)
+		detector.Observe(solver.Grid())
+		rng := rand.New(rand.NewSource(77))
+		for step := 1; step <= steps; step++ {
+			solver.Step()
+			if step > 5 && step%20 == 0 {
+				i := 1 + rng.Intn(ny-2)
+				j := 1 + rng.Intn(nx-2)
+				v := solver.Grid().At(i, j)
+				solver.Grid().Set(bitflip.Flip(v, bitflip.Float32, 28), i, j)
+				off := solver.Grid().Offset(i, j)
+				if forward {
+					if _, err := eng.RecoverElement(alloc, off); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				} else {
+					core.LetGoRepair(solver.Grid(), off) // squashes non-finite only
+				}
+			}
+			detector.Observe(solver.Grid())
+		}
+		ref, _ := heat.New(ny, nx)
+		ref.SetBoundary(100, 0, 50, 50)
+		for i := 0; i < steps; i++ {
+			ref.Step()
+		}
+		maxDiff := 0.0
+		rd := ref.Grid().Data()
+		for i, v := range solver.Grid().Data() {
+			if d := math.Abs(v - rd[i]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		return maxDiff
+	}
+
+	letgo := runStrategy(false)
+	forward := runStrategy(true)
+	if forward > 0.05 {
+		t.Errorf("forward recovery deviation = %v, want < 0.05", forward)
+	}
+	if letgo < 10*forward {
+		t.Errorf("compute-through deviation (%v) not clearly worse than forward recovery (%v)",
+			letgo, forward)
+	}
+}

@@ -1,0 +1,164 @@
+// Package autotune implements the paper's RECOVER_ANY path (Sections 3.3
+// and 4.4): a localized search that selects the reconstruction method that
+// is locally optimal in a spatially close region around the corrupted datum.
+//
+// The tuner runs a leave-one-out evaluation: every non-corrupted element
+// within Chebyshev distance K of the corrupted index becomes a probe point;
+// each candidate method predicts the probe as if it were unknown, and the
+// prediction is compared against the actual stored value. Methods are
+// ranked by the fraction of probes reconstructed within the tolerance
+// (the paper scores with a 1% relative-error bound), with mean relative
+// error as the tie-breaker.
+//
+// When the tuner runs against a genuinely corrupted array (the recovery
+// engine in internal/core), the corrupted element must first be patched with
+// a provisional estimate so probe predictions whose stencils overlap it are
+// not polluted; the engine does this before calling Select.
+package autotune
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/predict"
+)
+
+// ErrNoProbes is returned when the neighborhood contains no usable probe
+// points (degenerate arrays).
+var ErrNoProbes = errors.New("autotune: no probe points in neighborhood")
+
+// Config parameterizes the local search.
+type Config struct {
+	// K is the Chebyshev radius of the probe neighborhood; the paper uses 3.
+	K int
+	// Tolerance is the relative-error bound a probe reconstruction must meet
+	// to count as a hit; the paper scores with 0.01.
+	Tolerance float64
+	// Methods are the candidate methods. Empty means every headline method.
+	Methods []predict.Method
+	// MaxProbes caps the number of probe points (0 = no cap). Probes are
+	// subsampled deterministically with a fixed stride when the cap binds,
+	// which keeps tuning cost bounded on 3-D neighborhoods (7^3 = 343).
+	MaxProbes int
+}
+
+// DefaultConfig returns the paper's configuration: K=3, 1% tolerance, all
+// headline methods.
+func DefaultConfig() Config {
+	return Config{K: 3, Tolerance: 0.01}
+}
+
+// Score records the leave-one-out quality of one candidate method.
+type Score struct {
+	Method predict.Method
+	// Hits is the number of probes reconstructed within the tolerance.
+	Hits int
+	// Probes is the number of probes the method produced a prediction for.
+	Probes int
+	// MeanRelErr is the mean relative error over successful predictions,
+	// with relative errors clamped at 1e3 so one wild probe cannot swamp
+	// the mean.
+	MeanRelErr float64
+}
+
+// HitRate returns Hits/Probes, or 0 when the method never applied.
+func (s Score) HitRate() float64 {
+	if s.Probes == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Probes)
+}
+
+// Result is the outcome of a tuning run.
+type Result struct {
+	// Best is the selected method.
+	Best predict.Method
+	// Scores holds every candidate's score, sorted best-first.
+	Scores []Score
+}
+
+// Select runs the local search around idx and returns the locally optimal
+// method. The element at idx is never used as a probe and never read.
+func Select(env *predict.Env, idx []int, cfg Config) (Result, error) {
+	if cfg.K <= 0 {
+		cfg.K = 3
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 0.01
+	}
+	methods := cfg.Methods
+	if len(methods) == 0 {
+		methods = predict.HeadlineMethods()
+	}
+
+	a := env.A
+	skip := a.Offset(idx...)
+
+	// Collect probe offsets.
+	var probes []int
+	a.ForEachInPatch(idx, cfg.K, func(_ []int, off int) {
+		if off != skip {
+			probes = append(probes, off)
+		}
+	})
+	if len(probes) == 0 {
+		return Result{}, ErrNoProbes
+	}
+	if cfg.MaxProbes > 0 && len(probes) > cfg.MaxProbes {
+		stride := (len(probes) + cfg.MaxProbes - 1) / cfg.MaxProbes
+		kept := probes[:0]
+		for i := 0; i < len(probes); i += stride {
+			kept = append(kept, probes[i])
+		}
+		probes = kept
+	}
+
+	scores := make([]Score, len(methods))
+	probeIdx := make([]int, a.NumDims())
+	for mi, m := range methods {
+		p := predict.New(m)
+		sc := Score{Method: m}
+		sumErr := 0.0
+		for _, off := range probes {
+			a.CoordsInto(probeIdx, off)
+			got, err := p.Predict(env, probeIdx)
+			if err != nil {
+				continue
+			}
+			want := a.AtOffset(off)
+			re := bitflip.RelErr(want, got)
+			if math.IsInf(re, 0) {
+				continue
+			}
+			sc.Probes++
+			if re <= cfg.Tolerance {
+				sc.Hits++
+			}
+			sumErr += math.Min(re, 1e3)
+		}
+		if sc.Probes > 0 {
+			sc.MeanRelErr = sumErr / float64(sc.Probes)
+		} else {
+			sc.MeanRelErr = math.Inf(1)
+		}
+		scores[mi] = sc
+	}
+
+	sort.SliceStable(scores, func(i, j int) bool { return better(scores[i], scores[j]) })
+	return Result{Best: scores[0].Method, Scores: scores}, nil
+}
+
+// better orders scores by hit rate, then by mean relative error, then by
+// method order (cheaper methods come first in the Method enumeration).
+func better(a, b Score) bool {
+	ra, rb := a.HitRate(), b.HitRate()
+	if ra != rb {
+		return ra > rb
+	}
+	if a.MeanRelErr != b.MeanRelErr {
+		return a.MeanRelErr < b.MeanRelErr
+	}
+	return a.Method < b.Method
+}

@@ -1,0 +1,178 @@
+package autotune
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialdue/internal/ndarray"
+	"spatialdue/internal/predict"
+)
+
+func planeArray(ny, nx int) *ndarray.Array {
+	a := ndarray.New(ny, nx)
+	a.FillFunc(func(idx []int) float64 { return 5 + 2*float64(idx[0]) + 3*float64(idx[1]) })
+	return a
+}
+
+func TestSelectPrefersExactMethodOnPlane(t *testing.T) {
+	a := planeArray(16, 16)
+	env := predict.NewEnv(a, 1)
+	res, err := Select(env, []int{8, 8}, Config{K: 3, Tolerance: 0.01,
+		Methods: []predict.Method{predict.MethodZero, predict.MethodLorenzo1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != predict.MethodLorenzo1 {
+		t.Errorf("Best = %v, want Lorenzo 1-Layer (exact on planes)", res.Best)
+	}
+	if res.Scores[0].Method != res.Best {
+		t.Error("Scores not sorted best-first")
+	}
+	if res.Scores[0].HitRate() != 1 {
+		t.Errorf("Lorenzo hit rate on plane = %v, want 1", res.Scores[0].HitRate())
+	}
+	if res.Scores[len(res.Scores)-1].Method != predict.MethodZero {
+		t.Error("Zero should rank last on a plane far from zero")
+	}
+}
+
+func TestSelectDefaultsToAllHeadlineMethods(t *testing.T) {
+	a := planeArray(12, 12)
+	env := predict.NewEnv(a, 1)
+	res, err := Select(env, []int{6, 6}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != predict.NumMethods {
+		t.Errorf("scored %d methods, want %d", len(res.Scores), predict.NumMethods)
+	}
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	a := planeArray(12, 12)
+	r1, err1 := Select(predict.NewEnv(a, 5), []int{6, 6}, DefaultConfig())
+	r2, err2 := Select(predict.NewEnv(a, 5), []int{6, 6}, DefaultConfig())
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r1.Best != r2.Best {
+		t.Errorf("non-deterministic: %v vs %v", r1.Best, r2.Best)
+	}
+}
+
+func TestSelectSkipsCorruptedElement(t *testing.T) {
+	a := planeArray(16, 16)
+	clean, err := Select(predict.NewEnv(a, 2), []int{8, 8}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With RECOVER_ANY the engine patches the corrupted cell before tuning;
+	// here we emulate that by writing a plausible (provisional) value and
+	// verifying the choice is unchanged.
+	prov, _ := predict.Average{}.Predict(predict.NewEnv(a, 2), []int{8, 8})
+	a.Set(prov, 8, 8)
+	patched, err := Select(predict.NewEnv(a, 2), []int{8, 8}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Best != patched.Best {
+		t.Errorf("provisional patch changed the choice: %v vs %v", clean.Best, patched.Best)
+	}
+}
+
+func TestSelectMaxProbes(t *testing.T) {
+	a := planeArray(20, 20)
+	env := predict.NewEnv(a, 1)
+	res, err := Select(env, []int{10, 10}, Config{K: 3, Tolerance: 0.01, MaxProbes: 10,
+		Methods: []predict.Method{predict.MethodLorenzo1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scores[0].Probes > 10 {
+		t.Errorf("probes = %d, want <= 10", res.Scores[0].Probes)
+	}
+	if res.Scores[0].Probes == 0 {
+		t.Error("no probes evaluated")
+	}
+}
+
+func TestSelectNoProbes(t *testing.T) {
+	a := ndarray.New(1)
+	if _, err := Select(predict.NewEnv(a, 1), []int{0}, DefaultConfig()); !errors.Is(err, ErrNoProbes) {
+		t.Errorf("error = %v, want ErrNoProbes", err)
+	}
+}
+
+func TestSelectBoundaryCorruption(t *testing.T) {
+	a := planeArray(10, 10)
+	res, err := Select(predict.NewEnv(a, 1), []int{0, 0}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scores[0].Probes == 0 {
+		t.Error("corner tuning evaluated no probes")
+	}
+}
+
+func TestSelectAveragePreferredOnNoisyIsotropicData(t *testing.T) {
+	// On locally rough data where every method is imperfect, Average's
+	// noise-damping should beat extrapolating fits (Quadratic).
+	rng := rand.New(rand.NewSource(4))
+	a := ndarray.New(20, 20)
+	a.FillFunc(func(idx []int) float64 { return 100 + 5*rng.NormFloat64() })
+	res, err := Select(predict.NewEnv(a, 1), []int{10, 10}, Config{K: 3, Tolerance: 0.05,
+		Methods: []predict.Method{predict.MethodQuadratic, predict.MethodAverage}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != predict.MethodAverage {
+		t.Errorf("Best = %v, want Average on white noise", res.Best)
+	}
+}
+
+func TestScoreHitRate(t *testing.T) {
+	s := Score{Hits: 3, Probes: 4}
+	if s.HitRate() != 0.75 {
+		t.Errorf("HitRate = %v", s.HitRate())
+	}
+	if (Score{}).HitRate() != 0 {
+		t.Error("empty score HitRate should be 0")
+	}
+}
+
+func TestBetterOrdering(t *testing.T) {
+	hi := Score{Method: predict.MethodAverage, Hits: 9, Probes: 10, MeanRelErr: 0.1}
+	lo := Score{Method: predict.MethodZero, Hits: 1, Probes: 10, MeanRelErr: 0.9}
+	if !better(hi, lo) || better(lo, hi) {
+		t.Error("hit-rate ordering wrong")
+	}
+	// Tie on hit rate: lower mean error wins.
+	a := Score{Method: predict.MethodLinear, Hits: 5, Probes: 10, MeanRelErr: 0.2}
+	b := Score{Method: predict.MethodQuadratic, Hits: 5, Probes: 10, MeanRelErr: 0.4}
+	if !better(a, b) {
+		t.Error("mean-error tiebreak wrong")
+	}
+	// Full tie: earlier (cheaper) method wins.
+	c := Score{Method: predict.MethodZero, Hits: 5, Probes: 10, MeanRelErr: 0.2}
+	d := Score{Method: predict.MethodLagrange, Hits: 5, Probes: 10, MeanRelErr: 0.2}
+	if !better(c, d) {
+		t.Error("method-order tiebreak wrong")
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.K != 3 || math.Abs(cfg.Tolerance-0.01) > 1e-15 {
+		t.Errorf("DefaultConfig = %+v, want K=3 tol=0.01", cfg)
+	}
+}
+
+func TestSelectZeroConfigDefaults(t *testing.T) {
+	// Zero K and Tolerance fall back to the paper's values.
+	a := planeArray(12, 12)
+	if _, err := Select(predict.NewEnv(a, 1), []int{6, 6}, Config{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package autotune
+
+import (
+	"fmt"
+	"sync"
+
+	"spatialdue/internal/predict"
+)
+
+// Cache memoizes tuning decisions by spatial region. The paper's tuner
+// costs milliseconds per corruption (Figure 10: 15.83 ms); since the
+// locally optimal method is a property of the data *around* the corruption,
+// corruptions landing in the same neighborhood can reuse the previous
+// decision. A cache block of B cells per dimension means one tuning run
+// serves every corruption inside that B^d region until invalidated.
+//
+// Use one Cache per protected array; the cache does not retain the array.
+type Cache struct {
+	block int
+
+	mu      sync.Mutex
+	entries map[string]predict.Method
+	hits    int
+	misses  int
+}
+
+// DefaultCacheBlock is the default region edge length (cells).
+const DefaultCacheBlock = 8
+
+// NewCache creates a cache with the given block size (<= 0 selects the
+// default).
+func NewCache(block int) *Cache {
+	if block <= 0 {
+		block = DefaultCacheBlock
+	}
+	return &Cache{block: block, entries: map[string]predict.Method{}}
+}
+
+// key maps an index to its region label.
+func (c *Cache) key(idx []int) string {
+	out := make([]byte, 0, 3*len(idx))
+	for _, x := range idx {
+		out = fmt.Appendf(out, "%d,", x/c.block)
+	}
+	return string(out)
+}
+
+// Select returns the cached method for idx's region, or runs the tuner and
+// caches its choice. cached reports whether the tuner was skipped.
+func (c *Cache) Select(env *predict.Env, idx []int, cfg Config) (m predict.Method, cached bool, err error) {
+	k := c.key(idx)
+	c.mu.Lock()
+	if m, ok := c.entries[k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return m, true, nil
+	}
+	c.mu.Unlock()
+
+	res, err := Select(env, idx, cfg)
+	if err != nil {
+		return 0, false, err
+	}
+	c.mu.Lock()
+	c.entries[k] = res.Best
+	c.misses++
+	c.mu.Unlock()
+	return res.Best, false, nil
+}
+
+// Invalidate drops every cached decision (call when the protected data
+// changes character, e.g. after a simulation phase change).
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]predict.Method{}
+}
+
+// Stats returns lifetime hit/miss counters.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

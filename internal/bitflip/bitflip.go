@@ -1,0 +1,146 @@
+// Package bitflip implements the paper's fault model: a transient hardware
+// fault manifests as a single bit-flip inside one element of a data array
+// (Section 4.2 of the paper). The package knows how to flip an arbitrary bit
+// of an IEEE-754 float in either its native 32-bit or 64-bit representation
+// and how to classify the resulting corruption.
+//
+// Flipping is an involution: flipping the same bit twice restores the
+// original value, which the property tests rely on.
+package bitflip
+
+import (
+	"fmt"
+	"math"
+)
+
+// DType identifies the in-memory element representation of a dataset.
+// SDRBench data is predominantly float32; the simulators in this repository
+// store everything as float64 but flip bits in the representation the
+// original application would have used, so the corruption spectrum matches.
+type DType uint8
+
+const (
+	// Float32 elements occupy 4 bytes; bit positions 0..31 (LSB..sign).
+	Float32 DType = iota
+	// Float64 elements occupy 8 bytes; bit positions 0..63 (LSB..sign).
+	Float64
+)
+
+// Size returns the element size in bytes.
+func (t DType) Size() int {
+	if t == Float32 {
+		return 4
+	}
+	return 8
+}
+
+// Bits returns the number of bits in one element.
+func (t DType) Bits() int { return t.Size() * 8 }
+
+// String implements fmt.Stringer.
+func (t DType) String() string {
+	switch t {
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	default:
+		return fmt.Sprintf("DType(%d)", uint8(t))
+	}
+}
+
+// Flip64 returns v with bit (0 = least significant, 63 = sign) inverted in
+// the float64 representation.
+func Flip64(v float64, bit int) float64 {
+	if bit < 0 || bit > 63 {
+		panic(fmt.Sprintf("bitflip: bit %d out of range for float64", bit))
+	}
+	return math.Float64frombits(math.Float64bits(v) ^ (uint64(1) << uint(bit)))
+}
+
+// Flip32 returns v with bit (0 = least significant, 31 = sign) inverted in
+// the float32 representation.
+func Flip32(v float32, bit int) float32 {
+	if bit < 0 || bit > 31 {
+		panic(fmt.Sprintf("bitflip: bit %d out of range for float32", bit))
+	}
+	return math.Float32frombits(math.Float32bits(v) ^ (uint32(1) << uint(bit)))
+}
+
+// Flip flips a bit of v in the representation selected by t. For Float32 the
+// value is first rounded to float32 (as it would be stored by the original
+// application), flipped, and widened back; bit must be in [0, t.Bits()).
+func Flip(v float64, t DType, bit int) float64 {
+	switch t {
+	case Float32:
+		return float64(Flip32(float32(v), bit))
+	case Float64:
+		return Flip64(v, bit)
+	default:
+		panic(fmt.Sprintf("bitflip: unknown dtype %v", t))
+	}
+}
+
+// Kind classifies what a bit-flip did to a value, which the experiment
+// reports use to characterize the corruption spectrum.
+type Kind uint8
+
+const (
+	// KindBenign: the corrupted value is finite and within 1% relative
+	// error of the original (the flip landed in low mantissa bits).
+	KindBenign Kind = iota
+	// KindPerturb: finite, beyond 1% relative error but within 2x range.
+	KindPerturb
+	// KindExtreme: finite but wildly wrong (sign or high exponent bits).
+	KindExtreme
+	// KindNonFinite: the flip produced NaN or an infinity.
+	KindNonFinite
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindBenign:
+		return "benign"
+	case KindPerturb:
+		return "perturb"
+	case KindExtreme:
+		return "extreme"
+	case KindNonFinite:
+		return "nonfinite"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Classify reports what the corruption did relative to the original value.
+func Classify(orig, corrupted float64) Kind {
+	if math.IsNaN(corrupted) || math.IsInf(corrupted, 0) {
+		return KindNonFinite
+	}
+	re := RelErr(orig, corrupted)
+	switch {
+	case re <= 0.01:
+		return KindBenign
+	case re <= 2.0:
+		return KindPerturb
+	default:
+		return KindExtreme
+	}
+}
+
+// RelErr returns |got-want| / |want|, the paper's reconstruction metric.
+// When want == 0 the denominator degenerates; following common practice in
+// the lossy-compression literature we fall back to absolute error in that
+// case (so a perfect reconstruction still scores 0 and any deviation is
+// penalized by its magnitude). Non-finite inputs yield +Inf.
+func RelErr(want, got float64) float64 {
+	if math.IsNaN(got) || math.IsInf(got, 0) || math.IsNaN(want) || math.IsInf(want, 0) {
+		return math.Inf(1)
+	}
+	diff := math.Abs(got - want)
+	if want == 0 {
+		return diff
+	}
+	return diff / math.Abs(want)
+}

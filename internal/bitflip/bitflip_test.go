@@ -1,0 +1,165 @@
+package bitflip
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlip64Involution(t *testing.T) {
+	f := func(v float64, bit uint8) bool {
+		b := int(bit % 64)
+		return Flip64(Flip64(v, b), b) == v ||
+			(math.IsNaN(v) && math.IsNaN(Flip64(Flip64(v, b), b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlip32Involution(t *testing.T) {
+	f := func(v float32, bit uint8) bool {
+		b := int(bit % 32)
+		r := Flip32(Flip32(v, b), b)
+		return r == v || (math.IsNaN(float64(v)) && math.IsNaN(float64(r)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipChangesBits(t *testing.T) {
+	for bit := 0; bit < 64; bit++ {
+		if Flip64(1.5, bit) == 1.5 {
+			t.Errorf("Flip64(1.5, %d) left the value unchanged", bit)
+		}
+	}
+	for bit := 0; bit < 32; bit++ {
+		if Flip32(1.5, bit) == 1.5 {
+			t.Errorf("Flip32(1.5, %d) left the value unchanged", bit)
+		}
+	}
+}
+
+func TestFlipSignBit(t *testing.T) {
+	if Flip64(3.25, 63) != -3.25 {
+		t.Errorf("Flip64 sign bit: got %v", Flip64(3.25, 63))
+	}
+	if Flip32(3.25, 31) != -3.25 {
+		t.Errorf("Flip32 sign bit: got %v", Flip32(3.25, 31))
+	}
+}
+
+func TestFlipKnownValues(t *testing.T) {
+	// Flipping the LSB of the float64 mantissa of 1.0 gives the next
+	// representable value.
+	if got := Flip64(1.0, 0); got != math.Nextafter(1.0, 2.0) {
+		t.Errorf("Flip64(1, 0) = %v, want next-after", got)
+	}
+	// Flipping the top exponent bit of 1.0 (float32) gives 2^128-ish
+	// territory: 1.0 has exponent 127 (0111_1111); flipping bit 30 sets it
+	// to 255 -> +Inf.
+	if got := Flip32(1.0, 30); !math.IsInf(float64(got), 1) {
+		t.Errorf("Flip32(1, 30) = %v, want +Inf", got)
+	}
+}
+
+func TestFlipFloat32PathRounds(t *testing.T) {
+	// Values are first rounded to float32 before flipping.
+	v := 1.0 + 1e-12 // not representable in float32; rounds to 1.0
+	got := Flip(v, Float32, 31)
+	if got != -1.0 {
+		t.Errorf("Flip(%v, Float32, 31) = %v, want -1", v, got)
+	}
+}
+
+func TestFlipPanicsOnBadBit(t *testing.T) {
+	for _, f := range []func(){
+		func() { Flip64(1, 64) },
+		func() { Flip64(1, -1) },
+		func() { Flip32(1, 32) },
+		func() { Flip(1, Float32, 32) },
+		func() { Flip(1, Float64, 64) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad bit index did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDTypeProperties(t *testing.T) {
+	if Float32.Size() != 4 || Float64.Size() != 8 {
+		t.Error("DType sizes wrong")
+	}
+	if Float32.Bits() != 32 || Float64.Bits() != 64 {
+		t.Error("DType bits wrong")
+	}
+	if Float32.String() != "float32" || Float64.String() != "float64" {
+		t.Error("DType strings wrong")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	cases := []struct {
+		want, got, expect float64
+	}{
+		{10, 10, 0},
+		{10, 11, 0.1},
+		{10, 9, 0.1},
+		{-10, -11, 0.1},
+		{0, 0, 0},         // zero want, exact: absolute fallback
+		{0, 0.005, 0.005}, // zero want: absolute error
+		{2, 2.02, 0.01},
+	}
+	for _, c := range cases {
+		if got := RelErr(c.want, c.got); math.Abs(got-c.expect) > 1e-12 {
+			t.Errorf("RelErr(%v, %v) = %v, want %v", c.want, c.got, got, c.expect)
+		}
+	}
+}
+
+func TestRelErrNonFinite(t *testing.T) {
+	for _, c := range [][2]float64{
+		{math.NaN(), 1}, {1, math.NaN()},
+		{math.Inf(1), 1}, {1, math.Inf(-1)},
+	} {
+		if !math.IsInf(RelErr(c[0], c[1]), 1) {
+			t.Errorf("RelErr(%v, %v) should be +Inf", c[0], c[1])
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		orig, corrupted float64
+		want            Kind
+	}{
+		{10, 10.05, KindBenign}, // 0.5%
+		{10, 12, KindPerturb},   // 20%
+		{10, 100, KindExtreme},  // 900%
+		{10, math.NaN(), KindNonFinite},
+		{10, math.Inf(1), KindNonFinite},
+		{0, 0, KindBenign},
+	}
+	for _, c := range cases {
+		if got := Classify(c.orig, c.corrupted); got != c.want {
+			t.Errorf("Classify(%v, %v) = %v, want %v", c.orig, c.corrupted, got, c.want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindBenign: "benign", KindPerturb: "perturb",
+		KindExtreme: "extreme", KindNonFinite: "nonfinite",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

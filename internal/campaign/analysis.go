@@ -1,0 +1,210 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"spatialdue/internal/predict"
+	"spatialdue/internal/report"
+	"spatialdue/internal/stats"
+)
+
+// This file reproduces the paper's second contribution: "demonstrates the
+// relationship between data set smoothness and reconstruction accuracy".
+// Two concrete claims are quantified:
+//
+//  1. smoother datasets reconstruct more accurately (positive rank
+//     correlation between a dataset's smoothness score and each spatial
+//     method's success rate), and
+//  2. "discrepancies between individual reconstruction method accuracy
+//     decrease in proportion to the data set's spatial smoothness" —
+//     smoother datasets show a *smaller spread* between the spatial
+//     methods (negative correlation between smoothness and the max-min
+//     accuracy gap across them).
+
+// spatialMethods are the neighbor-based methods the smoothness claims are
+// about (the data-independent Zero/Random and the global regression are
+// excluded, as in the paper's discussion).
+var spatialMethods = map[predict.Method]bool{
+	predict.MethodAverage:   true,
+	predict.MethodPreceding: true,
+	predict.MethodLinear:    true,
+	predict.MethodQuadratic: true,
+	predict.MethodLorenzo1:  true,
+	predict.MethodLagrange:  true,
+}
+
+// maxZeroFrac excludes plateau-dominated datasets from the smoothness
+// analysis: a success at an exactly-zero element is degenerate under any
+// relative-error convention and says nothing about spatial prediction.
+const maxZeroFrac = 0.10
+
+// analysisEligible reports whether a dataset participates in the
+// smoothness analysis.
+func analysisEligible(info DatasetInfo) bool {
+	s := info.Smoothness
+	return s > 0 && !math.IsInf(s, 0) && !math.IsNaN(s) && info.ZeroFrac <= maxZeroFrac
+}
+
+// smoothnessXY extracts (log10 smoothness, rate) pairs for one method.
+func (r *Results) smoothnessXY(mi, ti int) (xs, ys []float64) {
+	for i := range r.PerDataset {
+		d := &r.PerDataset[i]
+		if !analysisEligible(d.Info) {
+			continue
+		}
+		xs = append(xs, math.Log10(d.Info.Smoothness))
+		ys = append(ys, d.Rate(mi, ti))
+	}
+	return xs, ys
+}
+
+// SmoothnessCorrelation returns the Spearman rank correlation between
+// dataset smoothness and method mi's success rate at threshold ti.
+func (r *Results) SmoothnessCorrelation(mi, ti int) float64 {
+	xs, ys := r.smoothnessXY(mi, ti)
+	return stats.Spearman(xs, ys)
+}
+
+// UniformityCorrelation returns the Spearman correlation between dataset
+// smoothness and the accuracy *spread* (max - min success rate) across the
+// spatial methods at threshold ti. The paper predicts this is negative.
+func (r *Results) UniformityCorrelation(ti int) float64 {
+	var xs, ys []float64
+	for i := range r.PerDataset {
+		d := &r.PerDataset[i]
+		if !analysisEligible(d.Info) {
+			continue
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for mi, m := range r.Methods {
+			if !spatialMethods[m] {
+				continue
+			}
+			rate := d.Rate(mi, ti)
+			lo = math.Min(lo, rate)
+			hi = math.Max(hi, rate)
+		}
+		if math.IsInf(lo, 0) {
+			continue
+		}
+		xs = append(xs, math.Log10(d.Info.Smoothness))
+		ys = append(ys, hi-lo)
+	}
+	return stats.Spearman(xs, ys)
+}
+
+// RenderSmoothness writes the smoothness analysis: per-method correlations
+// plus a quartile table (datasets bucketed by smoothness, mean Lorenzo
+// rate and mean spatial-method spread per bucket).
+func (r *Results) RenderSmoothness(w io.Writer, threshold float64) error {
+	ti, err := r.thresholdIndex(threshold)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Smoothness vs. reconstruction accuracy (rel err <= %g%%)\n\n", threshold*100)
+
+	rows := make([][]string, 0, len(r.Methods))
+	for mi, m := range r.Methods {
+		if !spatialMethods[m] {
+			continue
+		}
+		rows = append(rows, []string{m.String(), fmt.Sprintf("%+.3f", r.SmoothnessCorrelation(mi, ti))})
+	}
+	rows = append(rows, []string{"spread across spatial methods", fmt.Sprintf("%+.3f", r.UniformityCorrelation(ti))})
+	report.Table(w, []string{"Quantity", "Spearman corr. with smoothness"}, rows)
+
+	// Quartile table.
+	type entry struct {
+		smooth float64
+		d      *DatasetCells
+	}
+	var entries []entry
+	for i := range r.PerDataset {
+		d := &r.PerDataset[i]
+		if analysisEligible(d.Info) {
+			entries = append(entries, entry{d.Info.Smoothness, d})
+		}
+	}
+	if len(entries) < 4 {
+		return nil
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].smooth < entries[j].smooth })
+	lorIdx := -1
+	for mi, m := range r.Methods {
+		if m == predict.MethodLorenzo1 {
+			lorIdx = mi
+		}
+	}
+	qrows := make([][]string, 0, 4)
+	for q := 0; q < 4; q++ {
+		lo, hi := q*len(entries)/4, (q+1)*len(entries)/4
+		var meanS, meanLor, meanSpread float64
+		for _, e := range entries[lo:hi] {
+			meanS += e.smooth
+			if lorIdx >= 0 {
+				meanLor += e.d.Rate(lorIdx, ti)
+			}
+			min, max := math.Inf(1), math.Inf(-1)
+			for mi, m := range r.Methods {
+				if !spatialMethods[m] {
+					continue
+				}
+				rate := e.d.Rate(mi, ti)
+				min = math.Min(min, rate)
+				max = math.Max(max, rate)
+			}
+			meanSpread += max - min
+		}
+		n := float64(hi - lo)
+		qrows = append(qrows, []string{
+			fmt.Sprintf("Q%d (n=%d)", q+1, hi-lo),
+			fmt.Sprintf("%.1f", meanS/n),
+			report.Pct(meanLor / n),
+			report.Pct(meanSpread / n),
+		})
+	}
+	report.Table(w, []string{"Smoothness quartile", "mean smoothness", "Lorenzo rate", "method spread"}, qrows)
+	return nil
+}
+
+// WritePerDatasetCSV emits dataset-granularity rates (the raw material of
+// the smoothness analysis).
+func (r *Results) WritePerDatasetCSV(w io.Writer) error {
+	headers := []string{"app", "dataset", "smoothness"}
+	for _, m := range r.Methods {
+		for _, t := range r.Thresholds {
+			headers = append(headers, fmt.Sprintf("%s_le_%g", metricSlug(m.String()), t))
+		}
+	}
+	var rows [][]string
+	for i := range r.PerDataset {
+		d := &r.PerDataset[i]
+		row := []string{d.Info.App.String(), d.Info.Name, fmt.Sprintf("%.4g", d.Info.Smoothness)}
+		for mi := range r.Methods {
+			for ti := range r.Thresholds {
+				row = append(row, fmt.Sprintf("%.6f", d.Rate(mi, ti)))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return report.CSV(w, headers, rows)
+}
+
+// metricSlug lowercases and underscores a method name for CSV headers.
+func metricSlug(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, c := range s {
+		switch {
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+('a'-'A'))
+		case c == ' ' || c == '-':
+			out = append(out, '_')
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,200 @@
+package campaign
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"spatialdue/internal/predict"
+	"spatialdue/internal/sdrbench"
+)
+
+// fullTinyResults runs the all-apps campaign once per test binary (the
+// smoothness claims need the full smoothness range across applications).
+var fullTinyCache *Results
+
+func fullTiny(t *testing.T) *Results {
+	t.Helper()
+	if fullTinyCache != nil {
+		return fullTinyCache
+	}
+	cfg := DefaultConfig()
+	cfg.Scale = sdrbench.ScaleTiny
+	cfg.Trials = 150
+	cfg.AutotuneTrials = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullTinyCache = res
+	return res
+}
+
+func lorenzoIndex(t *testing.T, r *Results) int {
+	t.Helper()
+	for mi, m := range r.Methods {
+		if m == predict.MethodLorenzo1 {
+			return mi
+		}
+	}
+	t.Fatal("no Lorenzo in methods")
+	return -1
+}
+
+func TestPerDatasetPopulated(t *testing.T) {
+	res := fullTiny(t)
+	if len(res.PerDataset) != 111 {
+		t.Fatalf("PerDataset has %d entries, want 111", len(res.PerDataset))
+	}
+	for i := range res.PerDataset {
+		d := &res.PerDataset[i]
+		if d.Info.Name != res.Datasets[i].Name {
+			t.Fatalf("PerDataset order disagrees with Datasets at %d", i)
+		}
+		for mi := range res.Methods {
+			if d.Trials[mi] != 150 {
+				t.Fatalf("%s/%s method %d trials = %d", d.Info.App, d.Info.Name, mi, d.Trials[mi])
+			}
+		}
+	}
+	// Per-dataset hits must sum to the aggregate cells.
+	for mi := range res.Methods {
+		for ti := range res.Thresholds {
+			sum := 0
+			for i := range res.PerDataset {
+				sum += res.PerDataset[i].Hits[mi][ti]
+			}
+			agg := 0
+			for ai := range res.Apps {
+				agg += res.PerMethodApp[mi][ai].Hits[ti]
+			}
+			if sum != agg {
+				t.Fatalf("per-dataset hits (%d) != aggregate (%d) at [%d][%d]", sum, agg, mi, ti)
+			}
+		}
+	}
+}
+
+func TestSmoothnessAccuracyPositivelyCorrelated(t *testing.T) {
+	// Paper contribution #2: smoother datasets reconstruct better.
+	res := fullTiny(t)
+	ti := 0 // 1% threshold
+	for mi, m := range res.Methods {
+		if !spatialMethods[m] {
+			continue
+		}
+		rho := res.SmoothnessCorrelation(mi, ti)
+		if math.IsNaN(rho) {
+			t.Fatalf("%v: correlation is NaN", m)
+		}
+		if rho < 0.3 {
+			t.Errorf("%v: smoothness-accuracy Spearman = %.3f, want clearly positive", m, rho)
+		}
+	}
+}
+
+func TestSmoothnessReducesMethodSpread(t *testing.T) {
+	// Paper Section 6: "discrepancies between individual reconstruction
+	// method accuracy decrease in proportion to the data set's spatial
+	// smoothness."
+	res := fullTiny(t)
+	rho := res.UniformityCorrelation(0)
+	if math.IsNaN(rho) {
+		t.Fatal("uniformity correlation is NaN")
+	}
+	if rho > -0.2 {
+		t.Errorf("smoothness-spread Spearman = %.3f, want clearly negative", rho)
+	}
+}
+
+func TestRenderSmoothness(t *testing.T) {
+	res := fullTiny(t)
+	var b bytes.Buffer
+	if err := res.RenderSmoothness(&b, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Spearman", "Q1", "Q4", "Lorenzo rate", "method spread"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderSmoothness missing %q:\n%s", want, out)
+		}
+	}
+	if err := res.RenderSmoothness(&b, 0.42); err == nil {
+		t.Error("unknown threshold accepted")
+	}
+}
+
+func TestSmoothnessQuartilesMonotonic(t *testing.T) {
+	// The quartile view should show Lorenzo's rate increasing from the
+	// roughest to the smoothest quartile.
+	res := fullTiny(t)
+	ti := 0
+	lor := lorenzoIndex(t, res)
+	type pair struct{ s, rate float64 }
+	var ps []pair
+	for i := range res.PerDataset {
+		d := &res.PerDataset[i]
+		if s := d.Info.Smoothness; s > 0 && !math.IsInf(s, 0) {
+			ps = append(ps, pair{s, d.Rate(lor, ti)})
+		}
+	}
+	// Compare mean rate of the bottom vs top third by smoothness.
+	lo, hi := 0.0, 0.0
+	nlo, nhi := 0, 0
+	// simple selection via thresholds
+	var smooths []float64
+	for _, p := range ps {
+		smooths = append(smooths, p.s)
+	}
+	q1 := quantileOf(smooths, 0.33)
+	q3 := quantileOf(smooths, 0.67)
+	for _, p := range ps {
+		if p.s <= q1 {
+			lo += p.rate
+			nlo++
+		}
+		if p.s >= q3 {
+			hi += p.rate
+			nhi++
+		}
+	}
+	if nlo == 0 || nhi == 0 {
+		t.Fatal("degenerate smoothness distribution")
+	}
+	if hi/float64(nhi) <= lo/float64(nlo) {
+		t.Errorf("Lorenzo rate on smooth third (%.3f) not above rough third (%.3f)",
+			hi/float64(nhi), lo/float64(nlo))
+	}
+}
+
+func quantileOf(xs []float64, q float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[int(q*float64(len(s)-1))]
+}
+
+func TestPerDatasetCSV(t *testing.T) {
+	res := fullTiny(t)
+	var b bytes.Buffer
+	if err := res.WritePerDatasetCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1+111 {
+		t.Errorf("per-dataset CSV has %d lines, want 112", len(lines))
+	}
+	if !strings.Contains(lines[0], "lorenzo_1_layer_le_0.01") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestMetricSlug(t *testing.T) {
+	if metricSlug("Lorenzo 1-Layer") != "lorenzo_1_layer" {
+		t.Errorf("metricSlug = %q", metricSlug("Lorenzo 1-Layer"))
+	}
+}

@@ -1,0 +1,119 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/sdrbench"
+)
+
+func runDetection(t *testing.T) *DetectionResults {
+	t.Helper()
+	cfg := DefaultDetectionConfig()
+	cfg.Trials = 25
+	cfg.Apps = []sdrbench.App{sdrbench.Miranda, sdrbench.Isabel}
+	res, err := RunDetection(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDetectionStudyAccounting(t *testing.T) {
+	res := runDetection(t)
+	if len(res.Apps) != 2 || len(res.Kinds) != 4 {
+		t.Fatalf("shape: %d apps, %d kinds", len(res.Apps), len(res.Kinds))
+	}
+	totalTrials := 0
+	for ai := range res.Apps {
+		for ki := range res.Kinds {
+			c := res.Cells[ai][ki]
+			if c.Detected > c.Trials {
+				t.Errorf("detected > trials at [%d][%d]", ai, ki)
+			}
+			totalTrials += c.Trials
+		}
+	}
+	// Nearly all of 25 * (7 + 13) injections land in some kind bucket
+	// (NaN-to-NaN flips are skipped as undetectable).
+	if totalTrials < 400 {
+		t.Errorf("only %d classified trials", totalTrials)
+	}
+	if res.CleanElements == 0 {
+		t.Error("no clean elements scanned")
+	}
+}
+
+func TestDetectionRecallOrderedByVisibility(t *testing.T) {
+	// Extreme corruptions must be detected far more reliably than benign
+	// ones — the fundamental property of data-analytic detectors.
+	res := runDetection(t)
+	var benign, extreme, nonfinite DetectionCell
+	for ai := range res.Apps {
+		for ki, k := range res.Kinds {
+			c := res.Cells[ai][ki]
+			switch k {
+			case bitflip.KindBenign:
+				benign.Trials += c.Trials
+				benign.Detected += c.Detected
+			case bitflip.KindExtreme:
+				extreme.Trials += c.Trials
+				extreme.Detected += c.Detected
+			case bitflip.KindNonFinite:
+				nonfinite.Trials += c.Trials
+				nonfinite.Detected += c.Detected
+			}
+		}
+	}
+	if extreme.Recall() < 0.5 {
+		t.Errorf("extreme-corruption recall = %v, want >= 0.5", extreme.Recall())
+	}
+	if nonfinite.Recall() < 0.9 {
+		t.Errorf("non-finite recall = %v, want >= 0.9", nonfinite.Recall())
+	}
+	if benign.Recall() > extreme.Recall() {
+		t.Errorf("benign recall (%v) exceeds extreme recall (%v)",
+			benign.Recall(), extreme.Recall())
+	}
+}
+
+func TestDetectionFalsePositivesBounded(t *testing.T) {
+	res := runDetection(t)
+	if fp := res.FalsePositiveRate(); fp > 0.01 {
+		t.Errorf("false-positive rate = %v, want <= 1%%", fp)
+	}
+}
+
+func TestDetectionRender(t *testing.T) {
+	res := runDetection(t)
+	var b bytes.Buffer
+	res.Render(&b)
+	out := b.String()
+	for _, want := range []string{"Miranda", "ISABEL", "nonfinite", "false positives"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDetectionCSV(t *testing.T) {
+	res := runDetection(t)
+	var b bytes.Buffer
+	if err := res.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1+2*4 {
+		t.Errorf("CSV has %d lines, want 9", len(lines))
+	}
+}
+
+func TestDetectionValidation(t *testing.T) {
+	cfg := DefaultDetectionConfig()
+	cfg.Trials = 0
+	if _, err := RunDetection(cfg); err == nil {
+		t.Error("Trials=0 accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/detect"
+	"spatialdue/internal/heat"
+	"spatialdue/internal/report"
+)
+
+// The temporal (AID-style) detector needs an *evolving* application to be
+// characterized — its predictions extrapolate element histories across time
+// steps. This study drives the paper's motivating Jacobi solver (Section 2)
+// for a number of steps, injects a single bit flip at a random interior
+// element on fault steps, and measures whether the detector flags exactly
+// that element before the solver's next sweep smears it, broken down by
+// corruption class. False positives are counted on the fault-free steps.
+
+// TemporalStudyConfig parameterizes the study.
+type TemporalStudyConfig struct {
+	// GridN is the (square) solver size.
+	GridN int
+	// Steps is the number of Jacobi sweeps simulated.
+	Steps int
+	// FaultEvery injects one fault every FaultEvery steps (on average,
+	// deterministic schedule: steps divisible by FaultEvery).
+	FaultEvery int
+	// Lambda is the detector's relaxation factor.
+	Lambda float64
+	// Seed drives fault placement and bit selection.
+	Seed int64
+}
+
+// DefaultTemporalStudyConfig returns a configuration that finishes in well
+// under a second.
+func DefaultTemporalStudyConfig() TemporalStudyConfig {
+	return TemporalStudyConfig{GridN: 48, Steps: 600, FaultEvery: 7, Lambda: 6, Seed: 42}
+}
+
+// TemporalStudyResults summarizes the study.
+type TemporalStudyResults struct {
+	// Kinds and Cells mirror the spatial detection study: recall per
+	// corruption class.
+	Kinds []bitflip.Kind
+	Cells []DetectionCell
+	// FalseFlags counts flags on fault-free steps; CleanScans is the
+	// number of fault-free element-scans (steps * elements).
+	FalseFlags, CleanScans int
+	// Steps and Faults record the run size.
+	Steps, Faults int
+}
+
+// FalsePositiveRate returns false flags per clean element scanned.
+func (r *TemporalStudyResults) FalsePositiveRate() float64 {
+	if r.CleanScans == 0 {
+		return 0
+	}
+	return float64(r.FalseFlags) / float64(r.CleanScans)
+}
+
+// RunTemporalStudy executes the study.
+func RunTemporalStudy(cfg TemporalStudyConfig) (*TemporalStudyResults, error) {
+	if cfg.GridN < 8 {
+		return nil, fmt.Errorf("campaign: temporal study grid %d too small", cfg.GridN)
+	}
+	if cfg.Steps < 10 || cfg.FaultEvery < 2 {
+		return nil, fmt.Errorf("campaign: temporal study needs Steps >= 10 and FaultEvery >= 2")
+	}
+	solver, err := heat.New(cfg.GridN, cfg.GridN)
+	if err != nil {
+		return nil, err
+	}
+	solver.SetBoundary(100, 0, 50, 50)
+	det := detect.NewTemporal(cfg.Lambda)
+	det.Observe(solver.Grid())
+
+	kinds := []bitflip.Kind{bitflip.KindBenign, bitflip.KindPerturb, bitflip.KindExtreme, bitflip.KindNonFinite}
+	kindIdx := map[bitflip.Kind]int{}
+	for i, k := range kinds {
+		kindIdx[k] = i
+	}
+	res := &TemporalStudyResults{Kinds: kinds, Cells: make([]DetectionCell, len(kinds))}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	grid := solver.Grid()
+
+	const warmup = 5 // let the adaptive bound settle before injecting
+	for step := 1; step <= cfg.Steps; step++ {
+		solver.Step()
+		faultStep := step > warmup && step%cfg.FaultEvery == 0
+		var (
+			off  int
+			orig float64
+			kind bitflip.Kind
+		)
+		if faultStep {
+			i := 1 + rng.Intn(cfg.GridN-2)
+			j := 1 + rng.Intn(cfg.GridN-2)
+			off = grid.Offset(i, j)
+			orig = grid.AtOffset(off)
+			bit := rng.Intn(32)
+			corrupted := bitflip.Flip(orig, bitflip.Float32, bit)
+			kind = bitflip.Classify(orig, corrupted)
+			grid.SetOffset(off, corrupted)
+			res.Faults++
+		}
+
+		flags := det.Scan(grid)
+		if faultStep {
+			cell := &res.Cells[kindIdx[kind]]
+			cell.Trials++
+			for _, f := range flags {
+				if f == off {
+					cell.Detected++
+					break
+				}
+			}
+			// Heal before the next sweep so detector history stays clean
+			// (the recovery engine would do this in production).
+			grid.SetOffset(off, orig)
+		} else {
+			res.FalseFlags += len(flags)
+			res.CleanScans += grid.Len()
+		}
+		det.Observe(grid)
+	}
+	res.Steps = cfg.Steps
+	return res, nil
+}
+
+// Render writes the study as a table.
+func (r *TemporalStudyResults) Render(w io.Writer) {
+	fmt.Fprintf(w, "Temporal (AID-style) detector study: %d Jacobi steps, %d faults\n", r.Steps, r.Faults)
+	rows := make([][]string, 0, len(r.Kinds))
+	for ki, k := range r.Kinds {
+		c := r.Cells[ki]
+		rows = append(rows, []string{k.String(), fmt.Sprint(c.Trials), report.Pct(c.Recall())})
+	}
+	report.Table(w, []string{"Corruption class", "Injections", "Recall"}, rows)
+	fmt.Fprintf(w, "false positives: %d flags over %d clean element-scans (%.3g per element)\n",
+		r.FalseFlags, r.CleanScans, r.FalsePositiveRate())
+}

@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spatialdue/internal/bitflip"
+)
+
+func runTemporal(t *testing.T) *TemporalStudyResults {
+	t.Helper()
+	res, err := RunTemporalStudy(DefaultTemporalStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTemporalStudyAccounting(t *testing.T) {
+	res := runTemporal(t)
+	if res.Faults < 50 {
+		t.Fatalf("only %d faults injected", res.Faults)
+	}
+	total := 0
+	for _, c := range res.Cells {
+		if c.Detected > c.Trials {
+			t.Error("detected > trials")
+		}
+		total += c.Trials
+	}
+	if total != res.Faults {
+		t.Errorf("classified %d of %d faults", total, res.Faults)
+	}
+	if res.CleanScans == 0 {
+		t.Error("no clean scans recorded")
+	}
+}
+
+func TestTemporalStudyRecallByVisibility(t *testing.T) {
+	res := runTemporal(t)
+	get := func(k bitflip.Kind) DetectionCell {
+		for i, kk := range res.Kinds {
+			if kk == k {
+				return res.Cells[i]
+			}
+		}
+		t.Fatalf("kind %v missing", k)
+		return DetectionCell{}
+	}
+	if c := get(bitflip.KindNonFinite); c.Trials > 0 && c.Recall() < 0.9 {
+		t.Errorf("non-finite recall = %v, want >= 0.9", c.Recall())
+	}
+	if c := get(bitflip.KindExtreme); c.Trials > 0 && c.Recall() < 0.8 {
+		t.Errorf("extreme recall = %v, want >= 0.8", c.Recall())
+	}
+	benign, extreme := get(bitflip.KindBenign), get(bitflip.KindExtreme)
+	if benign.Trials > 5 && extreme.Trials > 5 && benign.Recall() > extreme.Recall() {
+		t.Errorf("benign recall (%v) above extreme (%v)", benign.Recall(), extreme.Recall())
+	}
+}
+
+func TestTemporalStudyFalsePositivesLow(t *testing.T) {
+	res := runTemporal(t)
+	if fp := res.FalsePositiveRate(); fp > 1e-3 {
+		t.Errorf("false-positive rate = %v, want <= 0.1%%", fp)
+	}
+}
+
+func TestTemporalStudyRender(t *testing.T) {
+	res := runTemporal(t)
+	var b bytes.Buffer
+	res.Render(&b)
+	out := b.String()
+	for _, want := range []string{"Jacobi steps", "Recall", "false positives"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q", want)
+		}
+	}
+}
+
+func TestTemporalStudyValidation(t *testing.T) {
+	cfg := DefaultTemporalStudyConfig()
+	cfg.GridN = 2
+	if _, err := RunTemporalStudy(cfg); err == nil {
+		t.Error("tiny grid accepted")
+	}
+	cfg = DefaultTemporalStudyConfig()
+	cfg.FaultEvery = 1
+	if _, err := RunTemporalStudy(cfg); err == nil {
+		t.Error("FaultEvery=1 accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"spatialdue/internal/predict"
+)
+
+// Production resilience layers keep an audit trail: which addresses failed,
+// what was reconstructed, with which method. The engine records every
+// recovery in a fixed-size ring buffer (no allocation growth in long runs)
+// and can export counters in the Prometheus text exposition format, so a
+// job's recovery activity is observable without attaching a debugger.
+
+// auditCap is the ring-buffer capacity.
+const auditCap = 1024
+
+// AuditEntry is one recorded recovery (or fallback).
+type AuditEntry struct {
+	// Seq is a monotonically increasing sequence number.
+	Seq int64
+	// Alloc names the allocation ("" for direct FTI repairs or failed
+	// lookups).
+	Alloc string
+	// Offset is the repaired element (-1 for failed lookups).
+	Offset int
+	// Method is the reconstruction method (meaningful when OK).
+	Method predict.Method
+	// Tuned marks RECOVER_ANY recoveries.
+	Tuned bool
+	// Old and New are the values before/after.
+	Old, New float64
+	// OK is false for checkpoint-restart fallbacks.
+	OK bool
+}
+
+// String implements fmt.Stringer.
+func (e AuditEntry) String() string {
+	if !e.OK {
+		return fmt.Sprintf("#%d %s[%d]: FALLBACK", e.Seq, e.Alloc, e.Offset)
+	}
+	tag := ""
+	if e.Tuned {
+		tag = " (tuned)"
+	}
+	return fmt.Sprintf("#%d %s[%d]: %v%s %.6g -> %.6g", e.Seq, e.Alloc, e.Offset, e.Method, tag, e.Old, e.New)
+}
+
+// auditLog is the engine's ring buffer.
+type auditLog struct {
+	mu      sync.Mutex
+	entries [auditCap]AuditEntry
+	next    int64 // total entries ever recorded
+}
+
+func (l *auditLog) record(e AuditEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = l.next
+	l.entries[l.next%auditCap] = e
+	l.next++
+}
+
+// snapshot returns the retained entries, oldest first.
+func (l *auditLog) snapshot() []AuditEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if n > auditCap {
+		out := make([]AuditEntry, auditCap)
+		start := n % auditCap
+		copy(out, l.entries[start:])
+		copy(out[auditCap-start:], l.entries[:start])
+		return out
+	}
+	return append([]AuditEntry(nil), l.entries[:n]...)
+}
+
+// Audit returns the retained recovery log, oldest first (at most the last
+// 1024 events).
+func (e *Engine) Audit() []AuditEntry { return e.audit.snapshot() }
+
+// WriteMetrics exports the engine counters in the Prometheus text format.
+func (e *Engine) WriteMetrics(w io.Writer) error {
+	st := e.Stats()
+	byMethod := map[predict.Method]int{}
+	for _, entry := range e.Audit() {
+		if entry.OK {
+			byMethod[entry.Method]++
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP spatialdue_recovered_total Elements recovered in place.\n"+
+			"# TYPE spatialdue_recovered_total counter\n"+
+			"spatialdue_recovered_total %d\n"+
+			"# HELP spatialdue_tuned_total Recoveries that used RECOVER_ANY auto-tuning.\n"+
+			"# TYPE spatialdue_tuned_total counter\n"+
+			"spatialdue_tuned_total %d\n"+
+			"# HELP spatialdue_fallbacks_total Checkpoint-restart fallbacks.\n"+
+			"# TYPE spatialdue_fallbacks_total counter\n"+
+			"spatialdue_fallbacks_total %d\n",
+		st.Recovered, st.Tuned, st.Fallbacks); err != nil {
+		return err
+	}
+	if len(byMethod) > 0 {
+		if _, err := fmt.Fprintf(w,
+			"# HELP spatialdue_recoveries_by_method Recoveries per method (last %d events).\n"+
+				"# TYPE spatialdue_recoveries_by_method counter\n", auditCap); err != nil {
+			return err
+		}
+		for _, m := range predict.HeadlineMethods() {
+			if n := byMethod[m]; n > 0 {
+				if _, err := fmt.Fprintf(w, "spatialdue_recoveries_by_method{method=%q} %d\n", m.String(), n); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

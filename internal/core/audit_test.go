@@ -1,0 +1,138 @@
+package core
+
+import (
+	"bytes"
+
+	"math"
+	"strings"
+	"testing"
+
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/predict"
+	"spatialdue/internal/registry"
+)
+
+func TestAuditRecordsRecoveries(t *testing.T) {
+	eng := NewEngine(Options{Seed: 1})
+	a := smoothArray(16, 16)
+	alloc := eng.Protect("grid", a, bitflip.Float32, registry.RecoverWith(predict.MethodAverage))
+
+	off := a.Offset(8, 8)
+	a.SetOffset(off, math.NaN())
+	if _, err := eng.RecoverElement(alloc, off); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = eng.RecoverAddress(0xBADD) // fallback
+
+	log := eng.Audit()
+	if len(log) != 2 {
+		t.Fatalf("audit has %d entries, want 2", len(log))
+	}
+	if !log[0].OK || log[0].Alloc != "grid" || log[0].Offset != off || log[0].Method != predict.MethodAverage {
+		t.Errorf("entry 0 = %+v", log[0])
+	}
+	if log[1].OK || log[1].Offset != -1 {
+		t.Errorf("entry 1 = %+v", log[1])
+	}
+	if log[0].Seq >= log[1].Seq {
+		t.Error("sequence numbers not increasing")
+	}
+	if !strings.Contains(log[0].String(), "Average") || !strings.Contains(log[1].String(), "FALLBACK") {
+		t.Errorf("String() output wrong: %q / %q", log[0], log[1])
+	}
+}
+
+func TestAuditRingBufferWraps(t *testing.T) {
+	eng := NewEngine(Options{Seed: 2})
+	a := smoothArray(64, 64)
+	alloc := eng.Protect("grid", a, bitflip.Float32, registry.RecoverWith(predict.MethodPreceding))
+	n := auditCap + 50
+	for i := 0; i < n; i++ {
+		off := i % a.Len()
+		if _, err := eng.RecoverElement(alloc, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := eng.Audit()
+	if len(log) != auditCap {
+		t.Fatalf("audit retained %d entries, want %d", len(log), auditCap)
+	}
+	// Oldest retained entry is n - auditCap; newest is n-1.
+	if log[0].Seq != int64(n-auditCap) || log[len(log)-1].Seq != int64(n-1) {
+		t.Errorf("retained range [%d, %d], want [%d, %d]",
+			log[0].Seq, log[len(log)-1].Seq, n-auditCap, n-1)
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i].Seq != log[i-1].Seq+1 {
+			t.Fatalf("sequence gap at %d", i)
+		}
+	}
+}
+
+func TestWriteMetrics(t *testing.T) {
+	eng := NewEngine(Options{Seed: 3})
+	a := smoothArray(16, 16)
+	alloc := eng.Protect("grid", a, bitflip.Float32, registry.RecoverAny())
+	off := a.Offset(4, 4)
+	a.SetOffset(off, math.Inf(1))
+	if _, err := eng.RecoverElement(alloc, off); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = eng.RecoverAddress(0x1)
+
+	var b bytes.Buffer
+	if err := eng.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"spatialdue_recovered_total 1",
+		"spatialdue_tuned_total 1",
+		"spatialdue_fallbacks_total 1",
+		"spatialdue_recoveries_by_method{method=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	// Prometheus text format sanity: every non-comment line ends in a
+	// numeric value after the last space (label values may contain spaces).
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Errorf("malformed metric line %q", line)
+			continue
+		}
+		for _, c := range line[i+1:] {
+			if c < '0' || c > '9' {
+				t.Errorf("non-numeric metric value in %q", line)
+				break
+			}
+		}
+	}
+}
+
+func TestAuditBurstEntries(t *testing.T) {
+	eng := NewEngine(Options{Seed: 4})
+	a := smoothArray(16, 16)
+	alloc := eng.Protect("g", a, bitflip.Float32, registry.RecoverWith(predict.MethodLorenzo1))
+	offsets := []int{a.Offset(8, 4), a.Offset(8, 5), a.Offset(8, 6)}
+	for _, off := range offsets {
+		a.SetOffset(off, math.NaN())
+	}
+	if _, err := eng.RecoverBurst(alloc, offsets); err != nil {
+		t.Fatal(err)
+	}
+	log := eng.Audit()
+	if len(log) != 3 {
+		t.Fatalf("audit has %d entries, want 3", len(log))
+	}
+	for i, e := range log {
+		if !e.OK || e.Alloc != "burst" || e.Offset != offsets[i] {
+			t.Errorf("entry %d = %+v", i, e)
+		}
+	}
+}

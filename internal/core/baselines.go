@@ -1,0 +1,30 @@
+package core
+
+import (
+	"math"
+
+	"spatialdue/internal/ndarray"
+)
+
+// Baselines the paper compares against (Sections 2 and 5).
+
+// LetGoRepair is the "compute through errors" baseline of Fang et al.
+// (LetGo, HPDC'17): the DUE is acknowledged but the application simply
+// continues. The only adjustment LetGo makes is to replace values that
+// would crash or hang the application — NaNs and infinities — with zero.
+// It returns the value the element holds afterwards.
+func LetGoRepair(arr *ndarray.Array, off int) float64 {
+	v := arr.AtOffset(off)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		arr.SetOffset(off, 0)
+		return 0
+	}
+	return v
+}
+
+// ZeroRepair is the BonVoision-style cheap baseline: overwrite the
+// corrupted element with zero unconditionally.
+func ZeroRepair(arr *ndarray.Array, off int) float64 {
+	arr.SetOffset(off, 0)
+	return 0
+}

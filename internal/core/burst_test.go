@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/predict"
+	"spatialdue/internal/registry"
+)
+
+func TestRecoverBurstContiguousRun(t *testing.T) {
+	// A cache-line-style burst: 16 consecutive elements of a row.
+	eng := NewEngine(Options{Seed: 1})
+	a := smoothArray(32, 32)
+	alloc := eng.Protect("g", a, bitflip.Float32, registry.RecoverWith(predict.MethodLorenzo1))
+
+	base := a.Offset(16, 8)
+	offsets := make([]int, 16)
+	orig := make([]float64, 16)
+	for i := range offsets {
+		offsets[i] = base + i
+		orig[i] = a.AtOffset(offsets[i])
+		a.SetOffset(offsets[i], math.NaN())
+	}
+
+	out, err := eng.RecoverBurst(alloc, offsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Method != predict.MethodLorenzo1 || out.Tuned {
+		t.Errorf("outcome = %+v", out)
+	}
+	for i, off := range offsets {
+		re := bitflip.RelErr(orig[i], a.AtOffset(off))
+		if re > 0.05 {
+			t.Errorf("element %d: rel err %v after burst recovery", i, re)
+		}
+		if !math.IsNaN(out.Old[i]) {
+			t.Errorf("Old[%d] = %v, want NaN", i, out.Old[i])
+		}
+		if out.New[i] != a.AtOffset(off) {
+			t.Errorf("New[%d] inconsistent with array", i)
+		}
+	}
+	if out.Sweeps < 1 {
+		t.Error("no refinement sweeps ran")
+	}
+}
+
+func TestRecoverBurstSquareBlock(t *testing.T) {
+	// A 3x3 block: the center cell has no healthy face neighbor at seed
+	// time and must still come out close after refinement.
+	eng := NewEngine(Options{Seed: 2})
+	a := smoothArray(32, 32)
+	alloc := eng.Protect("g", a, bitflip.Float32, registry.RecoverWith(predict.MethodAverage))
+
+	var offsets []int
+	origs := map[int]float64{}
+	for di := -1; di <= 1; di++ {
+		for dj := -1; dj <= 1; dj++ {
+			off := a.Offset(15+di, 15+dj)
+			offsets = append(offsets, off)
+			origs[off] = a.AtOffset(off)
+			a.SetOffset(off, 1e30)
+		}
+	}
+	if _, err := eng.RecoverBurst(alloc, offsets); err != nil {
+		t.Fatal(err)
+	}
+	for off, want := range origs {
+		if re := bitflip.RelErr(want, a.AtOffset(off)); re > 0.05 {
+			t.Errorf("offset %d: rel err %v", off, re)
+		}
+	}
+}
+
+func TestRecoverBurstAutotunes(t *testing.T) {
+	eng := NewEngine(Options{Seed: 3})
+	a := smoothArray(32, 32)
+	alloc := eng.Protect("g", a, bitflip.Float32, registry.RecoverAny())
+	offsets := []int{a.Offset(10, 10), a.Offset(10, 11)}
+	orig := []float64{a.AtOffset(offsets[0]), a.AtOffset(offsets[1])}
+	a.SetOffset(offsets[0], math.Inf(1))
+	a.SetOffset(offsets[1], -1e20)
+	out, err := eng.RecoverBurst(alloc, offsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Tuned {
+		t.Error("RECOVER_ANY burst did not tune")
+	}
+	for i := range offsets {
+		if re := bitflip.RelErr(orig[i], out.New[i]); re > 0.05 {
+			t.Errorf("element %d rel err %v", i, re)
+		}
+	}
+	if eng.Stats().Recovered != 2 {
+		t.Errorf("stats.Recovered = %d, want 2", eng.Stats().Recovered)
+	}
+}
+
+func TestRecoverBurstSingleEqualsElementPath(t *testing.T) {
+	// A burst of one should be about as accurate as RecoverElement.
+	mk := func() (*Engine, *registry.Allocation, int, float64) {
+		eng := NewEngine(Options{Seed: 4})
+		a := smoothArray(24, 24)
+		alloc := eng.Protect("g", a, bitflip.Float32, registry.RecoverWith(predict.MethodLorenzo1))
+		off := a.Offset(12, 12)
+		orig := a.AtOffset(off)
+		a.SetOffset(off, math.NaN())
+		return eng, alloc, off, orig
+	}
+	eng1, alloc1, off1, orig := mk()
+	single, err := eng1.RecoverElement(alloc1, off1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, alloc2, off2, _ := mk()
+	burst, err := eng2.RecoverBurst(alloc2, []int{off2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reS := bitflip.RelErr(orig, single.New)
+	reB := bitflip.RelErr(orig, burst.New[0])
+	if reB > reS*10+1e-6 {
+		t.Errorf("burst-of-one much worse than single: %v vs %v", reB, reS)
+	}
+}
+
+func TestRecoverBurstValidation(t *testing.T) {
+	eng := NewEngine(Options{})
+	a := smoothArray(8, 8)
+	alloc := eng.Protect("g", a, bitflip.Float32, registry.RecoverAny())
+	if _, err := eng.RecoverBurst(alloc, nil); !errors.Is(err, ErrCheckpointRestartRequired) {
+		t.Error("empty burst accepted")
+	}
+	if _, err := eng.RecoverBurst(alloc, []int{1, 1}); !errors.Is(err, ErrCheckpointRestartRequired) {
+		t.Error("duplicate offsets accepted")
+	}
+	if _, err := eng.RecoverBurst(alloc, []int{-1}); !errors.Is(err, ErrCheckpointRestartRequired) {
+		t.Error("negative offset accepted")
+	}
+	all := make([]int, a.Len())
+	for i := range all {
+		all[i] = i
+	}
+	if _, err := eng.RecoverBurst(alloc, all); !errors.Is(err, ErrCheckpointRestartRequired) {
+		t.Error("fully corrupted array accepted")
+	}
+}
+
+func TestRecoverBurstLargeBurstDegradesGracefully(t *testing.T) {
+	// A whole corrupted row: errors should stay bounded by the field's
+	// local variation, not explode.
+	eng := NewEngine(Options{Seed: 5})
+	a := smoothArray(32, 32)
+	alloc := eng.Protect("g", a, bitflip.Float32, registry.RecoverWith(predict.MethodAverage))
+	offsets := make([]int, 32)
+	orig := make([]float64, 32)
+	for j := 0; j < 32; j++ {
+		offsets[j] = a.Offset(16, j)
+		orig[j] = a.AtOffset(offsets[j])
+		a.SetOffset(offsets[j], math.NaN())
+	}
+	if _, err := eng.RecoverBurst(alloc, offsets); err != nil {
+		t.Fatal(err)
+	}
+	for j, off := range offsets {
+		if re := bitflip.RelErr(orig[j], a.AtOffset(off)); re > 0.10 {
+			t.Errorf("row element %d: rel err %v", j, re)
+		}
+	}
+}

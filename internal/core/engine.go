@@ -1,0 +1,295 @@
+// Package core is the paper's recovery engine (Section 3): it ties the
+// detection paths (machine-check events, SDC detectors), the memory
+// allocation registry, the spatial prediction methods, and the local
+// auto-tuner into the end-to-end flow of Figure/Algorithm 1:
+//
+//	DUE detected at address  →  relate address to a registered allocation
+//	→  reconstruct the corrupted element with the allocation's recorded
+//	   method (RECOVER_ANY triggers local auto-tuning)
+//	→  write the reconstruction in place and resume
+//	→  if the address is not registered, or reconstruction is impossible,
+//	   signal that checkpoint-restart is required instead.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"spatialdue/internal/autotune"
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/fti"
+	"spatialdue/internal/mca"
+	"spatialdue/internal/ndarray"
+	"spatialdue/internal/predict"
+	"spatialdue/internal/registry"
+)
+
+// ErrCheckpointRestartRequired is returned when localized recovery is not
+// possible (unregistered address, or no method applies) and the caller must
+// fall back to rolling back to a checkpoint.
+var ErrCheckpointRestartRequired = errors.New("core: checkpoint-restart required")
+
+// Options configures an Engine.
+type Options struct {
+	// Tune configures the RECOVER_ANY auto-tuner. Zero values take the
+	// paper's defaults (K=3, 1% tolerance, all headline methods).
+	Tune autotune.Config
+	// Provisional is the cheap method used to patch the corrupted element
+	// before auto-tuning probes the neighborhood (so probe stencils that
+	// overlap the corrupted cell are not polluted by garbage). Defaults to
+	// MethodAverage.
+	Provisional predict.Method
+	// TuneCacheBlock enables region-level memoization of RECOVER_ANY
+	// tuning decisions: one tuner run serves every corruption inside a
+	// TuneCacheBlock^d region of the same array. Zero disables caching
+	// (every corruption re-tunes, as in the paper).
+	TuneCacheBlock int
+	// Seed makes the Random method and tuning deterministic.
+	Seed int64
+}
+
+// Outcome describes one completed localized recovery.
+type Outcome struct {
+	// Allocation is the repaired allocation (nil for direct FTI repairs).
+	Allocation *registry.Allocation
+	// Offset is the linear element offset repaired.
+	Offset int
+	// Method is the reconstruction method used.
+	Method predict.Method
+	// Tuned is true when the method came from RECOVER_ANY auto-tuning.
+	Tuned bool
+	// Old is the corrupted value that was replaced; New the reconstruction.
+	Old, New float64
+}
+
+// Stats are the engine's lifetime counters.
+type Stats struct {
+	// Recovered counts successful localized recoveries.
+	Recovered int
+	// Tuned counts recoveries that went through the auto-tuner.
+	Tuned int
+	// Fallbacks counts checkpoint-restart-required outcomes.
+	Fallbacks int
+}
+
+// Engine performs localized DUE/SDC recovery.
+type Engine struct {
+	opts  Options
+	table *registry.Table
+	audit auditLog
+
+	mu     sync.Mutex
+	seq    int64
+	stats  Stats
+	caches map[*ndarray.Array]*autotune.Cache
+}
+
+// NewEngine creates an engine with its own allocation registry.
+func NewEngine(opts Options) *Engine {
+	if opts.Tune.K <= 0 {
+		opts.Tune.K = 3
+	}
+	if opts.Tune.Tolerance <= 0 {
+		opts.Tune.Tolerance = 0.01
+	}
+	if opts.Provisional == 0 {
+		opts.Provisional = predict.MethodAverage
+	}
+	return &Engine{opts: opts, table: registry.NewTable()}
+}
+
+// Table exposes the engine's allocation registry.
+func (e *Engine) Table() *registry.Table { return e.table }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Protect registers an array for localized recovery — the library-level
+// analogue of the paper's FTI_Protect extension.
+func (e *Engine) Protect(name string, arr *ndarray.Array, dtype bitflip.DType, policy registry.Policy) *registry.Allocation {
+	return e.table.Register(name, arr, dtype, policy)
+}
+
+// AttachMCA registers the engine as a machine-check handler: uncorrectable
+// memory errors with a valid address are recovered in place; anything else
+// is declined so the machine can escalate.
+func (e *Engine) AttachMCA(m *mca.Machine) {
+	m.Handle(func(ev mca.Event) error {
+		if !ev.IsDUE() {
+			return fmt.Errorf("core: not a recoverable DUE: %v", ev)
+		}
+		_, err := e.RecoverAddress(ev.Addr)
+		return err
+	})
+}
+
+// RecoverAddress relates a faulting physical address to a registered
+// allocation and repairs the affected element (Section 3.3). An
+// unregistered address yields ErrCheckpointRestartRequired.
+func (e *Engine) RecoverAddress(addr uint64) (Outcome, error) {
+	alloc, off, err := e.table.Lookup(addr)
+	if err != nil {
+		e.mu.Lock()
+		e.stats.Fallbacks++
+		e.mu.Unlock()
+		e.audit.record(AuditEntry{Alloc: fmt.Sprintf("addr %#x", addr), Offset: -1})
+		return Outcome{}, fmt.Errorf("%w: %v", ErrCheckpointRestartRequired, err)
+	}
+	return e.RecoverElement(alloc, off)
+}
+
+// RecoverElement reconstructs the element at linear offset off of a
+// registered allocation according to its recovery policy, writes the value
+// in place, and reports the outcome.
+func (e *Engine) RecoverElement(alloc *registry.Allocation, off int) (Outcome, error) {
+	method, tuned, newV, old, err := e.reconstruct(alloc.Array, alloc.Policy.Any, alloc.Policy.Method, off)
+	if err != nil {
+		e.mu.Lock()
+		e.stats.Fallbacks++
+		e.mu.Unlock()
+		e.audit.record(AuditEntry{Alloc: alloc.Name, Offset: off})
+		return Outcome{}, err
+	}
+	e.mu.Lock()
+	e.stats.Recovered++
+	if tuned {
+		e.stats.Tuned++
+	}
+	e.mu.Unlock()
+	e.audit.record(AuditEntry{
+		Alloc: alloc.Name, Offset: off, Method: method, Tuned: tuned,
+		Old: old, New: newV, OK: true,
+	})
+	return Outcome{
+		Allocation: alloc, Offset: off, Method: method, Tuned: tuned,
+		Old: old, New: newV,
+	}, nil
+}
+
+// FTIRepairer adapts the engine to the checkpoint library's SDCCheck hook,
+// repairing via the per-dataset policy recorded by fti.Protect.
+func (e *Engine) FTIRepairer() fti.RepairFunc {
+	return func(ds *fti.Dataset, off int) (float64, error) {
+		method, tuned, v, old, err := e.reconstruct(ds.Array, ds.Policy.Any, ds.Policy.Method, off)
+		if err != nil {
+			e.mu.Lock()
+			e.stats.Fallbacks++
+			e.mu.Unlock()
+			e.audit.record(AuditEntry{Alloc: "fti:" + ds.Name, Offset: off})
+			return 0, err
+		}
+		e.mu.Lock()
+		e.stats.Recovered++
+		if tuned {
+			e.stats.Tuned++
+		}
+		e.mu.Unlock()
+		e.audit.record(AuditEntry{
+			Alloc: "fti:" + ds.Name, Offset: off, Method: method, Tuned: tuned,
+			Old: old, New: v, OK: true,
+		})
+		return v, nil
+	}
+}
+
+// reconstruct runs the recovery pipeline on one element: provisional patch,
+// optional auto-tuning, prediction, in-place write.
+func (e *Engine) reconstruct(arr *ndarray.Array, tuneAny bool, fixed predict.Method, off int) (method predict.Method, tuned bool, newV, old float64, err error) {
+	if off < 0 || off >= arr.Len() {
+		return 0, false, 0, 0, fmt.Errorf("%w: offset %d out of range", ErrCheckpointRestartRequired, off)
+	}
+	old = arr.AtOffset(off)
+	idx := arr.Coords(off)
+
+	e.mu.Lock()
+	e.seq++
+	seed := e.opts.Seed ^ e.seq
+	e.mu.Unlock()
+
+	// A fresh Env per recovery: no precomputed moments, so each method pays
+	// its honest cost (global regression scans the array, as in the paper's
+	// Figure 10 measurements).
+	env := predict.NewEnv(arr, seed)
+
+	method = fixed
+	if tuneAny {
+		// Patch the corrupted cell with a provisional estimate so tuner
+		// probes whose stencils overlap it see something sane.
+		if prov, perr := predict.New(e.opts.Provisional).Predict(env, idx); perr == nil && isFinite(prov) {
+			arr.SetOffset(off, prov)
+		} else {
+			arr.SetOffset(off, 0)
+		}
+		var (
+			best predict.Method
+			terr error
+		)
+		if e.opts.TuneCacheBlock > 0 {
+			best, _, terr = e.cacheFor(arr).Select(env, idx, e.opts.Tune)
+		} else {
+			best, terr = autotuneSelect(env, idx, e.opts.Tune)
+		}
+		if terr != nil {
+			arr.SetOffset(off, old)
+			return 0, false, 0, old, fmt.Errorf("%w: auto-tune failed: %v", ErrCheckpointRestartRequired, terr)
+		}
+		method = best
+		tuned = true
+	}
+
+	v, perr := predict.New(method).Predict(env, idx)
+	if perr != nil || !isFinite(v) {
+		arr.SetOffset(off, old)
+		if perr == nil {
+			perr = fmt.Errorf("non-finite reconstruction %v", v)
+		}
+		return 0, false, 0, old, fmt.Errorf("%w: %v failed: %v", ErrCheckpointRestartRequired, method, perr)
+	}
+	arr.SetOffset(off, v)
+	return method, tuned, v, old, nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// cacheFor returns (creating on demand) the tuning cache of an array.
+func (e *Engine) cacheFor(arr *ndarray.Array) *autotune.Cache {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.caches == nil {
+		e.caches = map[*ndarray.Array]*autotune.Cache{}
+	}
+	c, ok := e.caches[arr]
+	if !ok {
+		c = autotune.NewCache(e.opts.TuneCacheBlock)
+		e.caches[arr] = c
+	}
+	return c
+}
+
+// InvalidateTuneCache drops cached tuning decisions for an array (call
+// after the protected data changes character). A nil array drops all.
+func (e *Engine) InvalidateTuneCache(arr *ndarray.Array) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if arr == nil {
+		e.caches = nil
+		return
+	}
+	delete(e.caches, arr)
+}
+
+// autotuneSelect wraps the tuner for internal reuse (single-element and
+// burst paths share it).
+func autotuneSelect(env *predict.Env, idx []int, cfg autotune.Config) (predict.Method, error) {
+	sel, err := autotune.Select(env, idx, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return sel.Best, nil
+}

@@ -1,0 +1,85 @@
+// Package faultinject drives the paper's fault-injection campaigns
+// (Section 4.2): every trial picks a uniformly random element of a dataset
+// and a uniformly random bit of that element's storage representation,
+// flips it, and hands the corruption location to the recovery machinery.
+//
+// Trials are planned deterministically from a seed so campaigns are
+// reproducible and can be re-partitioned across workers without changing
+// the sampled faults.
+package faultinject
+
+import (
+	"math"
+	"math/rand"
+
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/ndarray"
+)
+
+// Trial is one planned fault injection.
+type Trial struct {
+	// Offset is the linear element offset of the corrupted datum.
+	Offset int
+	// Bit is the flipped bit within the element's DType representation.
+	Bit int
+	// Orig is the element's value before corruption.
+	Orig float64
+	// Corrupted is the value after the bit flip (in the DType's
+	// representation, widened to float64).
+	Corrupted float64
+}
+
+// Kind classifies the corruption (see bitflip.Classify).
+func (t Trial) Kind() bitflip.Kind { return bitflip.Classify(t.Orig, t.Corrupted) }
+
+// Injector plans and applies bit-flip trials.
+type Injector struct {
+	rng   *rand.Rand
+	dtype bitflip.DType
+}
+
+// New creates an injector for elements of the given representation.
+func New(seed int64, dtype bitflip.DType) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), dtype: dtype}
+}
+
+// Plan draws n trials against array a: uniform element offsets and uniform
+// bit positions. The array is read (for Orig) but not modified.
+func (in *Injector) Plan(a *ndarray.Array, n int) []Trial {
+	trials := make([]Trial, n)
+	bits := in.dtype.Bits()
+	for i := range trials {
+		off := in.rng.Intn(a.Len())
+		bit := in.rng.Intn(bits)
+		orig := a.AtOffset(off)
+		trials[i] = Trial{
+			Offset:    off,
+			Bit:       bit,
+			Orig:      orig,
+			Corrupted: bitflip.Flip(orig, in.dtype, bit),
+		}
+	}
+	return trials
+}
+
+// PlanOne draws a single trial.
+func (in *Injector) PlanOne(a *ndarray.Array) Trial {
+	return in.Plan(a, 1)[0]
+}
+
+// Apply writes the corrupted value into the array. Pair with Revert.
+func Apply(a *ndarray.Array, t Trial) { a.SetOffset(t.Offset, t.Corrupted) }
+
+// Revert restores the original value.
+func Revert(a *ndarray.Array, t Trial) { a.SetOffset(t.Offset, t.Orig) }
+
+// Detectable reports whether the corruption changed the stored value at
+// all — a flip of a NaN payload bit can yield a value that still compares
+// unequal via bits but equal via ==; campaigns count such trials as
+// trivially recovered.
+func Detectable(t Trial) bool {
+	if math.IsNaN(t.Orig) && math.IsNaN(t.Corrupted) {
+		return false
+	}
+	return t.Orig != t.Corrupted
+}

@@ -1,0 +1,119 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/ndarray"
+)
+
+func testArray() *ndarray.Array {
+	a := ndarray.New(16, 16)
+	a.FillFunc(func(idx []int) float64 { return 3 + float64(idx[0]) + 0.5*float64(idx[1]) })
+	return a
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	a := testArray()
+	t1 := New(42, bitflip.Float32).Plan(a, 100)
+	t2 := New(42, bitflip.Float32).Plan(a, 100)
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("trial %d differs: %+v vs %+v", i, t1[i], t2[i])
+		}
+	}
+	t3 := New(43, bitflip.Float32).Plan(a, 100)
+	same := 0
+	for i := range t1 {
+		if t1[i] == t3[i] {
+			same++
+		}
+	}
+	if same == len(t1) {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestPlanBoundsAndBits(t *testing.T) {
+	a := testArray()
+	for _, dt := range []bitflip.DType{bitflip.Float32, bitflip.Float64} {
+		for _, tr := range New(7, dt).Plan(a, 500) {
+			if tr.Offset < 0 || tr.Offset >= a.Len() {
+				t.Fatalf("offset %d out of range", tr.Offset)
+			}
+			if tr.Bit < 0 || tr.Bit >= dt.Bits() {
+				t.Fatalf("bit %d out of range for %v", tr.Bit, dt)
+			}
+			if tr.Orig != a.AtOffset(tr.Offset) {
+				t.Fatalf("Orig mismatch")
+			}
+			want := bitflip.Flip(tr.Orig, dt, tr.Bit)
+			if tr.Corrupted != want && !(math.IsNaN(tr.Corrupted) && math.IsNaN(want)) {
+				t.Fatalf("Corrupted mismatch")
+			}
+		}
+	}
+}
+
+func TestPlanDoesNotMutate(t *testing.T) {
+	a := testArray()
+	want := a.Clone()
+	New(1, bitflip.Float32).Plan(a, 200)
+	if !ndarray.ApproxEqual(a, want, 0) {
+		t.Error("Plan modified the array")
+	}
+}
+
+func TestApplyRevertRoundTrip(t *testing.T) {
+	a := testArray()
+	want := a.Clone()
+	inj := New(5, bitflip.Float32)
+	for i := 0; i < 50; i++ {
+		tr := inj.PlanOne(a)
+		Apply(a, tr)
+		if a.AtOffset(tr.Offset) == tr.Orig && tr.Orig == tr.Corrupted {
+			t.Error("Apply did not change the value")
+		}
+		Revert(a, tr)
+	}
+	if !ndarray.ApproxEqual(a, want, 0) {
+		t.Error("Apply/Revert did not round-trip")
+	}
+}
+
+func TestDetectable(t *testing.T) {
+	tr := Trial{Orig: 1, Corrupted: 2}
+	if !Detectable(tr) {
+		t.Error("changed value reported undetectable")
+	}
+	tr = Trial{Orig: 1, Corrupted: 1}
+	if Detectable(tr) {
+		t.Error("unchanged value reported detectable")
+	}
+	tr = Trial{Orig: math.NaN(), Corrupted: math.NaN()}
+	if Detectable(tr) {
+		t.Error("NaN->NaN reported detectable")
+	}
+}
+
+func TestTrialKind(t *testing.T) {
+	if (Trial{Orig: 10, Corrupted: 10.001}).Kind() != bitflip.KindBenign {
+		t.Error("benign flip misclassified")
+	}
+	if (Trial{Orig: 10, Corrupted: math.Inf(1)}).Kind() != bitflip.KindNonFinite {
+		t.Error("Inf flip misclassified")
+	}
+}
+
+func TestBitDistributionCoversWord(t *testing.T) {
+	// Sanity: over many trials, both low and high bits get hit.
+	a := testArray()
+	seen := map[int]bool{}
+	for _, tr := range New(3, bitflip.Float32).Plan(a, 2000) {
+		seen[tr.Bit] = true
+	}
+	if len(seen) < 30 {
+		t.Errorf("only %d distinct bits hit in 2000 trials", len(seen))
+	}
+}

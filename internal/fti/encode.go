@@ -1,0 +1,235 @@
+package fti
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/predict"
+)
+
+// Checkpoint blob layout (little-endian):
+//
+//	magic   [8]byte  "FTICKPT1"
+//	blobLen uint64   total length including header and trailing CRC
+//	rank    uint32
+//	ckptID  uint32
+//	nData   uint32
+//	per dataset:
+//	  id     int32
+//	  name   uint16 length + bytes
+//	  dtype  uint8
+//	  any    uint8 (recovery policy)
+//	  method int32
+//	  ndims  uint8
+//	  dims   ndims * uint32
+//	  data   count*8 bytes of float64 bits
+//	crc32 (IEEE) over everything before it
+//
+// The explicit blobLen lets XOR-parity reconstruction (which pads blobs to
+// the longest rank's size) trim a rebuilt blob before checksumming.
+
+var magic = [8]byte{'F', 'T', 'I', 'C', 'K', 'P', 'T', '1'}
+
+// encode serializes the rank's protected datasets.
+func (r *Rank) encode(ckptID int) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	lenPos := buf.Len()
+	writeU64(&buf, 0) // patched below
+	writeU32(&buf, uint32(r.id))
+	writeU32(&buf, uint32(ckptID))
+	writeU32(&buf, uint32(len(r.order)))
+	for _, id := range r.order {
+		ds := r.datasets[id]
+		if len(ds.Name) > math.MaxUint16 {
+			return nil, fmt.Errorf("dataset name too long: %d bytes", len(ds.Name))
+		}
+		writeI32(&buf, int32(ds.ID))
+		writeU16(&buf, uint16(len(ds.Name)))
+		buf.WriteString(ds.Name)
+		buf.WriteByte(byte(ds.DType))
+		if ds.Policy.Any {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
+		writeI32(&buf, int32(ds.Policy.Method))
+		dims := ds.Array.Dims()
+		buf.WriteByte(byte(len(dims)))
+		for _, d := range dims {
+			writeU32(&buf, uint32(d))
+		}
+		var scratch [8]byte
+		for _, v := range ds.Array.Data() {
+			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+			buf.Write(scratch[:])
+		}
+	}
+	// Patch the length (header+payload+4-byte CRC), then append the CRC.
+	total := uint64(buf.Len() + 4)
+	binary.LittleEndian.PutUint64(buf.Bytes()[lenPos:lenPos+8], total)
+	writeU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
+	return buf.Bytes(), nil
+}
+
+// decodeInto restores the rank's protected arrays from a checkpoint blob.
+// The protected set must structurally match the checkpoint (same ids in the
+// same order with the same shapes) — mirroring FTI, which requires the
+// application to re-protect its buffers before FTI_Recover.
+func (r *Rank) decodeInto(blob []byte, wantCkpt int) error {
+	if len(blob) < len(magic)+8 {
+		return fmt.Errorf("checkpoint too short (%d bytes)", len(blob))
+	}
+	if !bytes.Equal(blob[:8], magic[:]) {
+		return fmt.Errorf("bad checkpoint magic")
+	}
+	total := binary.LittleEndian.Uint64(blob[8:16])
+	if total < 16 || total > uint64(len(blob)) {
+		return fmt.Errorf("bad checkpoint length %d (blob %d)", total, len(blob))
+	}
+	blob = blob[:total] // trim XOR padding
+	body, crcBytes := blob[:len(blob)-4], blob[len(blob)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcBytes) {
+		return fmt.Errorf("checkpoint CRC mismatch")
+	}
+
+	rd := bytes.NewReader(body[16:])
+	rank, err := readU32(rd)
+	if err != nil {
+		return err
+	}
+	if int(rank) != r.id {
+		return fmt.Errorf("checkpoint is for rank %d, not %d", rank, r.id)
+	}
+	ckpt, err := readU32(rd)
+	if err != nil {
+		return err
+	}
+	if int(ckpt) != wantCkpt {
+		return fmt.Errorf("checkpoint id %d, want %d", ckpt, wantCkpt)
+	}
+	n, err := readU32(rd)
+	if err != nil {
+		return err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(n) != len(r.order) {
+		return fmt.Errorf("checkpoint has %d datasets, %d protected", n, len(r.order))
+	}
+	for _, wantID := range r.order {
+		id, err := readI32(rd)
+		if err != nil {
+			return err
+		}
+		if int(id) != wantID {
+			return fmt.Errorf("checkpoint dataset id %d, want %d", id, wantID)
+		}
+		nameLen, err := readU16(rd)
+		if err != nil {
+			return err
+		}
+		name := make([]byte, nameLen)
+		if _, err := rd.Read(name); err != nil {
+			return err
+		}
+		dtypeB, err := rd.ReadByte()
+		if err != nil {
+			return err
+		}
+		anyB, err := rd.ReadByte()
+		if err != nil {
+			return err
+		}
+		method, err := readI32(rd)
+		if err != nil {
+			return err
+		}
+		ndims, err := rd.ReadByte()
+		if err != nil {
+			return err
+		}
+		dims := make([]int, ndims)
+		for i := range dims {
+			d, err := readU32(rd)
+			if err != nil {
+				return err
+			}
+			dims[i] = int(d)
+		}
+		ds := r.datasets[wantID]
+		ad := ds.Array.Dims()
+		if len(dims) != len(ad) {
+			return fmt.Errorf("dataset %d: checkpoint is %d-D, array is %d-D", wantID, len(dims), len(ad))
+		}
+		count := 1
+		for i := range dims {
+			if dims[i] != ad[i] {
+				return fmt.Errorf("dataset %d: checkpoint dims %v, array %v", wantID, dims, ad)
+			}
+			count *= dims[i]
+		}
+		data := ds.Array.Data()
+		var scratch [8]byte
+		for i := 0; i < count; i++ {
+			if _, err := rd.Read(scratch[:]); err != nil {
+				return fmt.Errorf("dataset %d: truncated data: %w", wantID, err)
+			}
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(scratch[:]))
+		}
+		// Refresh the recorded metadata from the checkpoint.
+		ds.Name = string(name)
+		ds.DType = bitflip.DType(dtypeB)
+		ds.Policy = RecoveryPolicy{Any: anyB == 1, Method: predict.Method(method)}
+	}
+	return nil
+}
+
+func writeU16(buf *bytes.Buffer, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeU64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeI32(buf *bytes.Buffer, v int32) { writeU32(buf, uint32(v)) }
+
+func readU16(rd *bytes.Reader) (uint16, error) {
+	var b [2]byte
+	if _, err := rd.Read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+func readU32(rd *bytes.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := rd.Read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func readI32(rd *bytes.Reader) (int32, error) {
+	v, err := readU32(rd)
+	return int32(v), err
+}

@@ -1,0 +1,98 @@
+package fti
+
+import (
+	"bytes"
+	"testing"
+
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/ndarray"
+	"spatialdue/internal/predict"
+)
+
+// fuzzRank builds a rank with one protected 4x4 dataset.
+func fuzzRank(tb testing.TB) (*Rank, *ndarray.Array) {
+	tb.Helper()
+	w, err := NewWorld(tb.TempDir(), 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g := ndarray.New(4, 4)
+	g.FillFunc(func(idx []int) float64 { return float64(idx[0]*4 + idx[1]) })
+	if err := w.Rank(0).Protect(0, "g", g, bitflip.Float32,
+		RecoveryPolicy{Method: predict.MethodLorenzo1}); err != nil {
+		tb.Fatal(err)
+	}
+	return w.Rank(0), g
+}
+
+// FuzzCheckpointDecode throws mutated checkpoint blobs at the decoder: it
+// must either restore a consistent state or return an error — never panic,
+// never accept a blob whose CRC does not match.
+func FuzzCheckpointDecode(f *testing.F) {
+	rank, _ := fuzzRank(f)
+	valid, err := rank.encode(1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2])
+	truncatedLen := append([]byte(nil), valid...)
+	truncatedLen[8] = 0xFF // corrupt the length header
+	f.Add(truncatedLen)
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		rank, grid := fuzzRank(t)
+		before := grid.Clone()
+		err := rank.decodeInto(blob, 1)
+		if err == nil {
+			// Accepted: the blob must be CRC-consistent with the valid
+			// encoding layout; at minimum the restored state is finite and
+			// the same shape (already guaranteed by the API). Re-encoding
+			// must succeed.
+			if _, reErr := rank.encode(2); reErr != nil {
+				t.Fatalf("accepted blob but re-encode failed: %v", reErr)
+			}
+			return
+		}
+		// Rejected: the protected array may have been partially written —
+		// FTI semantics allow that only when decode reports failure, in
+		// which case Restart tries the next level. Nothing to assert
+		// beyond "no panic", but check the error is not hiding a success.
+		if bytes.Equal(blob, mustEncode(t, rank)) && ndarray.ApproxEqual(grid, before, 0) {
+			t.Fatalf("decoder rejected its own valid encoding: %v", err)
+		}
+	})
+}
+
+func mustEncode(t *testing.T, r *Rank) []byte {
+	t.Helper()
+	b, err := r.encode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// FuzzReconstructTrim checks that Reed-Solomon-padded blobs with arbitrary
+// trailing bytes decode identically to the unpadded original.
+func FuzzReconstructTrim(f *testing.F) {
+	rank, _ := fuzzRank(f)
+	valid, err := rank.encode(1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{0})
+	f.Add([]byte{0xFF, 0xAB, 0x00})
+	f.Fuzz(func(t *testing.T, pad []byte) {
+		rank, grid := fuzzRank(t)
+		grid.Fill(-1)
+		padded := append(append([]byte(nil), valid...), pad...)
+		if err := rank.decodeInto(padded, 1); err != nil {
+			t.Fatalf("padded valid blob rejected: %v", err)
+		}
+		if grid.At(3, 3) != 15 {
+			t.Fatalf("restored value wrong: %v", grid.At(3, 3))
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package fti
+
+import (
+	"fmt"
+
+	"spatialdue/internal/detect"
+)
+
+// This file implements the paper's extension of FTI: FTI_sdccheck
+// (Algorithm 1, line 8). At every call, each protected dataset is scanned
+// by an SDC detector; flagged elements are forward-recovered in place via
+// the dataset's recorded recovery policy. Only if forward recovery fails
+// (or an address cannot be related to a protected dataset) does the library
+// fall back to rolling the world back to the last checkpoint — the
+// traditional, expensive path.
+
+// Repairer reconstructs a single corrupted element of a protected dataset
+// and returns the repaired value. internal/core provides the spatial-
+// prediction implementation; the indirection keeps fti free of a dependency
+// on the recovery engine.
+type Repairer interface {
+	Repair(ds *Dataset, offset int) (float64, error)
+}
+
+// RepairFunc adapts a function to the Repairer interface.
+type RepairFunc func(ds *Dataset, offset int) (float64, error)
+
+// Repair implements Repairer.
+func (f RepairFunc) Repair(ds *Dataset, offset int) (float64, error) { return f(ds, offset) }
+
+// Finding records one flagged element and what happened to it.
+type Finding struct {
+	// Rank and DatasetID locate the dataset.
+	Rank, DatasetID int
+	// Offset is the linear element offset flagged by the detector.
+	Offset int
+	// Old is the (suspect) value before repair; New the value written.
+	Old, New float64
+	// Err is non-nil when forward recovery failed for this element.
+	Err error
+}
+
+// Report summarizes one SDCCheck call.
+type Report struct {
+	// DatasetsChecked counts scanned datasets across all ranks.
+	DatasetsChecked int
+	// Findings lists every flagged element.
+	Findings []Finding
+	// Repaired counts elements fixed in place.
+	Repaired int
+	// RolledBack is true when forward recovery failed somewhere and the
+	// world was restored from the last checkpoint instead.
+	RolledBack bool
+	// RestartLevel is the checkpoint level used when RolledBack.
+	RestartLevel Level
+}
+
+// SDCCheck runs the detector over every protected dataset on every rank
+// and forward-recovers flagged elements with rep. If any repair fails and a
+// checkpoint exists, the whole world is rolled back (checkpoint-restart
+// fallback, Section 3.3); without a checkpoint the error is returned.
+func (w *World) SDCCheck(det detect.Detector, rep Repairer) (*Report, error) {
+	report := &Report{}
+	var failed bool
+	for _, r := range w.ranks {
+		for _, ds := range r.Datasets() {
+			report.DatasetsChecked++
+			for _, off := range det.Scan(ds.Array) {
+				f := Finding{Rank: r.id, DatasetID: ds.ID, Offset: off, Old: ds.Array.AtOffset(off)}
+				v, err := rep.Repair(ds, off)
+				if err != nil {
+					f.Err = err
+					failed = true
+				} else {
+					f.New = v
+					ds.Array.SetOffset(off, v)
+					report.Repaired++
+				}
+				report.Findings = append(report.Findings, f)
+			}
+		}
+	}
+	if failed {
+		lvl, err := w.Restart()
+		if err != nil {
+			return report, fmt.Errorf("fti: forward recovery failed and restart impossible: %w", err)
+		}
+		report.RolledBack = true
+		report.RestartLevel = lvl
+	}
+	return report, nil
+}

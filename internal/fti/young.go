@@ -1,0 +1,45 @@
+package fti
+
+import "math"
+
+// Young's first-order model for the optimum checkpoint interval
+// (Young, CACM 1974), which the paper uses to frame the cost of
+// checkpoint-restart recovery in Sections 3 and 4.5: the average restart
+// overhead is the time to recompute the work lost since the last
+// checkpoint, which is half the checkpointing interval.
+
+// OptimalInterval returns Young's optimum checkpoint interval
+// sqrt(2 * checkpointCost * mtbf). Units are the caller's choice as long as
+// both arguments share them.
+func OptimalInterval(checkpointCost, mtbf float64) float64 {
+	if checkpointCost <= 0 || mtbf <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * checkpointCost * mtbf)
+}
+
+// ExpectedLostWork returns the average recomputation a failure costs under
+// checkpoint-restart with the given interval: half the interval (plus the
+// restart read time, which the caller can add separately).
+func ExpectedLostWork(interval float64) float64 { return interval / 2 }
+
+// CheckpointOverheadFraction returns the fraction of runtime spent writing
+// checkpoints at the given interval.
+func CheckpointOverheadFraction(checkpointCost, interval float64) float64 {
+	if interval <= 0 {
+		return 0
+	}
+	return checkpointCost / interval
+}
+
+// RecoverySpeedup returns how many times cheaper a localized spatial
+// recovery (recoveryCost) is than an average checkpoint-restart recovery at
+// the given interval — the paper's headline overhead comparison (Section
+// 4.5: milliseconds of reconstruction versus minutes-to-hours of lost
+// work).
+func RecoverySpeedup(recoveryCost, interval float64) float64 {
+	if recoveryCost <= 0 {
+		return math.Inf(1)
+	}
+	return ExpectedLostWork(interval) / recoveryCost
+}

@@ -1,0 +1,98 @@
+package heat
+
+import (
+	"fmt"
+	"math"
+
+	"spatialdue/internal/ndarray"
+)
+
+// Solver3D is the 3-D Jacobi heat-diffusion solver — the shape of the
+// paper's Algorithm 1, which protects a 3-D array (d3d) alongside a 2-D
+// one. Interior update:
+//
+//	T'(z,y,x) = (T(z±1,y,x) + T(z,y±1,x) + T(z,y,x±1)) / 6
+//
+// with fixed boundary faces.
+type Solver3D struct {
+	cur, next *ndarray.Array
+	steps     int
+}
+
+// New3D creates an nz x ny x nx solver (all dims >= 3).
+func New3D(nz, ny, nx int) (*Solver3D, error) {
+	if nz < 3 || ny < 3 || nx < 3 {
+		return nil, fmt.Errorf("heat: grid %dx%dx%d too small (need >= 3 per dim)", nz, ny, nx)
+	}
+	return &Solver3D{cur: ndarray.New(nz, ny, nx), next: ndarray.New(nz, ny, nx)}, nil
+}
+
+// Grid returns the current state array (stable identity across steps).
+func (s *Solver3D) Grid() *ndarray.Array { return s.cur }
+
+// Steps returns how many sweeps have run.
+func (s *Solver3D) Steps() int { return s.steps }
+
+// SetBoundary fills the z=0 face with top, the z=max face with bottom, and
+// every other boundary face with side.
+func (s *Solver3D) SetBoundary(top, bottom, side float64) {
+	nz, ny, nx := s.cur.Dim(0), s.cur.Dim(1), s.cur.Dim(2)
+	set := func(v float64, z, y, x int) {
+		s.cur.Set(v, z, y, x)
+		s.next.Set(v, z, y, x)
+	}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				onBoundary := z == 0 || z == nz-1 || y == 0 || y == ny-1 || x == 0 || x == nx-1
+				if !onBoundary {
+					continue
+				}
+				switch {
+				case z == 0:
+					set(top, z, y, x)
+				case z == nz-1:
+					set(bottom, z, y, x)
+				default:
+					set(side, z, y, x)
+				}
+			}
+		}
+	}
+}
+
+// Step advances one Jacobi sweep and returns the max absolute change.
+func (s *Solver3D) Step() float64 {
+	nz, ny, nx := s.cur.Dim(0), s.cur.Dim(1), s.cur.Dim(2)
+	cd, nd := s.cur.Data(), s.next.Data()
+	sy, sz := nx, ny*nx
+	maxDelta := 0.0
+	for z := 1; z < nz-1; z++ {
+		for y := 1; y < ny-1; y++ {
+			base := z*sz + y*sy
+			for x := 1; x < nx-1; x++ {
+				p := base + x
+				v := (cd[p-sz] + cd[p+sz] + cd[p-sy] + cd[p+sy] + cd[p-1] + cd[p+1]) / 6
+				if d := math.Abs(v - cd[p]); d > maxDelta {
+					maxDelta = d
+				}
+				nd[p] = v
+			}
+		}
+	}
+	copy(cd, nd)
+	s.steps++
+	return maxDelta
+}
+
+// Run advances until the max change drops below tol or maxSteps elapse.
+func (s *Solver3D) Run(maxSteps int, tol float64) (int, float64) {
+	delta := math.Inf(1)
+	for n := 0; n < maxSteps; n++ {
+		delta = s.Step()
+		if delta < tol {
+			return n + 1, delta
+		}
+	}
+	return maxSteps, delta
+}

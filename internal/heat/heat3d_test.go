@@ -1,0 +1,88 @@
+package heat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNew3DValidation(t *testing.T) {
+	if _, err := New3D(2, 5, 5); err == nil {
+		t.Error("thin z accepted")
+	}
+	if _, err := New3D(5, 2, 5); err == nil {
+		t.Error("thin y accepted")
+	}
+	if _, err := New3D(5, 5, 2); err == nil {
+		t.Error("thin x accepted")
+	}
+	if _, err := New3D(3, 3, 3); err != nil {
+		t.Errorf("3x3x3 rejected: %v", err)
+	}
+}
+
+func TestSolver3DBoundariesPreserved(t *testing.T) {
+	s, _ := New3D(8, 8, 8)
+	s.SetBoundary(100, 0, 50)
+	for i := 0; i < 30; i++ {
+		s.Step()
+	}
+	g := s.Grid()
+	if g.At(0, 4, 4) != 100 || g.At(7, 4, 4) != 0 || g.At(4, 0, 4) != 50 || g.At(4, 4, 7) != 50 {
+		t.Error("boundary faces changed")
+	}
+}
+
+func TestSolver3DConvergesToUniform(t *testing.T) {
+	s, _ := New3D(8, 8, 8)
+	s.SetBoundary(25, 25, 25)
+	steps, resid := s.Run(5000, 1e-10)
+	if steps == 5000 {
+		t.Fatalf("did not converge (resid %v)", resid)
+	}
+	if math.Abs(s.Grid().At(4, 4, 4)-25) > 1e-6 {
+		t.Errorf("interior = %v, want 25", s.Grid().At(4, 4, 4))
+	}
+}
+
+func TestSolver3DMaxPrinciple(t *testing.T) {
+	s, _ := New3D(8, 10, 12)
+	s.SetBoundary(90, 10, 40)
+	s.Run(3000, 1e-8)
+	for z := 1; z < 7; z++ {
+		for y := 1; y < 9; y++ {
+			for x := 1; x < 11; x++ {
+				v := s.Grid().At(z, y, x)
+				if v < 10-1e-9 || v > 90+1e-9 {
+					t.Fatalf("maximum principle violated: %v at (%d,%d,%d)", v, z, y, x)
+				}
+			}
+		}
+	}
+}
+
+func TestSolver3DGridIdentityStable(t *testing.T) {
+	s, _ := New3D(4, 4, 4)
+	g := s.Grid()
+	s.Step()
+	if s.Grid() != g {
+		t.Error("Grid identity changed")
+	}
+	if s.Steps() != 1 {
+		t.Errorf("Steps = %d", s.Steps())
+	}
+}
+
+func TestSolver3DAverageRecoversStencil(t *testing.T) {
+	// The paper's Section 2 point in 3-D: after convergence every interior
+	// value equals the mean of its 6 face neighbors, so the Average method
+	// reconstructs it exactly.
+	s, _ := New3D(8, 8, 8)
+	s.SetBoundary(80, 20, 50)
+	s.Run(20000, 1e-12)
+	g := s.Grid()
+	want := g.At(4, 4, 4)
+	sum := g.At(3, 4, 4) + g.At(5, 4, 4) + g.At(4, 3, 4) + g.At(4, 5, 4) + g.At(4, 4, 3) + g.At(4, 4, 5)
+	if math.Abs(sum/6-want) > 1e-9 {
+		t.Errorf("stencil identity violated: %v vs %v", sum/6, want)
+	}
+}

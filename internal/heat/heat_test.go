@@ -1,0 +1,125 @@
+package heat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2, 10); err == nil {
+		t.Error("2-row grid accepted")
+	}
+	if _, err := New(10, 2); err == nil {
+		t.Error("2-column grid accepted")
+	}
+	if _, err := New(3, 3); err != nil {
+		t.Errorf("3x3 rejected: %v", err)
+	}
+}
+
+func TestBoundariesPreserved(t *testing.T) {
+	s, _ := New(10, 10)
+	s.SetBoundary(100, 0, 50, 25)
+	for i := 0; i < 50; i++ {
+		s.Step()
+	}
+	g := s.Grid()
+	if g.At(0, 5) != 100 || g.At(9, 5) != 0 || g.At(5, 0) != 50 || g.At(5, 9) != 25 {
+		t.Errorf("boundaries changed: %v %v %v %v",
+			g.At(0, 5), g.At(9, 5), g.At(5, 0), g.At(5, 9))
+	}
+}
+
+func TestConvergesToHarmonicSolution(t *testing.T) {
+	// With all boundaries at the same temperature the interior converges
+	// to that temperature.
+	s, _ := New(12, 12)
+	s.SetBoundary(40, 40, 40, 40)
+	steps, resid := s.Run(10000, 1e-10)
+	if steps == 10000 {
+		t.Fatalf("did not converge (resid %v)", resid)
+	}
+	for i := 1; i < 11; i++ {
+		for j := 1; j < 11; j++ {
+			if math.Abs(s.Grid().At(i, j)-40) > 1e-6 {
+				t.Fatalf("interior (%d,%d) = %v, want 40", i, j, s.Grid().At(i, j))
+			}
+		}
+	}
+}
+
+func TestResidualDecreases(t *testing.T) {
+	s, _ := New(16, 16)
+	s.SetBoundary(100, 0, 0, 0)
+	first := s.Step()
+	var last float64
+	for i := 0; i < 200; i++ {
+		last = s.Step()
+	}
+	if last >= first {
+		t.Errorf("residual did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	s, _ := New(8, 8)
+	s.Step()
+	s.Step()
+	if s.Steps() != 2 {
+		t.Errorf("Steps = %d", s.Steps())
+	}
+	n, _ := s.Run(5, 0)
+	if n != 5 || s.Steps() != 7 {
+		t.Errorf("Run steps = %d, total %d", n, s.Steps())
+	}
+}
+
+func TestGridIdentityStable(t *testing.T) {
+	// The protected array must remain the same object across steps.
+	s, _ := New(8, 8)
+	g := s.Grid()
+	s.Step()
+	if s.Grid() != g {
+		t.Error("Grid() identity changed after Step")
+	}
+}
+
+func TestEnergyBounded(t *testing.T) {
+	s, _ := New(12, 12)
+	s.SetBoundary(100, 0, 0, 0)
+	for i := 0; i < 200; i++ {
+		s.Step()
+	}
+	e := s.Energy()
+	if e <= 0 || e >= 100 {
+		t.Errorf("Energy = %v, want within boundary range", e)
+	}
+}
+
+func TestReferenceMatchesRun(t *testing.T) {
+	ref := Reference(10, 10, 80, 20, 50, 50, 1e-10)
+	s, _ := New(10, 10)
+	s.SetBoundary(80, 20, 50, 50)
+	s.Run(100000, 1e-10)
+	for off := 0; off < ref.Len(); off++ {
+		if math.Abs(ref.AtOffset(off)-s.Grid().AtOffset(off)) > 1e-6 {
+			t.Fatalf("Reference differs at %d", off)
+		}
+	}
+}
+
+func TestMaxPrincipleHolds(t *testing.T) {
+	// Interior values stay within the boundary extremes (discrete maximum
+	// principle for the Laplace equation).
+	s, _ := New(14, 14)
+	s.SetBoundary(90, 10, 30, 70)
+	s.Run(5000, 1e-9)
+	for i := 1; i < 13; i++ {
+		for j := 1; j < 13; j++ {
+			v := s.Grid().At(i, j)
+			if v < 10-1e-9 || v > 90+1e-9 {
+				t.Fatalf("maximum principle violated: %v at (%d,%d)", v, i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package mca
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Corrected-error (CE) handling. Real memory-resilience stacks watch the
+// *corrected* error rate per physical page: a page whose ECC corrections
+// keep recurring is likely to produce an uncorrectable error soon, so the
+// OS migrates its data and offlines it ("predictive page offlining"). This
+// complements the paper's DUE recovery — recovery handles the errors that
+// slip through, offlining reduces how many do.
+
+// PageSize is the granularity CE statistics are tracked at.
+const PageSize = 4096
+
+// CEPolicy configures the corrected-error watcher.
+type CEPolicy struct {
+	// OfflineThreshold is the CE count per page that triggers offlining
+	// (0 disables). Real kernels default to dozens per day; simulations
+	// use small numbers.
+	OfflineThreshold int
+}
+
+// ceState tracks per-page corrected-error counts.
+type ceState struct {
+	mu      sync.Mutex
+	policy  CEPolicy
+	counts  map[uint64]int // page number -> CE count
+	offline map[uint64]bool
+	// onOffline is invoked (outside the lock) when a page crosses the
+	// threshold.
+	onOffline func(page uint64)
+}
+
+// SetCEPolicy installs the corrected-error policy and an optional callback
+// invoked when a page is offlined. It replaces any previous policy.
+func (m *Machine) SetCEPolicy(p CEPolicy, onOffline func(pageAddr uint64)) {
+	m.ce.mu.Lock()
+	defer m.ce.mu.Unlock()
+	m.ce.policy = p
+	m.ce.onOffline = onOffline
+	if m.ce.counts == nil {
+		m.ce.counts = map[uint64]int{}
+		m.ce.offline = map[uint64]bool{}
+	}
+}
+
+// RaiseMemoryCE reports a corrected memory error at addr. CEs do not
+// interrupt the application; they update telemetry and may trigger
+// predictive offlining.
+func (m *Machine) RaiseMemoryCE(addr uint64) {
+	m.mu.Lock()
+	m.raisedCE++
+	m.mu.Unlock()
+
+	m.ce.mu.Lock()
+	if m.ce.counts == nil {
+		m.ce.counts = map[uint64]int{}
+		m.ce.offline = map[uint64]bool{}
+	}
+	page := addr / PageSize
+	m.ce.counts[page]++
+	trigger := false
+	if th := m.ce.policy.OfflineThreshold; th > 0 && !m.ce.offline[page] && m.ce.counts[page] >= th {
+		m.ce.offline[page] = true
+		trigger = true
+	}
+	cb := m.ce.onOffline
+	m.ce.mu.Unlock()
+
+	if trigger && cb != nil {
+		cb(page * PageSize)
+	}
+}
+
+// PageOfflined reports whether the page containing addr has been offlined.
+func (m *Machine) PageOfflined(addr uint64) bool {
+	m.ce.mu.Lock()
+	defer m.ce.mu.Unlock()
+	return m.ce.offline[addr/PageSize]
+}
+
+// CECount returns the corrected-error count of the page containing addr.
+func (m *Machine) CECount(addr uint64) int {
+	m.ce.mu.Lock()
+	defer m.ce.mu.Unlock()
+	return m.ce.counts[addr/PageSize]
+}
+
+// OfflinedPages returns the base addresses of all offlined pages, sorted.
+func (m *Machine) OfflinedPages() []uint64 {
+	m.ce.mu.Lock()
+	defer m.ce.mu.Unlock()
+	out := make([]uint64, 0, len(m.ce.offline))
+	for page := range m.ce.offline {
+		out = append(out, page*PageSize)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CEReport summarizes corrected-error telemetry for diagnostics.
+func (m *Machine) CEReport() string {
+	m.ce.mu.Lock()
+	defer m.ce.mu.Unlock()
+	total := 0
+	for _, n := range m.ce.counts {
+		total += n
+	}
+	return fmt.Sprintf("corrected errors: %d across %d pages, %d pages offlined",
+		total, len(m.ce.counts), len(m.ce.offline))
+}

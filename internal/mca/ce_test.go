@@ -1,0 +1,82 @@
+package mca
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCECountsPerPage(t *testing.T) {
+	m := New(1)
+	m.RaiseMemoryCE(0x1000)
+	m.RaiseMemoryCE(0x1FFF) // same page
+	m.RaiseMemoryCE(0x2000) // next page
+	if got := m.CECount(0x1800); got != 2 {
+		t.Errorf("CECount(page 1) = %d, want 2", got)
+	}
+	if got := m.CECount(0x2000); got != 1 {
+		t.Errorf("CECount(page 2) = %d, want 1", got)
+	}
+	_, ce, _ := m.Stats()
+	if ce != 3 {
+		t.Errorf("Stats CE = %d, want 3", ce)
+	}
+}
+
+func TestCEOfflineThreshold(t *testing.T) {
+	m := New(1)
+	var offlined []uint64
+	m.SetCEPolicy(CEPolicy{OfflineThreshold: 3}, func(addr uint64) {
+		offlined = append(offlined, addr)
+	})
+	for i := 0; i < 5; i++ {
+		m.RaiseMemoryCE(0x5000 + uint64(i))
+	}
+	if len(offlined) != 1 || offlined[0] != 0x5000 {
+		t.Fatalf("offlined = %#x, want one page at 0x5000", offlined)
+	}
+	if !m.PageOfflined(0x5ABC) {
+		t.Error("PageOfflined false for offlined page")
+	}
+	if m.PageOfflined(0x6000) {
+		t.Error("PageOfflined true for healthy page")
+	}
+	pages := m.OfflinedPages()
+	if len(pages) != 1 || pages[0] != 0x5000 {
+		t.Errorf("OfflinedPages = %#x", pages)
+	}
+}
+
+func TestCEOfflineFiresOnce(t *testing.T) {
+	m := New(1)
+	n := 0
+	m.SetCEPolicy(CEPolicy{OfflineThreshold: 2}, func(uint64) { n++ })
+	for i := 0; i < 10; i++ {
+		m.RaiseMemoryCE(0x9000)
+	}
+	if n != 1 {
+		t.Errorf("offline callback fired %d times, want 1", n)
+	}
+}
+
+func TestCENoPolicyNoOffline(t *testing.T) {
+	m := New(1)
+	for i := 0; i < 100; i++ {
+		m.RaiseMemoryCE(0x3000)
+	}
+	if m.PageOfflined(0x3000) {
+		t.Error("page offlined without a policy")
+	}
+}
+
+func TestCEReport(t *testing.T) {
+	m := New(1)
+	m.SetCEPolicy(CEPolicy{OfflineThreshold: 1}, nil)
+	m.RaiseMemoryCE(0x1000)
+	m.RaiseMemoryCE(0x2000)
+	s := m.CEReport()
+	for _, want := range []string{"2 across 2 pages", "2 pages offlined"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("CEReport = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package mca simulates the Intel machine-check architecture the paper's
+// first detection path relies on (Section 3.1). On real hardware, a memory
+// controller that detects an uncorrectable ECC error records the error type
+// and physical address in the MCi_STATUS / MCi_ADDR bank registers and
+// raises a machine-check exception (MCE); the OS handler reads the banks and
+// can tell a recovery layer exactly which address was lost.
+//
+// This package reproduces those semantics in software so the rest of the
+// system exercises the same code path it would on hardware: faults are
+// planted at simulated physical addresses (by the fault injector), a patrol
+// scrubber or a demand access discovers them, the owning bank latches status
+// bits laid out like Intel's MCi_STATUS, and registered handlers receive the
+// machine-check event with the faulting address.
+package mca
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// MCi_STATUS bit layout (Intel SDM vol. 3B, ch. 15). Only the architectural
+// bits the recovery path consumes are modeled.
+const (
+	// StatusVal indicates the bank holds a valid error record.
+	StatusVal uint64 = 1 << 63
+	// StatusOver indicates a second error arrived before the first was read.
+	StatusOver uint64 = 1 << 62
+	// StatusUC marks the error uncorrected (a DUE).
+	StatusUC uint64 = 1 << 61
+	// StatusEN indicates the error was enabled for signaling.
+	StatusEN uint64 = 1 << 60
+	// StatusMiscV indicates MCi_MISC holds valid supplemental data.
+	StatusMiscV uint64 = 1 << 59
+	// StatusAddrV indicates MCi_ADDR holds the faulting physical address.
+	StatusAddrV uint64 = 1 << 58
+	// StatusPCC marks processor-context-corrupt errors (not recoverable by
+	// software; our simulated memory errors never set it).
+	StatusPCC uint64 = 1 << 57
+)
+
+// MCA compound error codes (low 16 bits of MCi_STATUS) for memory errors:
+// 0000_0001_RRRR_TTLL with F=1 ("memory controller errors" family uses
+// 0000_1MMM_CCCC_CCCC; we use the generic cache-hierarchy/memory encodings).
+const (
+	// CodeMemRead encodes a memory-controller read error.
+	CodeMemRead uint64 = 0x009F
+	// CodeMemScrub encodes an error found by patrol scrub.
+	CodeMemScrub uint64 = 0x00C0
+)
+
+// Kind classifies a simulated machine-check event.
+type Kind uint8
+
+const (
+	// KindMemDUE is an uncorrectable memory (ECC) error: the data at the
+	// reported address is lost.
+	KindMemDUE Kind = iota
+	// KindMemCE is a corrected memory error (reported for telemetry only).
+	KindMemCE
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindMemDUE:
+		return "memory-DUE"
+	case KindMemCE:
+		return "memory-CE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is a delivered machine-check exception (or corrected-error signal).
+type Event struct {
+	// Bank is the reporting bank index.
+	Bank int
+	// Status is the latched MCi_STATUS value.
+	Status uint64
+	// Addr is the faulting physical address (valid when StatusAddrV set).
+	Addr uint64
+	// Misc carries supplemental information (here: the flipped bit index,
+	// which real hardware would not report — consumers other than tests
+	// must not rely on it; StatusMiscV is left clear).
+	Misc uint64
+	// Kind is the decoded error class.
+	Kind Kind
+}
+
+// IsDUE reports whether the event is a detectable uncorrectable error with
+// a valid address — the precondition for spatial recovery.
+func (e Event) IsDUE() bool {
+	return e.Kind == KindMemDUE && e.Status&StatusUC != 0 && e.Status&StatusAddrV != 0
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("MCE bank=%d kind=%v addr=%#x status=%#x", e.Bank, e.Kind, e.Addr, e.Status)
+}
+
+// Handler consumes machine-check events. Returning an error aborts delivery
+// to later handlers and is reported to the raiser (modeling a kernel that
+// panics when no recovery is possible).
+type Handler func(Event) error
+
+// ErrNoHandler is returned by Raise* when no handler consumed a DUE —
+// the simulated equivalent of an unhandled MCE crashing the application.
+var ErrNoHandler = errors.New("mca: unhandled machine-check exception")
+
+// latent is a planted-but-undiscovered memory fault.
+type latent struct {
+	addr uint64
+	bit  int
+}
+
+// Machine is a simulated machine-check architecture: a set of banks, a list
+// of latent (planted, not yet discovered) memory faults, and a chain of
+// exception handlers.
+type Machine struct {
+	mu       sync.Mutex
+	banks    []uint64 // latched MCi_STATUS per bank
+	addrs    []uint64 // latched MCi_ADDR per bank
+	miscs    []uint64 // latched MCi_MISC per bank
+	nextBank int
+	latents  []latent
+	handlers []Handler
+	// counters
+	raisedDUE, raisedCE, overflows int
+	// ce tracks corrected-error telemetry (see ce.go).
+	ce ceState
+}
+
+// New creates a machine with the given number of report banks (real server
+// parts expose ~20+; anything >= 1 works here).
+func New(banks int) *Machine {
+	if banks < 1 {
+		banks = 1
+	}
+	return &Machine{
+		banks: make([]uint64, banks),
+		addrs: make([]uint64, banks),
+		miscs: make([]uint64, banks),
+	}
+}
+
+// Handle registers an exception handler. Handlers run in registration order
+// until one returns nil (handled).
+func (m *Machine) Handle(h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers = append(m.handlers, h)
+}
+
+// Plant records a latent uncorrectable fault at addr (bit is the flipped
+// bit index, carried for test introspection). The fault is discovered — and
+// the MCE raised — when the address is touched via Touch or found by the
+// patrol scrubber.
+func (m *Machine) Plant(addr uint64, bit int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.latents = append(m.latents, latent{addr: addr, bit: bit})
+}
+
+// PendingFaults returns the number of planted, undiscovered faults.
+func (m *Machine) PendingFaults() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.latents)
+}
+
+// Touch models a demand access to [addr, addr+size): if a latent fault lies
+// in the range, it is consumed and an MCE is raised synchronously (the
+// return value is the handler outcome). With no fault it returns (false, nil).
+func (m *Machine) Touch(addr uint64, size int) (faulted bool, err error) {
+	m.mu.Lock()
+	var hit *latent
+	for i := range m.latents {
+		if m.latents[i].addr >= addr && m.latents[i].addr < addr+uint64(size) {
+			l := m.latents[i]
+			m.latents = append(m.latents[:i], m.latents[i+1:]...)
+			hit = &l
+			break
+		}
+	}
+	m.mu.Unlock()
+	if hit == nil {
+		return false, nil
+	}
+	return true, m.raise(hit.addr, hit.bit, CodeMemRead)
+}
+
+// Scrub runs one patrol-scrubber pass over [lo, hi): every latent fault in
+// the range is discovered and raised. It returns the number of faults found
+// and the first handler error.
+func (m *Machine) Scrub(lo, hi uint64) (found int, err error) {
+	for {
+		m.mu.Lock()
+		var hit *latent
+		for i := range m.latents {
+			if m.latents[i].addr >= lo && m.latents[i].addr < hi {
+				l := m.latents[i]
+				m.latents = append(m.latents[:i], m.latents[i+1:]...)
+				hit = &l
+				break
+			}
+		}
+		m.mu.Unlock()
+		if hit == nil {
+			return found, err
+		}
+		found++
+		if e := m.raise(hit.addr, hit.bit, CodeMemScrub); e != nil && err == nil {
+			err = e
+		}
+	}
+}
+
+// RaiseMemoryDUE latches and delivers an uncorrectable memory error at addr
+// immediately (bypassing the latent list) — the path used when a detector
+// outside the MCA localizes corruption and wants identical delivery
+// semantics.
+func (m *Machine) RaiseMemoryDUE(addr uint64, bit int) error {
+	return m.raise(addr, bit, CodeMemRead)
+}
+
+func (m *Machine) raise(addr uint64, bit int, code uint64) error {
+	m.mu.Lock()
+	bank := m.nextBank
+	m.nextBank = (m.nextBank + 1) % len(m.banks)
+	status := StatusVal | StatusUC | StatusEN | StatusAddrV | code
+	if m.banks[bank]&StatusVal != 0 {
+		status |= StatusOver
+		m.overflows++
+	}
+	m.banks[bank] = status
+	m.addrs[bank] = addr
+	m.miscs[bank] = uint64(bit)
+	m.raisedDUE++
+	handlers := append([]Handler(nil), m.handlers...)
+	m.mu.Unlock()
+
+	ev := Event{Bank: bank, Status: status, Addr: addr, Misc: uint64(bit), Kind: KindMemDUE}
+	var firstErr error
+	for _, h := range handlers {
+		if err := h(ev); err == nil {
+			m.clearBank(bank)
+			return nil
+		} else if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = ErrNoHandler
+	}
+	return firstErr
+}
+
+func (m *Machine) clearBank(bank int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.banks[bank] = 0
+	m.addrs[bank] = 0
+	m.miscs[bank] = 0
+}
+
+// ReadBank returns the latched (status, addr, misc) registers of a bank.
+func (m *Machine) ReadBank(bank int) (status, addr, misc uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.banks[bank], m.addrs[bank], m.miscs[bank]
+}
+
+// Stats reports lifetime counters: delivered DUEs, corrected errors, and
+// bank overflows.
+func (m *Machine) Stats() (due, ce, overflow int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.raisedDUE, m.raisedCE, m.overflows
+}

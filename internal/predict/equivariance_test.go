@@ -1,0 +1,142 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spatialdue/internal/ndarray"
+)
+
+// The spatial predictors (all except Zero and Random) are affine-
+// equivariant: shifting every data value by c shifts the prediction by c,
+// and scaling every value by s scales the prediction by s. These are
+// strong whole-algorithm invariants — they catch sign errors, forgotten
+// terms, and normalization bugs in any of the stencils or solvers.
+
+// affineMethods are the methods expected to commute with affine maps.
+var affineMethods = []Method{
+	MethodAverage, MethodPreceding, MethodLinear, MethodQuadratic,
+	MethodLorenzo1, MethodLorenzo2, MethodLorenzo3,
+	MethodLinReg, MethodLocalLinReg, MethodLagrange,
+}
+
+// randomField builds a random smooth-ish 2-D array and an interior index.
+func randomField(seed int64) (*ndarray.Array, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	ny, nx := 9+rng.Intn(8), 9+rng.Intn(8)
+	a := ndarray.New(ny, nx)
+	a.FillFunc(func(idx []int) float64 {
+		return 5 + math.Sin(float64(idx[0]))*2 + float64(idx[1])*0.3 + rng.NormFloat64()*0.2
+	})
+	idx := []int{rng.Intn(ny), rng.Intn(nx)}
+	return a, idx
+}
+
+func TestTranslationEquivariance(t *testing.T) {
+	for _, m := range affineMethods {
+		m := m
+		f := func(seed int64, shiftRaw int8) bool {
+			shift := float64(shiftRaw)
+			a, idx := randomField(seed)
+			p := New(m)
+			v1, err1 := p.Predict(NewEnv(a, 1), idx)
+			b := a.Clone()
+			bd := b.Data()
+			for i := range bd {
+				bd[i] += shift
+			}
+			v2, err2 := p.Predict(NewEnv(b, 1), idx)
+			if (err1 == nil) != (err2 == nil) {
+				return false
+			}
+			if err1 != nil {
+				return true
+			}
+			scale := math.Max(1, math.Abs(v1)+math.Abs(shift))
+			return math.Abs(v2-(v1+shift)) < 1e-7*scale
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%v not translation-equivariant: %v", m, err)
+		}
+	}
+}
+
+func TestScaleEquivariance(t *testing.T) {
+	for _, m := range affineMethods {
+		m := m
+		f := func(seed int64, scaleRaw int8) bool {
+			s := 1 + math.Abs(float64(scaleRaw))/8
+			a, idx := randomField(seed)
+			p := New(m)
+			v1, err1 := p.Predict(NewEnv(a, 1), idx)
+			b := a.Clone()
+			bd := b.Data()
+			for i := range bd {
+				bd[i] *= s
+			}
+			v2, err2 := p.Predict(NewEnv(b, 1), idx)
+			if (err1 == nil) != (err2 == nil) {
+				return false
+			}
+			if err1 != nil {
+				return true
+			}
+			return math.Abs(v2-v1*s) < 1e-7*math.Max(1, math.Abs(v1*s))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%v not scale-equivariant: %v", m, err)
+		}
+	}
+}
+
+func TestPredictionsFiniteOnFiniteData(t *testing.T) {
+	// Robustness property: every headline method returns a finite value or
+	// an explicit error at every position of a finite random array.
+	f := func(seed int64) bool {
+		a, _ := randomField(seed)
+		env := NewEnv(a, seed)
+		idx := make([]int, 2)
+		for _, m := range HeadlineMethods() {
+			p := New(m)
+			for off := 0; off < a.Len(); off += 7 {
+				a.CoordsInto(idx, off)
+				v, err := p.Predict(env, idx)
+				if err == nil && (math.IsNaN(v) || math.IsInf(v, 0)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquivarianceCatchesCorruptedStencil(t *testing.T) {
+	// Meta-test: the translation invariant genuinely discriminates — a
+	// deliberately wrong stencil (weights not summing to 1) fails it.
+	a, idx := randomField(3)
+	wrong := func(arr *ndarray.Array, at []int) float64 {
+		// Lorenzo-like but with a sign error: V(i-1,j) + V(i,j-1) + V(i-1,j-1)
+		return arr.At(at[0]-1, at[1]) + arr.At(at[0], at[1]-1) + arr.At(at[0]-1, at[1]-1)
+	}
+	if idx[0] == 0 {
+		idx[0] = 1
+	}
+	if idx[1] == 0 {
+		idx[1] = 1
+	}
+	v1 := wrong(a, idx)
+	b := a.Clone()
+	bd := b.Data()
+	for i := range bd {
+		bd[i] += 10
+	}
+	v2 := wrong(b, idx)
+	if math.Abs(v2-(v1+10)) < 1e-9 {
+		t.Fatal("meta-test broken: wrong stencil passed the invariant")
+	}
+}

@@ -1,0 +1,110 @@
+package predict
+
+// Lagrange implements Section 3.4.8: Lagrange polynomial interpolation
+// through k data points around the corrupted element along the slowest
+// changing dimension. The paper uses k = 3 points — two preceding values
+// and one succeeding value — i.e. nodes at offsets {-2, -1, +1} in
+// dimension 0, which defines a degree-2 interpolating polynomial evaluated
+// at offset 0:
+//
+//	f = -V(x-2)/3 + V(x-1) + V(x+1)/3.
+//
+// When the default node set does not fit inside the array (the corruption
+// sits near a boundary of dimension 0) the node set is mirrored; if neither
+// orientation fits, the nearest k in-bounds offsets are used instead. The
+// Lagrange weights are recomputed from the actual node offsets, so the
+// interpolation remains exact for polynomials of degree < k.
+type Lagrange struct {
+	// Offsets are the node positions relative to the corrupted element
+	// along dimension 0. They must be distinct and non-zero. The paper's
+	// configuration is {-2, -1, 1}.
+	Offsets []int
+}
+
+// Name implements Predictor.
+func (Lagrange) Name() string { return "Lagrange" }
+
+// weights computes the Lagrange basis values at x=0 for the given nodes.
+func lagrangeWeights(nodes []int) []float64 {
+	w := make([]float64, len(nodes))
+	for r, xr := range nodes {
+		num, den := 1.0, 1.0
+		for m, xm := range nodes {
+			if m == r {
+				continue
+			}
+			num *= float64(0 - xm)
+			den *= float64(xr - xm)
+		}
+		w[r] = num / den
+	}
+	return w
+}
+
+// Predict implements Predictor.
+func (l Lagrange) Predict(env *Env, idx []int) (float64, error) {
+	a := env.A
+	if len(l.Offsets) == 0 {
+		return 0, ErrUnsupported
+	}
+	dim0 := a.Dim(0)
+	x := idx[0]
+
+	nodes := l.fitNodes(x, dim0)
+	if nodes == nil {
+		return 0, ErrUnsupported
+	}
+	w := lagrangeWeights(nodes)
+	nb := make([]int, len(idx))
+	copy(nb, idx)
+	sum := 0.0
+	for r, off := range nodes {
+		nb[0] = x + off
+		sum += w[r] * a.At(nb...)
+	}
+	return sum, nil
+}
+
+// fitNodes returns a node-offset set that lies fully inside [0, dim0) when
+// shifted by x: the configured offsets, their mirror image, or the nearest
+// k in-bounds non-zero offsets. Returns nil if fewer than len(Offsets)
+// candidates exist (dimension too small).
+func (l Lagrange) fitNodes(x, dim0 int) []int {
+	inBounds := func(offs []int) bool {
+		for _, o := range offs {
+			if p := x + o; p < 0 || p >= dim0 {
+				return false
+			}
+		}
+		return true
+	}
+	if inBounds(l.Offsets) {
+		return l.Offsets
+	}
+	mir := make([]int, len(l.Offsets))
+	for i, o := range l.Offsets {
+		mir[i] = -o
+	}
+	if inBounds(mir) {
+		return mir
+	}
+	// Nearest in-bounds non-zero offsets, alternating outward.
+	k := len(l.Offsets)
+	nodes := make([]int, 0, k)
+	for dist := 1; len(nodes) < k && dist < dim0; dist++ {
+		for _, o := range [2]int{-dist, +dist} {
+			if p := x + o; p >= 0 && p < dim0 {
+				nodes = append(nodes, o)
+				if len(nodes) == k {
+					break
+				}
+			}
+		}
+	}
+	if len(nodes) < k {
+		return nil
+	}
+	return nodes
+}
+
+var _ Predictor = Lagrange{}

@@ -1,0 +1,217 @@
+// Package predict implements the spatial prediction algorithms of Section
+// 3.4 of the paper: Zero, Random, Average, the three linearized curve-fit
+// predictors (preceding-neighbor, linear, quadratic), the multi-dimensional
+// Lorenzo predictors (1 to 4 layers, with all 2^d orientations and automatic
+// boundary fallback), global linear regression (SZ-2.0 style), local linear
+// regression over a ±3-layer patch, and Lagrange polynomial interpolation.
+//
+// Every predictor reconstructs the value of a single corrupted array element
+// from its spatial neighbors. The corrupted element itself is never read:
+// by the experiment contract (Section 4.2), exactly one element is corrupted
+// and its location is known, so all other elements are trustworthy.
+package predict
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"spatialdue/internal/ndarray"
+)
+
+// ErrUnsupported is returned when a predictor cannot be applied at a given
+// location (for example, a stencil that does not fit inside the array in any
+// orientation).
+var ErrUnsupported = errors.New("predict: method unsupported at this location")
+
+// Env bundles a dataset with the per-dataset state the predictors need:
+// the value range (for the Random method), a deterministic random source,
+// and an optional cache of global regression moments.
+//
+// Env snapshots dataset-wide statistics at creation time. The fault
+// injection campaigns keep the underlying array pristine (they never write
+// the corrupted value into it; predictors are forbidden from reading the
+// target element anyway), which keeps the cached statistics exact. Code that
+// recovers a genuinely corrupted in-place array (internal/core) must create
+// the Env after the corruption and must not call Precompute, so that global
+// regression performs an honest full scan that skips the corrupted element.
+type Env struct {
+	A   *ndarray.Array
+	Rng *rand.Rand
+
+	rangeOK  bool
+	min, max float64
+	mom      *Moments // non-nil after Precompute
+}
+
+// NewEnv wraps a dataset with a deterministic random source. Dataset-wide
+// statistics (the value range, the regression moments) are computed lazily
+// or on request, so predictors that do not need them stay O(1).
+func NewEnv(a *ndarray.Array, seed int64) *Env {
+	return &Env{A: a, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Range returns the dataset's (min, max), computing and caching it on first
+// use — the Random predictor's bound (Section 3.4.2).
+func (e *Env) Range() (min, max float64) {
+	if !e.rangeOK {
+		e.min, e.max = e.A.MinMax()
+		e.rangeOK = true
+	}
+	return e.min, e.max
+}
+
+// Precompute builds the global regression moment cache in a single O(N)
+// pass, turning every subsequent GlobalRegression prediction into O(1) work.
+// It must only be called while the array holds pristine data, and the array
+// must not be modified afterwards (see the Env contract above).
+func (e *Env) Precompute() { e.mom = NewMoments(e.A) }
+
+// HasMoments reports whether Precompute has run.
+func (e *Env) HasMoments() bool { return e.mom != nil }
+
+// InvalidateMoments drops the moment cache (used by tests and by callers
+// that mutate the array).
+func (e *Env) InvalidateMoments() { e.mom = nil }
+
+// Predictor reconstructs the value at a corrupted index from its spatial
+// neighbors. Implementations must not read the element at idx.
+type Predictor interface {
+	// Name returns the method name as used in the paper's figures.
+	Name() string
+	// Predict returns the reconstructed value for the element at idx.
+	Predict(env *Env, idx []int) (float64, error)
+}
+
+// Method enumerates the reconstruction methods evaluated in the paper,
+// in the order the figures present them.
+type Method int
+
+const (
+	// MethodZero replaces the corrupted value with zero (Section 3.4.1).
+	MethodZero Method = iota
+	// MethodRandom draws a random value within the dataset range (3.4.2).
+	MethodRandom
+	// MethodAverage averages the immediate face neighbors in all
+	// dimensions (3.4.3).
+	MethodAverage
+	// MethodPreceding assigns the linear predecessor (3.4.4).
+	MethodPreceding
+	// MethodLinear fits a line through two consecutive values (3.4.4).
+	MethodLinear
+	// MethodQuadratic fits a quadratic through three values (3.4.4).
+	MethodQuadratic
+	// MethodLorenzo1 is the 1-layer multi-dimensional Lorenzo predictor
+	// (3.4.5) — the paper's best method.
+	MethodLorenzo1
+	// MethodLinReg is the global linear regression predictor (3.4.6).
+	MethodLinReg
+	// MethodLocalLinReg is linear regression over a ±3-layer patch (3.4.7).
+	MethodLocalLinReg
+	// MethodLagrange is degree-2 Lagrange interpolation over two preceding
+	// and one succeeding value in the slowest dimension (3.4.8).
+	MethodLagrange
+
+	// NumMethods is the number of headline methods (those in the figures).
+	NumMethods int = iota
+
+	// Extension methods (not part of the paper's headline figures, used by
+	// the ablation benchmarks): deeper Lorenzo predictors as in SZ.
+	MethodLorenzo2 Method = iota
+	MethodLorenzo3
+	MethodLorenzo4
+	// MethodLorenzoAuto probes layer depths 1-3 locally and uses the best
+	// (SZ's layer customization applied to recovery).
+	MethodLorenzoAuto
+)
+
+var methodNames = map[Method]string{
+	MethodZero:        "Zero",
+	MethodRandom:      "Random",
+	MethodAverage:     "Average",
+	MethodPreceding:   "Preceding",
+	MethodLinear:      "Linear",
+	MethodQuadratic:   "Quadratic",
+	MethodLorenzo1:    "Lorenzo 1-Layer",
+	MethodLinReg:      "Linear Regression",
+	MethodLocalLinReg: "Local Linear Regression",
+	MethodLagrange:    "Lagrange",
+	MethodLorenzo2:    "Lorenzo 2-Layer",
+	MethodLorenzo3:    "Lorenzo 3-Layer",
+	MethodLorenzo4:    "Lorenzo 4-Layer",
+	MethodLorenzoAuto: "Lorenzo Auto-Layer",
+}
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	if s, ok := methodNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// ParseMethod resolves a method by its figure name (case-sensitive).
+func ParseMethod(name string) (Method, error) {
+	for m, s := range methodNames {
+		if s == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("predict: unknown method %q", name)
+}
+
+// New constructs the predictor implementing m with the paper's parameters.
+func New(m Method) Predictor {
+	switch m {
+	case MethodZero:
+		return Zero{}
+	case MethodRandom:
+		return Random{}
+	case MethodAverage:
+		return Average{}
+	case MethodPreceding:
+		return CurveFit{Order: 0}
+	case MethodLinear:
+		return CurveFit{Order: 1}
+	case MethodQuadratic:
+		return CurveFit{Order: 2}
+	case MethodLorenzo1:
+		return Lorenzo{Layers: 1}
+	case MethodLorenzo2:
+		return Lorenzo{Layers: 2}
+	case MethodLorenzo3:
+		return Lorenzo{Layers: 3}
+	case MethodLorenzo4:
+		return Lorenzo{Layers: 4}
+	case MethodLorenzoAuto:
+		return LorenzoAuto{}
+	case MethodLinReg:
+		return GlobalRegression{}
+	case MethodLocalLinReg:
+		return LocalRegression{Radius: 3}
+	case MethodLagrange:
+		return Lagrange{Offsets: []int{-2, -1, 1}}
+	default:
+		panic(fmt.Sprintf("predict: no constructor for %v", m))
+	}
+}
+
+// HeadlineMethods returns the methods evaluated in the paper's figures, in
+// figure order.
+func HeadlineMethods() []Method {
+	ms := make([]Method, NumMethods)
+	for i := range ms {
+		ms[i] = Method(i)
+	}
+	return ms
+}
+
+// HeadlinePredictors instantiates every headline method.
+func HeadlinePredictors() []Predictor {
+	ms := HeadlineMethods()
+	ps := make([]Predictor, len(ms))
+	for i, m := range ms {
+		ps[i] = New(m)
+	}
+	return ps
+}

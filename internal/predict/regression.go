@@ -1,0 +1,283 @@
+package predict
+
+import (
+	"math"
+
+	"spatialdue/internal/ndarray"
+)
+
+// The regression predictors of Sections 3.4.6 and 3.4.7 fit the first-order
+// model introduced by SZ-2.0,
+//
+//	v(x) ~ b0 + b1*x_0 + b2*x_1 + ... + bd*x_{d-1},
+//
+// by least squares and evaluate the fitted hyperplane at the corrupted
+// index. Global regression (3.4.6) fits over the entire dataset excluding
+// the corrupted element; local regression (3.4.7) fits over a patch of
+// Radius layers in every dimension around it, again excluding it.
+
+// Moments accumulates the sufficient statistics of the least-squares fit
+// (the normal-equation matrix X'X and vector X'v) over an entire array so
+// that "fit excluding one element" becomes an O(1) rank-1 downdate instead
+// of an O(N) scan. Coordinates are centered at the array midpoint to keep
+// the normal equations well conditioned on large grids.
+type Moments struct {
+	p      int       // number of features: 1 + NumDims
+	xtx    []float64 // p*p, row-major
+	xtv    []float64 // p
+	n      int       // number of rows accumulated
+	center []float64 // per-dimension coordinate offset
+	shape  []int
+}
+
+// NewMoments scans the array once and accumulates the full-dataset moments.
+func NewMoments(a *ndarray.Array) *Moments {
+	d := a.NumDims()
+	m := &Moments{
+		p:      d + 1,
+		xtx:    make([]float64, (d+1)*(d+1)),
+		xtv:    make([]float64, d+1),
+		center: make([]float64, d),
+		shape:  a.Dims(),
+	}
+	for t := 0; t < d; t++ {
+		m.center[t] = float64(a.Dim(t)-1) / 2
+	}
+	idx := make([]int, d)
+	phi := make([]float64, m.p)
+	for off := 0; off < a.Len(); off++ {
+		a.CoordsInto(idx, off)
+		m.features(idx, phi)
+		m.add(phi, a.AtOffset(off), +1)
+	}
+	m.n = a.Len()
+	return m
+}
+
+// features writes the feature vector [1, x_0-c_0, ...] for idx into dst.
+func (m *Moments) features(idx []int, dst []float64) {
+	dst[0] = 1
+	for t := 0; t < m.p-1; t++ {
+		dst[t+1] = float64(idx[t]) - m.center[t]
+	}
+}
+
+// add accumulates (sign=+1) or removes (sign=-1) one observation.
+func (m *Moments) add(phi []float64, v float64, sign float64) {
+	for i := 0; i < m.p; i++ {
+		for j := 0; j < m.p; j++ {
+			m.xtx[i*m.p+j] += sign * phi[i] * phi[j]
+		}
+		m.xtv[i] += sign * phi[i] * v
+	}
+}
+
+// PredictExcluding solves the least-squares fit over every element except
+// idx and evaluates the fitted plane at idx. The array must hold the same
+// data it held when the moments were built.
+func (m *Moments) PredictExcluding(a *ndarray.Array, idx []int) (float64, error) {
+	phi := make([]float64, m.p)
+	m.features(idx, phi)
+	v := a.At(idx...)
+
+	// Copy and downdate the normal equations by the excluded row.
+	xtx := append([]float64(nil), m.xtx...)
+	xtv := append([]float64(nil), m.xtv...)
+	for i := 0; i < m.p; i++ {
+		for j := 0; j < m.p; j++ {
+			xtx[i*m.p+j] -= phi[i] * phi[j]
+		}
+		xtv[i] -= phi[i] * v
+	}
+	beta, ok := solveSym(xtx, xtv, m.p)
+	if !ok {
+		return 0, ErrUnsupported
+	}
+	return dot(beta, phi), nil
+}
+
+// GlobalRegression implements Section 3.4.6. Unlike SZ, which fits
+// regressions per block, this reconstruction uses the full dataset (which
+// the paper notes hampers its accuracy via long-range correlations, and
+// makes it by far the most expensive method at recovery time — Figure 10).
+//
+// When the Env carries precomputed moments the prediction is O(1); without
+// them the predictor performs the honest O(N) scan the paper measures.
+type GlobalRegression struct{}
+
+// Name implements Predictor.
+func (GlobalRegression) Name() string { return "Linear Regression" }
+
+// Predict implements Predictor.
+func (GlobalRegression) Predict(env *Env, idx []int) (float64, error) {
+	a := env.A
+	if env.mom != nil {
+		return env.mom.PredictExcluding(a, idx)
+	}
+	// Full scan, skipping the corrupted element.
+	d := a.NumDims()
+	p := d + 1
+	xtx := make([]float64, p*p)
+	xtv := make([]float64, p)
+	center := make([]float64, d)
+	for t := 0; t < d; t++ {
+		center[t] = float64(a.Dim(t)-1) / 2
+	}
+	skip := a.Offset(idx...)
+	cur := make([]int, d)
+	phi := make([]float64, p)
+	for off := 0; off < a.Len(); off++ {
+		if off == skip {
+			continue
+		}
+		a.CoordsInto(cur, off)
+		phi[0] = 1
+		for t := 0; t < d; t++ {
+			phi[t+1] = float64(cur[t]) - center[t]
+		}
+		v := a.AtOffset(off)
+		for i := 0; i < p; i++ {
+			for j := i; j < p; j++ {
+				xtx[i*p+j] += phi[i] * phi[j]
+			}
+			xtv[i] += phi[i] * v
+		}
+	}
+	// Mirror the upper triangle.
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i*p+j] = xtx[j*p+i]
+		}
+	}
+	beta, ok := solveSym(xtx, xtv, p)
+	if !ok {
+		return 0, ErrUnsupported
+	}
+	phi[0] = 1
+	for t := 0; t < d; t++ {
+		phi[t+1] = float64(idx[t]) - center[t]
+	}
+	return dot(beta, phi), nil
+}
+
+// LocalRegression implements Section 3.4.7: the same first-order fit
+// restricted to a patch of Radius layers in all dimensions around the
+// corrupted datum (V(i±R, j±R)), excluding the corrupted datum itself.
+type LocalRegression struct {
+	// Radius is the patch half-width in every dimension; the paper uses 3.
+	Radius int
+}
+
+// Name implements Predictor.
+func (LocalRegression) Name() string { return "Local Linear Regression" }
+
+// Predict implements Predictor.
+func (l LocalRegression) Predict(env *Env, idx []int) (float64, error) {
+	a := env.A
+	d := a.NumDims()
+	p := d + 1
+	r := l.Radius
+	if r < 1 {
+		return 0, ErrUnsupported
+	}
+	xtx := make([]float64, p*p)
+	xtv := make([]float64, p)
+	phi := make([]float64, p)
+	skip := a.Offset(idx...)
+	n := 0
+	a.ForEachInPatch(idx, r, func(cur []int, off int) {
+		if off == skip {
+			return
+		}
+		phi[0] = 1
+		for t := 0; t < d; t++ {
+			phi[t+1] = float64(cur[t] - idx[t]) // center the patch at idx
+		}
+		v := a.AtOffset(off)
+		for i := 0; i < p; i++ {
+			for j := i; j < p; j++ {
+				xtx[i*p+j] += phi[i] * phi[j]
+			}
+			xtv[i] += phi[i] * v
+		}
+		n++
+	})
+	if n < p {
+		return 0, ErrUnsupported
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i*p+j] = xtx[j*p+i]
+		}
+	}
+	beta, ok := solveSym(xtx, xtv, p)
+	if !ok {
+		return 0, ErrUnsupported
+	}
+	// The patch is centered at idx, so the prediction is the intercept.
+	return beta[0], nil
+}
+
+// solveSym solves the n x n linear system A x = b (A row-major, symmetric
+// positive semi-definite normal equations) by Gaussian elimination with
+// partial pivoting. It reports ok=false for singular systems.
+func solveSym(a, b []float64, n int) ([]float64, bool) {
+	// Work on copies so callers can reuse their buffers.
+	m := append([]float64(nil), a...)
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, pmax := col, math.Abs(m[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r*n+col]); v > pmax {
+				piv, pmax = r, v
+			}
+		}
+		if pmax == 0 || math.IsNaN(pmax) {
+			return nil, false
+		}
+		if piv != col {
+			for c := 0; c < n; c++ {
+				m[col*n+c], m[piv*n+c] = m[piv*n+c], m[col*n+c]
+			}
+			x[col], x[piv] = x[piv], x[col]
+		}
+		inv := 1 / m[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := m[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r*n+c] -= f * m[col*n+c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		for c := r + 1; c < n; c++ {
+			s -= m[r*n+c] * x[c]
+		}
+		x[r] = s / m[r*n+r]
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, false
+		}
+	}
+	return x, true
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+var (
+	_ Predictor = GlobalRegression{}
+	_ Predictor = LocalRegression{}
+)

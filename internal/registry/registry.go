@@ -1,0 +1,269 @@
+// Package registry implements Section 3.2 of the paper: a table of all
+// important memory allocations. Registering a region records its base
+// address, element data type, dimensionality, and (optionally) a
+// domain-specific recovery method. When the machine-check architecture
+// reports a DUE at a raw memory address, the table relates the address back
+// to an array element so that localized, low-cost recovery can run; an
+// unregistered address forces the expensive checkpoint-restart path
+// (Section 3.3).
+//
+// The repository has no real MCA hardware, so allocations live in a
+// simulated physical address space: every registration is assigned a
+// page-aligned base address separated by guard gaps, and lookups translate
+// simulated addresses to (allocation, element index) pairs exactly the way
+// the real system translates MCi_ADDR contents.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/ndarray"
+	"spatialdue/internal/predict"
+)
+
+// ErrNotRegistered is returned by Lookup when no allocation covers an
+// address — the caller must fall back to checkpoint-restart.
+var ErrNotRegistered = errors.New("registry: address not registered")
+
+// ErrDims is returned when the registered dimensions disagree with the
+// array being protected.
+var ErrDims = errors.New("registry: dimension mismatch")
+
+const (
+	// pageSize is the simulated page granularity for base addresses.
+	pageSize = 4096
+	// guardGap separates consecutive allocations so off-by-one addresses
+	// never silently resolve into a neighboring region.
+	guardGap = 4 * pageSize
+	// baseStart is the first simulated physical address handed out; keeping
+	// it non-zero mimics real systems and catches zero-valued addresses.
+	baseStart = 0x1000_0000
+)
+
+// Policy selects how a corrupted element of an allocation is recovered,
+// mirroring the paper's FTI_Protect extension (Algorithm 1): either a fixed
+// method chosen with domain knowledge (RECOVER_LORENZO, ...) or RECOVER_ANY,
+// which triggers the local auto-tuner.
+type Policy struct {
+	// Any corresponds to RECOVER_ANY: auto-tune locally at recovery time.
+	Any bool
+	// Method is the fixed method when Any is false.
+	Method predict.Method
+}
+
+// RecoverAny is the RECOVER_ANY policy.
+func RecoverAny() Policy { return Policy{Any: true} }
+
+// RecoverWith fixes the recovery method.
+func RecoverWith(m predict.Method) Policy { return Policy{Method: m} }
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if p.Any {
+		return "RECOVER_ANY"
+	}
+	return "RECOVER_" + p.Method.String()
+}
+
+// Allocation describes one registered memory region.
+type Allocation struct {
+	// ID is the registration handle (stable for the table's lifetime).
+	ID int
+	// Name is a user label (typically the variable name).
+	Name string
+	// Base is the simulated physical base address.
+	Base uint64
+	// DType is the element representation used for address math and for
+	// choosing which bits a fault can flip.
+	DType bitflip.DType
+	// Array is the protected data.
+	Array *ndarray.Array
+	// Policy is the recovery policy recorded at registration.
+	Policy Policy
+}
+
+// SizeBytes returns the region size in bytes.
+func (a *Allocation) SizeBytes() uint64 {
+	return uint64(a.Array.Len()) * uint64(a.DType.Size())
+}
+
+// End returns one past the last byte of the region.
+func (a *Allocation) End() uint64 { return a.Base + a.SizeBytes() }
+
+// AddrOf returns the simulated address of element off (the address of its
+// first byte).
+func (a *Allocation) AddrOf(off int) uint64 {
+	return a.Base + uint64(off)*uint64(a.DType.Size())
+}
+
+// Contains reports whether addr falls inside the region.
+func (a *Allocation) Contains(addr uint64) bool {
+	return addr >= a.Base && addr < a.End()
+}
+
+// ElementAt translates an address inside the region to the linear element
+// offset containing that byte.
+func (a *Allocation) ElementAt(addr uint64) (int, error) {
+	if !a.Contains(addr) {
+		return 0, ErrNotRegistered
+	}
+	return int((addr - a.Base) / uint64(a.DType.Size())), nil
+}
+
+// String implements fmt.Stringer.
+func (a *Allocation) String() string {
+	return fmt.Sprintf("alloc %d %q base=%#x dims=%v dtype=%v policy=%v",
+		a.ID, a.Name, a.Base, a.Array.Dims(), a.DType, a.Policy)
+}
+
+// Table is the registry of protected allocations. It is safe for concurrent
+// use: registration happens during application setup while lookups happen
+// from the (simulated) machine-check handler.
+type Table struct {
+	mu      sync.RWMutex
+	allocs  []*Allocation // sorted by Base
+	nextID  int
+	nextTop uint64
+}
+
+// NewTable creates an empty registry.
+func NewTable() *Table {
+	return &Table{nextTop: baseStart}
+}
+
+// Register adds an allocation to the table, assigning it a page-aligned
+// simulated base address, and returns the allocation handle. The dims
+// recorded are taken from the array itself (the paper's FTI_Protect call
+// passes them explicitly; here the ndarray already carries them, and a
+// mismatch between caller expectation and array shape is checked by
+// RegisterDims).
+func (t *Table) Register(name string, arr *ndarray.Array, dtype bitflip.DType, policy Policy) *Allocation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	base := (t.nextTop + pageSize - 1) / pageSize * pageSize
+	a := &Allocation{
+		ID:     t.nextID,
+		Name:   name,
+		Base:   base,
+		DType:  dtype,
+		Array:  arr,
+		Policy: policy,
+	}
+	t.nextID++
+	t.nextTop = a.End() + guardGap
+	t.allocs = append(t.allocs, a)
+	return a
+}
+
+// RegisterDims is Register with an explicit dimension check, mirroring the
+// paper's FTI_Protect(id, ptr, 3D, dtype, N, N, N, method) signature.
+func (t *Table) RegisterDims(name string, arr *ndarray.Array, dtype bitflip.DType, policy Policy, dims ...int) (*Allocation, error) {
+	ad := arr.Dims()
+	if len(dims) != len(ad) {
+		return nil, fmt.Errorf("%w: declared %d-D but array is %d-D", ErrDims, len(dims), len(ad))
+	}
+	for i := range dims {
+		if dims[i] != ad[i] {
+			return nil, fmt.Errorf("%w: declared %v but array is %v", ErrDims, dims, ad)
+		}
+	}
+	return t.Register(name, arr, dtype, policy), nil
+}
+
+// Unregister removes an allocation by ID. Its address range is never reused.
+func (t *Table) Unregister(id int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, a := range t.allocs {
+		if a.ID == id {
+			t.allocs = append(t.allocs[:i], t.allocs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of registered allocations.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.allocs)
+}
+
+// Allocations returns a snapshot of the registered allocations in address
+// order.
+func (t *Table) Allocations() []*Allocation {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]*Allocation(nil), t.allocs...)
+}
+
+// ByID returns the allocation with the given ID.
+func (t *Table) ByID(id int) (*Allocation, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, a := range t.allocs {
+		if a.ID == id {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// ByName returns the first allocation registered under name.
+func (t *Table) ByName(name string) (*Allocation, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, a := range t.allocs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Migrate moves an allocation to a fresh base address — what the OS does
+// when the page offliner (see internal/mca's CE policy) retires physical
+// pages under live data. The allocation keeps its identity, array, and
+// policy; only the address range changes, and the old range is never
+// reused, so stale addresses fail Lookup instead of resolving wrongly.
+func (t *Table) Migrate(id int) (*Allocation, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, a := range t.allocs {
+		if a.ID != id {
+			continue
+		}
+		base := (t.nextTop + pageSize - 1) / pageSize * pageSize
+		a.Base = base
+		t.nextTop = a.End() + guardGap
+		// Keep the slice sorted by base: the migrated allocation now has
+		// the highest base, so move it to the end.
+		t.allocs = append(append(t.allocs[:i], t.allocs[i+1:]...), a)
+		return a, nil
+	}
+	return nil, fmt.Errorf("%w: id %d", ErrNotRegistered, id)
+}
+
+// Lookup relates a simulated physical address to the allocation covering it
+// and the linear element offset of the affected element (Section 3.3). It
+// returns ErrNotRegistered when no registered region contains the address,
+// which the recovery engine treats as "fall back to checkpoint-restart".
+func (t *Table) Lookup(addr uint64) (*Allocation, int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	// Binary search over regions sorted by base.
+	i := sort.Search(len(t.allocs), func(i int) bool { return t.allocs[i].End() > addr })
+	if i == len(t.allocs) || !t.allocs[i].Contains(addr) {
+		return nil, 0, fmt.Errorf("%w: %#x", ErrNotRegistered, addr)
+	}
+	off, err := t.allocs[i].ElementAt(addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t.allocs[i], off, nil
+}

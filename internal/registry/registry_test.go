@@ -1,0 +1,257 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/ndarray"
+	"spatialdue/internal/predict"
+)
+
+func newTestTable(t *testing.T) (*Table, *Allocation, *Allocation) {
+	t.Helper()
+	tab := NewTable()
+	a1 := tab.Register("grid3d", ndarray.New(4, 5, 6), bitflip.Float32, RecoverAny())
+	a2 := tab.Register("grid2d", ndarray.New(7, 9), bitflip.Float64, RecoverWith(predict.MethodLorenzo1))
+	return tab, a1, a2
+}
+
+func TestRegisterAssignsDistinctPageAlignedBases(t *testing.T) {
+	_, a1, a2 := newTestTable(t)
+	if a1.Base%4096 != 0 || a2.Base%4096 != 0 {
+		t.Errorf("bases not page aligned: %#x, %#x", a1.Base, a2.Base)
+	}
+	if a2.Base < a1.End() {
+		t.Errorf("allocations overlap: %#x < %#x", a2.Base, a1.End())
+	}
+	if a2.Base-a1.End() < guardGap {
+		t.Errorf("guard gap too small: %d", a2.Base-a1.End())
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	_, a1, a2 := newTestTable(t)
+	if a1.SizeBytes() != 4*5*6*4 {
+		t.Errorf("float32 SizeBytes = %d", a1.SizeBytes())
+	}
+	if a2.SizeBytes() != 7*9*8 {
+		t.Errorf("float64 SizeBytes = %d", a2.SizeBytes())
+	}
+}
+
+func TestAddrOfElementAtRoundTrip(t *testing.T) {
+	_, a1, _ := newTestTable(t)
+	for off := 0; off < a1.Array.Len(); off++ {
+		addr := a1.AddrOf(off)
+		got, err := a1.ElementAt(addr)
+		if err != nil || got != off {
+			t.Fatalf("ElementAt(AddrOf(%d)) = %d, %v", off, got, err)
+		}
+	}
+}
+
+func TestElementAtMidElementBytes(t *testing.T) {
+	// An MCA address may point at any byte of the element.
+	_, a1, _ := newTestTable(t)
+	addr := a1.AddrOf(10) + 3 // 4-byte float32 elements
+	got, err := a1.ElementAt(addr)
+	if err != nil || got != 10 {
+		t.Errorf("mid-element ElementAt = %d, %v; want 10", got, err)
+	}
+}
+
+func TestLookupRoundTripQuick(t *testing.T) {
+	tab, a1, a2 := newTestTable(t)
+	allocs := []*Allocation{a1, a2}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := allocs[rng.Intn(2)]
+		off := rng.Intn(a.Array.Len())
+		byteOff := rng.Intn(a.DType.Size())
+		got, gotOff, err := tab.Lookup(a.AddrOf(off) + uint64(byteOff))
+		return err == nil && got.ID == a.ID && gotOff == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupUnregistered(t *testing.T) {
+	tab, a1, a2 := newTestTable(t)
+	for _, addr := range []uint64{
+		0, a1.Base - 1, a1.End(), a2.End() + 100, ^uint64(0),
+		a1.End() + guardGap/2, // inside the guard gap
+	} {
+		if _, _, err := tab.Lookup(addr); !errors.Is(err, ErrNotRegistered) {
+			t.Errorf("Lookup(%#x) error = %v, want ErrNotRegistered", addr, err)
+		}
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	tab, a1, _ := newTestTable(t)
+	if !tab.Unregister(a1.ID) {
+		t.Fatal("Unregister returned false")
+	}
+	if tab.Unregister(a1.ID) {
+		t.Error("double Unregister returned true")
+	}
+	if _, _, err := tab.Lookup(a1.AddrOf(0)); !errors.Is(err, ErrNotRegistered) {
+		t.Error("unregistered allocation still resolvable")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestByIDByName(t *testing.T) {
+	tab, a1, a2 := newTestTable(t)
+	if got, ok := tab.ByID(a2.ID); !ok || got != a2 {
+		t.Error("ByID failed")
+	}
+	if _, ok := tab.ByID(999); ok {
+		t.Error("ByID(999) found something")
+	}
+	if got, ok := tab.ByName("grid3d"); !ok || got != a1 {
+		t.Error("ByName failed")
+	}
+	if _, ok := tab.ByName("nope"); ok {
+		t.Error("ByName(nope) found something")
+	}
+}
+
+func TestAllocationsSnapshot(t *testing.T) {
+	tab, _, _ := newTestTable(t)
+	snap := tab.Allocations()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d allocations", len(snap))
+	}
+	if snap[0].Base > snap[1].Base {
+		t.Error("snapshot not in address order")
+	}
+}
+
+func TestRegisterDims(t *testing.T) {
+	tab := NewTable()
+	arr := ndarray.New(3, 4)
+	if _, err := tab.RegisterDims("x", arr, bitflip.Float32, RecoverAny(), 3, 4); err != nil {
+		t.Fatalf("matching dims rejected: %v", err)
+	}
+	if _, err := tab.RegisterDims("x", arr, bitflip.Float32, RecoverAny(), 4, 3); !errors.Is(err, ErrDims) {
+		t.Errorf("mismatched dims error = %v, want ErrDims", err)
+	}
+	if _, err := tab.RegisterDims("x", arr, bitflip.Float32, RecoverAny(), 12); !errors.Is(err, ErrDims) {
+		t.Errorf("wrong arity error = %v, want ErrDims", err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if RecoverAny().String() != "RECOVER_ANY" {
+		t.Errorf("RecoverAny String = %q", RecoverAny().String())
+	}
+	if got := RecoverWith(predict.MethodLorenzo1).String(); got != "RECOVER_Lorenzo 1-Layer" {
+		t.Errorf("RecoverWith String = %q", got)
+	}
+}
+
+func TestConcurrentRegisterAndLookup(t *testing.T) {
+	tab := NewTable()
+	var wg sync.WaitGroup
+	addrs := make(chan uint64, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				a := tab.Register(fmt.Sprintf("a%d-%d", i, j), ndarray.New(16), bitflip.Float32, RecoverAny())
+				addrs <- a.AddrOf(7)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		for addr := range addrs {
+			if _, off, err := tab.Lookup(addr); err != nil || off != 7 {
+				t.Errorf("concurrent Lookup(%#x) = %d, %v", addr, off, err)
+			}
+		}
+		close(done)
+	}()
+	wg.Wait()
+	close(addrs)
+	<-done
+	if tab.Len() != 64 {
+		t.Errorf("Len = %d, want 64", tab.Len())
+	}
+}
+
+func TestAllocationString(t *testing.T) {
+	_, a1, _ := newTestTable(t)
+	s := a1.String()
+	for _, want := range []string{"grid3d", "RECOVER_ANY", "float32"} {
+		if !contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMigrate(t *testing.T) {
+	tab, a1, a2 := newTestTable(t)
+	oldBase := a1.Base
+	oldAddr := a1.AddrOf(5)
+	mig, err := tab.Migrate(a1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig != a1 {
+		t.Error("Migrate returned a different allocation")
+	}
+	if a1.Base == oldBase || a1.Base%4096 != 0 {
+		t.Errorf("new base %#x invalid (old %#x)", a1.Base, oldBase)
+	}
+	if a1.Base < a2.End() {
+		t.Error("migrated range overlaps the other allocation")
+	}
+	// Old address must no longer resolve; new one must.
+	if _, _, err := tab.Lookup(oldAddr); !errors.Is(err, ErrNotRegistered) {
+		t.Errorf("stale address still resolves: %v", err)
+	}
+	got, off, err := tab.Lookup(a1.AddrOf(5))
+	if err != nil || got != a1 || off != 5 {
+		t.Errorf("post-migration Lookup = %v, %d, %v", got, off, err)
+	}
+	// The other allocation is untouched.
+	if _, _, err := tab.Lookup(a2.AddrOf(3)); err != nil {
+		t.Errorf("unrelated allocation broken: %v", err)
+	}
+	if _, err := tab.Migrate(999); !errors.Is(err, ErrNotRegistered) {
+		t.Errorf("Migrate(999) error = %v", err)
+	}
+}
+
+func TestMigratePreservesAddressOrder(t *testing.T) {
+	tab, a1, _ := newTestTable(t)
+	if _, err := tab.Migrate(a1.ID); err != nil {
+		t.Fatal(err)
+	}
+	snap := tab.Allocations()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Base > snap[i].Base {
+			t.Fatal("allocations no longer sorted by base after Migrate")
+		}
+	}
+}

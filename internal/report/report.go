@@ -1,0 +1,118 @@
+// Package report renders campaign results the way the paper presents them:
+// bar charts (here, ASCII) of success percentages per method and per
+// application, plain tables, and CSV for downstream plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// barWidth is the maximum bar length in characters.
+const barWidth = 50
+
+// Bar renders a horizontal bar chart of percentages (values in [0,1]).
+func Bar(w io.Writer, title string, labels []string, values []float64) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	width := 0
+	for _, l := range labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	for i, l := range labels {
+		v := values[i]
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		n := int(v*barWidth + 0.5)
+		fmt.Fprintf(w, "%-*s | %-*s %6.2f%%\n", width, l, barWidth, strings.Repeat("#", n), 100*v)
+	}
+	fmt.Fprintln(w)
+}
+
+// GroupedBar renders one bar block per group (e.g. one per application),
+// with a bar per series (e.g. one per method) inside each block — the
+// ASCII analogue of the paper's grouped-bar Figures 5-9.
+func GroupedBar(w io.Writer, title string, groups, series []string, vals [][]float64) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	for gi, g := range groups {
+		labels := make([]string, len(series))
+		values := make([]float64, len(series))
+		for si, s := range series {
+			labels[si] = s
+			values[si] = vals[gi][si]
+		}
+		Bar(w, g, labels, values)
+	}
+}
+
+// Table renders an aligned plain-text table.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range rows {
+		line(r)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes a minimal RFC-4180 CSV (quoting cells containing commas,
+// quotes, or newlines).
+func CSV(w io.Writer, headers []string, rows [][]string) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\r\n")
+		return err
+	}
+	if err := writeRow(headers); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarRendersPercentages(t *testing.T) {
+	var b strings.Builder
+	Bar(&b, "Title", []string{"alpha", "b"}, []float64{0.5, 1.0})
+	out := b.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "50.00%") || !strings.Contains(out, "100.00%") {
+		t.Errorf("Bar output missing pieces:\n%s", out)
+	}
+	// The full bar has barWidth hashes, the half bar about half.
+	lines := strings.Split(out, "\n")
+	var full, half string
+	for _, l := range lines {
+		if strings.Contains(l, "100.00%") {
+			full = l
+		}
+		if strings.Contains(l, "50.00%") {
+			half = l
+		}
+	}
+	if strings.Count(full, "#") != barWidth {
+		t.Errorf("full bar has %d hashes, want %d", strings.Count(full, "#"), barWidth)
+	}
+	if c := strings.Count(half, "#"); c < barWidth/2-1 || c > barWidth/2+1 {
+		t.Errorf("half bar has %d hashes", c)
+	}
+}
+
+func TestBarClampsValues(t *testing.T) {
+	var b strings.Builder
+	Bar(&b, "T", []string{"x", "y"}, []float64{-0.5, 1.7})
+	out := b.String()
+	if strings.Contains(out, "-") && strings.Contains(out, "%!") {
+		t.Errorf("clamping failed:\n%s", out)
+	}
+}
+
+func TestGroupedBar(t *testing.T) {
+	var b strings.Builder
+	GroupedBar(&b, "Fig", []string{"G1", "G2"}, []string{"m1", "m2"},
+		[][]float64{{0.1, 0.2}, {0.3, 0.4}})
+	out := b.String()
+	for _, want := range []string{"Fig", "G1", "G2", "m1", "m2", "10.00%", "40.00%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("GroupedBar missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	Table(&b, []string{"A", "LongHeader"}, [][]string{{"xxxx", "1"}, {"y", "22"}})
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+	// Header separator uses dashes of header width.
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Errorf("separator line = %q", lines[1])
+	}
+	// Column 2 starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "LongHeader")
+	if strings.Index(lines[2], "1") != idx {
+		t.Errorf("column misaligned:\n%s", b.String())
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	var b strings.Builder
+	err := CSV(&b, []string{"a", "b"}, [][]string{
+		{"plain", `has "quotes"`},
+		{"comma,inside", "new\nline"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"has ""quotes"""`) {
+		t.Errorf("quote escaping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `"comma,inside"`) {
+		t.Errorf("comma quoting wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "\"new\nline\"") {
+		t.Errorf("newline quoting wrong:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "\r\n") {
+		t.Error("rows must end with CRLF")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.1234) != "12.34%" {
+		t.Errorf("Pct = %q", Pct(0.1234))
+	}
+}

@@ -1,0 +1,114 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SVG rendering of the paper-style bar charts, so campaign results can be
+// dropped straight into a writeup. Pure stdlib string assembly; charts are
+// deliberately plain (one series, horizontal bars, percentage axis).
+
+const (
+	svgBarH      = 18  // bar height
+	svgBarGap    = 6   // gap between bars
+	svgLabelW    = 190 // left gutter for labels
+	svgPlotW     = 420 // bar area width
+	svgValueW    = 70  // right gutter for the percentage text
+	svgTitleH    = 28
+	svgMargin    = 10
+	svgFontSize  = 12
+	svgBarColor  = "#4878a8"
+	svgGridColor = "#cccccc"
+)
+
+// escapeXML escapes the five XML special characters.
+func escapeXML(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}
+
+// BarSVG renders a horizontal bar chart of fractions in [0,1] as an SVG
+// document.
+func BarSVG(w io.Writer, title string, labels []string, values []float64) error {
+	n := len(labels)
+	height := svgTitleH + n*(svgBarH+svgBarGap) + 2*svgMargin
+	width := svgLabelW + svgPlotW + svgValueW + 2*svgMargin
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="%d">`+"\n",
+		width, height, svgFontSize)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-weight="bold">%s</text>`+"\n",
+		svgMargin, svgMargin+svgFontSize, escapeXML(title))
+
+	// Grid lines at 0/25/50/75/100%.
+	for g := 0; g <= 4; g++ {
+		x := svgMargin + svgLabelW + svgPlotW*g/4
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1"/>`+"\n",
+			x, svgTitleH, x, height-svgMargin, svgGridColor)
+	}
+
+	for i := range labels {
+		v := values[i]
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		y := svgTitleH + svgMargin + i*(svgBarH+svgBarGap)
+		barW := int(v*float64(svgPlotW) + 0.5)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%s</text>`+"\n",
+			svgMargin+svgLabelW-6, y+svgBarH-4, escapeXML(labels[i]))
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+			svgMargin+svgLabelW, y, barW, svgBarH, svgBarColor)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%.1f%%</text>`+"\n",
+			svgMargin+svgLabelW+barW+4, y+svgBarH-4, 100*v)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// GroupedBarSVG renders one titled bar block per group, stacked vertically
+// in a single SVG document — the analogue of the paper's per-application
+// figures.
+func GroupedBarSVG(w io.Writer, title string, groups, series []string, vals [][]float64) error {
+	blockH := svgTitleH + len(series)*(svgBarH+svgBarGap) + svgMargin
+	height := svgTitleH + len(groups)*blockH + 2*svgMargin
+	width := svgLabelW + svgPlotW + svgValueW + 2*svgMargin
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="%d">`+"\n",
+		width, height, svgFontSize)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-weight="bold">%s</text>`+"\n",
+		svgMargin, svgMargin+svgFontSize, escapeXML(title))
+
+	for gi, g := range groups {
+		top := svgTitleH + svgMargin + gi*blockH
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-style="italic">%s</text>`+"\n",
+			svgMargin, top+svgFontSize, escapeXML(g))
+		for si, s := range series {
+			v := vals[gi][si]
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			y := top + svgTitleH/2 + svgMargin + si*(svgBarH+svgBarGap)
+			barW := int(v*float64(svgPlotW) + 0.5)
+			fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%s</text>`+"\n",
+				svgMargin+svgLabelW-6, y+svgBarH-4, escapeXML(s))
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+				svgMargin+svgLabelW, y, barW, svgBarH, svgBarColor)
+			fmt.Fprintf(&b, `<text x="%d" y="%d">%.1f%%</text>`+"\n",
+				svgMargin+svgLabelW+barW+4, y+svgBarH-4, 100*v)
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarSVGStructure(t *testing.T) {
+	var b strings.Builder
+	err := BarSVG(&b, "Figure 2", []string{"Zero", "Lorenzo <1-Layer>"}, []float64{0.17, 0.84})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg"`,
+		"Figure 2",
+		"Zero",
+		"Lorenzo &lt;1-Layer&gt;", // XML escaping
+		"17.0%", "84.0%",
+		"</svg>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<rect") != 2 {
+		t.Errorf("expected 2 bars, got %d", strings.Count(out, "<rect"))
+	}
+}
+
+func TestBarSVGClampsValues(t *testing.T) {
+	var b strings.Builder
+	if err := BarSVG(&b, "T", []string{"x", "y"}, []float64{-1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "0.0%") || !strings.Contains(out, "100.0%") {
+		t.Errorf("clamping wrong:\n%s", out)
+	}
+	if strings.Contains(out, `width="-`) {
+		t.Error("negative bar width emitted")
+	}
+}
+
+func TestGroupedBarSVG(t *testing.T) {
+	var b strings.Builder
+	err := GroupedBarSVG(&b, "Figure 5", []string{"NYX", "CESM"}, []string{"m1", "m2"},
+		[][]float64{{0.5, 0.6}, {0.7, 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure 5", "NYX", "CESM", "m1", "m2", "80.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grouped SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<rect") != 4 {
+		t.Errorf("expected 4 bars, got %d", strings.Count(out, "<rect"))
+	}
+}

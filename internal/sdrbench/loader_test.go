@@ -1,0 +1,137 @@
+package sdrbench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/ndarray"
+)
+
+func TestLoadRawRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, dtype := range []bitflip.DType{bitflip.Float32, bitflip.Float64} {
+		orig := Generate(Miranda, "density", ScaleTiny)
+		orig.DType = dtype
+		path := filepath.Join(dir, "density.bin")
+		if err := WriteRaw(orig, path); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadRaw(Miranda, "density", path, dtype, orig.Array.Dims()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.App != Miranda || got.Name != "density" || got.DType != dtype {
+			t.Errorf("metadata = %+v", got)
+		}
+		// Generated data is float32-representable, so both dtypes
+		// round-trip exactly.
+		if !ndarray.ApproxEqual(got.Array, orig.Array, 0) {
+			t.Errorf("%v round trip lost data", dtype)
+		}
+	}
+}
+
+func TestLoadRawSizeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "short.bin")
+	if err := os.WriteFile(path, make([]byte, 10), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRaw(HACC, "xx", path, bitflip.Float32, 100); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := LoadRaw(HACC, "xx", filepath.Join(dir, "missing.bin"), bitflip.Float32, 100); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := LoadRaw(HACC, "xx", path, bitflip.Float32, 0); err == nil {
+		t.Error("bad dims accepted")
+	}
+}
+
+func writeManifestDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	ds1 := Generate(Isabel, "Pf48", ScaleTiny)
+	ds2 := Generate(HACC, "xx", ScaleTiny)
+	if err := WriteRaw(ds1, filepath.Join(dir, "Pf48.f32")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRaw(ds2, filepath.Join(dir, "xx.f32")); err != nil {
+		t.Fatal(err)
+	}
+	manifest := `{"datasets":[
+		{"app":"isabel","name":"Pf48","file":"Pf48.f32","dims":[10,25,25]},
+		{"app":"HACC","name":"xx","file":"xx.f32","dims":[4096],"dtype":"float32"}
+	]}`
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := writeManifestDir(t)
+	dss, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dss) != 2 {
+		t.Fatalf("loaded %d datasets", len(dss))
+	}
+	if dss[0].App != Isabel || dss[0].Array.NumDims() != 3 {
+		t.Errorf("first dataset = %v", dss[0])
+	}
+	if dss[1].App != HACC || dss[1].Array.Len() != 4096 {
+		t.Errorf("second dataset = %v", dss[1])
+	}
+	// Content matches the generator output it was dumped from.
+	want := Generate(Isabel, "Pf48", ScaleTiny)
+	if !ndarray.ApproxEqual(dss[0].Array, want.Array, 0) {
+		t.Error("loaded content differs from dumped content")
+	}
+}
+
+func TestLoadManifestValidation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(body string) string {
+		p := filepath.Join(dir, "manifest.json")
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		body, wantErr string
+	}{
+		{`{`, "parsing"},
+		{`{"datasets":[]}`, "no datasets"},
+		{`{"datasets":[{"app":"NYX","file":"x","dims":[2]}]}`, "incomplete"},
+		{`{"datasets":[{"app":"WRF","name":"n","file":"x","dims":[2]}]}`, "unknown application"},
+		{`{"datasets":[{"app":"NYX","name":"n","file":"x","dims":[2],"dtype":"int8"}]}`, "bad dtype"},
+	}
+	for _, c := range cases {
+		p := write(c.body)
+		_, err := LoadManifest(p)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("manifest %q: error = %v, want containing %q", c.body, err, c.wantErr)
+		}
+	}
+	if _, err := LoadManifest(filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("missing manifest accepted")
+	}
+}
+
+func TestParseApp(t *testing.T) {
+	for _, s := range []string{"nyx", "NYX", "Nyx"} {
+		app, err := parseApp(s)
+		if err != nil || app != Nyx {
+			t.Errorf("parseApp(%q) = %v, %v", s, app, err)
+		}
+	}
+	if _, err := parseApp("hurricane"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package sdrbench
+
+import (
+	"math"
+
+	"spatialdue/internal/ndarray"
+)
+
+// Series produces temporally coherent snapshots of a dataset, so the
+// temporal (AID-style) detector can be exercised on every application, not
+// just the built-in heat solver. Snapshots rotate between the fluctuation
+// fields of two independent realizations of the same dataset around their
+// shared mean,
+//
+//	v_t = m + cos(omega*t) * (A - m) + sin(omega*t) * (B - m),
+//
+// which keeps the spatial statistics of the field at every step (a rotation
+// of two same-variance fluctuation fields preserves variance) while
+// evolving smoothly in time: the per-step change is ~omega times the
+// field's standard deviation, mimicking a simulation advancing between SDC
+// checks.
+//
+// Exactly-zero plateaus do not survive blending (A and B threshold in
+// different places), so Series is about temporal behavior; use Generate
+// for the spatial campaigns.
+type Series struct {
+	// App and Name identify the field; Omega is the per-step phase
+	// advance in radians.
+	App   App
+	Name  string
+	Omega float64
+
+	a, b *Dataset
+	mean float64
+}
+
+// NewSeries builds the two realizations backing a series. omega <= 0
+// selects 2*pi/200 (a ~200-step period).
+func NewSeries(app App, name string, scale Scale, omega float64) *Series {
+	if omega <= 0 {
+		omega = 2 * math.Pi / 200
+	}
+	a := generateSeeded(app, name, scale, 0)
+	return &Series{
+		App: app, Name: name, Omega: omega,
+		a:    a,
+		b:    generateSeeded(app, name, scale, 0x5eed),
+		mean: a.Array.Mean(),
+	}
+}
+
+// Snapshot returns the field at step t as a fresh Dataset (the caller may
+// mutate it freely; snapshots do not alias each other).
+func (s *Series) Snapshot(t int) *Dataset {
+	arr := ndarray.New(s.a.Array.Dims()...)
+	s.blendInto(arr, t)
+	return &Dataset{App: s.App, Name: s.Name, DType: s.a.DType, Array: arr}
+}
+
+func (s *Series) blendInto(dst *ndarray.Array, t int) {
+	c, d := math.Cos(s.Omega*float64(t)), math.Sin(s.Omega*float64(t))
+	out := dst.Data()
+	av, bv := s.a.Array.Data(), s.b.Array.Data()
+	m := s.mean
+	for i := range out {
+		out[i] = float64(float32(m + c*(av[i]-m) + d*(bv[i]-m)))
+	}
+}
+
+// SnapshotInto writes step t into dst (shape-checked), avoiding the
+// allocation of Snapshot for long runs.
+func (s *Series) SnapshotInto(dst *ndarray.Array, t int) error {
+	if !ndarray.SameShape(dst, s.a.Array) {
+		return ndarray.ErrShape
+	}
+	s.blendInto(dst, t)
+	return nil
+}

@@ -1,0 +1,120 @@
+package sdrbench
+
+import (
+	"math"
+	"testing"
+
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/detect"
+	"spatialdue/internal/ndarray"
+)
+
+func TestSeriesSnapshotZeroIsBase(t *testing.T) {
+	s := NewSeries(CESM, "FLDS", ScaleTiny, 0)
+	snap := s.Snapshot(0)
+	base := Generate(CESM, "FLDS", ScaleTiny)
+	if !ndarray.ApproxEqual(snap.Array, base.Array, 0) {
+		t.Error("Snapshot(0) != base realization")
+	}
+}
+
+func TestSeriesEvolvesSmoothly(t *testing.T) {
+	s := NewSeries(Miranda, "density", ScaleTiny, 0)
+	s0, s1, s50 := s.Snapshot(0), s.Snapshot(1), s.Snapshot(50)
+	stepDiff := meanAbsDiff(s0.Array, s1.Array)
+	farDiff := meanAbsDiff(s0.Array, s50.Array)
+	if stepDiff == 0 {
+		t.Fatal("series does not evolve")
+	}
+	if farDiff < 5*stepDiff {
+		t.Errorf("far snapshots too similar: step %v vs far %v", stepDiff, farDiff)
+	}
+	// Per-step change should be small relative to the field scale.
+	scale := s0.Array.ValueRange()
+	if stepDiff > 0.1*scale {
+		t.Errorf("per-step change %v too large for range %v", stepDiff, scale)
+	}
+}
+
+func TestSeriesSnapshotsIndependent(t *testing.T) {
+	s := NewSeries(HACC, "xx", ScaleTiny, 0)
+	a, b := s.Snapshot(3), s.Snapshot(3)
+	a.Array.SetOffset(0, 1e9)
+	if b.Array.AtOffset(0) == 1e9 {
+		t.Error("snapshots share storage")
+	}
+}
+
+func TestSeriesSnapshotInto(t *testing.T) {
+	s := NewSeries(Nyx, "temperature", ScaleTiny, 0)
+	dst := ndarray.New(s.Snapshot(0).Array.Dims()...)
+	if err := s.SnapshotInto(dst, 7); err != nil {
+		t.Fatal(err)
+	}
+	if !ndarray.ApproxEqual(dst, s.Snapshot(7).Array, 0) {
+		t.Error("SnapshotInto disagrees with Snapshot")
+	}
+	bad := ndarray.New(2, 2)
+	if err := s.SnapshotInto(bad, 0); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestSeriesValuesFloat32(t *testing.T) {
+	s := NewSeries(Isabel, "Pf48", ScaleTiny, 0)
+	for _, v := range s.Snapshot(13).Array.Data() {
+		if float64(float32(v)) != v {
+			t.Fatal("snapshot value not float32-representable")
+		}
+	}
+}
+
+// TestSeriesDrivesTemporalDetector exercises the AID-style detector on an
+// evolving snapshot stream from every application: a large corruption must
+// be flagged, clean steps must not.
+func TestSeriesDrivesTemporalDetector(t *testing.T) {
+	for _, app := range Apps() {
+		name := Names(app)[0]
+		s := NewSeries(app, name, ScaleTiny, 0)
+		det := detect.NewTemporal(8)
+		cur := s.Snapshot(0)
+		det.Observe(cur.Array)
+		falseFlags := 0
+		for step := 1; step <= 12; step++ {
+			snap := s.Snapshot(step)
+			falseFlags += len(det.Scan(snap.Array))
+			det.Observe(snap.Array)
+		}
+		if falseFlags > 3 {
+			t.Errorf("%s/%s: %d false flags on clean evolution", app, name, falseFlags)
+			continue
+		}
+		// Inject a gross corruption at the next step.
+		snap := s.Snapshot(13)
+		off := snap.Array.Len() / 2
+		orig := snap.Array.AtOffset(off)
+		snap.Array.SetOffset(off, bitflip.Flip(orig, bitflip.Float32, 30))
+		if math.Abs(snap.Array.AtOffset(off)) < 1e3*math.Abs(orig)+1 {
+			// Exponent flip upward guaranteed large for these fields.
+			snap.Array.SetOffset(off, orig*1e8+1e8)
+		}
+		flagged := false
+		for _, f := range det.Scan(snap.Array) {
+			if f == off {
+				flagged = true
+			}
+		}
+		if !flagged {
+			t.Errorf("%s/%s: corruption not flagged", app, name)
+		}
+	}
+}
+
+func meanAbsDiff(a, b *ndarray.Array) float64 {
+	ad, bd := a.Data(), b.Data()
+	sum := 0.0
+	for i := range ad {
+		sum += math.Abs(ad[i] - bd[i])
+	}
+	return sum / float64(len(ad))
+}

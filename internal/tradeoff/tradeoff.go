@@ -1,0 +1,231 @@
+// Package tradeoff quantifies the paper's closing argument (Section 4.5):
+// spatial forward recovery costs milliseconds, while checkpoint-restart
+// recovery recomputes on average half a checkpoint interval — minutes to
+// hours. It simulates an application's execution timeline under Poisson
+// faults and compares end-to-end wall time for three strategies:
+//
+//   - checkpoint-restart: every fault rolls back to the last checkpoint;
+//   - forward recovery: the fraction of faults that hit protected arrays is
+//     repaired in place at per-recovery cost; the remainder (control-state
+//     corruption, unregistered addresses) still rolls back;
+//   - compute-through (LetGo): faults cost nothing but leave corrupted
+//     state behind (counted, not timed).
+//
+// A closed-form first-order model (Young's) accompanies the simulation so
+// tests can check both against each other.
+package tradeoff
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"spatialdue/internal/fti"
+)
+
+// Params describes the application and machine.
+type Params struct {
+	// Work is the useful computation to finish, in seconds.
+	Work float64
+	// MTBF is the mean time between faults, in seconds.
+	MTBF float64
+	// CkptCost is the time to write one checkpoint, in seconds.
+	CkptCost float64
+	// RestartCost is the time to read a checkpoint and reinitialize, in
+	// seconds (on top of the recomputed lost work).
+	RestartCost float64
+	// Interval is the checkpoint interval in seconds; 0 selects Young's
+	// optimum sqrt(2*CkptCost*MTBF).
+	Interval float64
+	// LocalRecoveryCost is the per-fault cost of spatial recovery, in
+	// seconds (Figure 10 magnitudes: 1e-8 .. 2e-2).
+	LocalRecoveryCost float64
+	// LocalRecoverable is the fraction of faults that forward recovery can
+	// handle (faults inside registered data arrays).
+	LocalRecoverable float64
+}
+
+// withDefaults fills derived values.
+func (p Params) withDefaults() Params {
+	if p.Interval <= 0 {
+		p.Interval = fti.OptimalInterval(p.CkptCost, p.MTBF)
+	}
+	return p
+}
+
+// Outcome is one simulated run.
+type Outcome struct {
+	// Wall is the total wall time to complete Params.Work.
+	Wall float64
+	// CkptTime is the time spent writing checkpoints.
+	CkptTime float64
+	// LostWork is the recomputed work due to rollbacks.
+	LostWork float64
+	// RestartTime is the time spent reading checkpoints on rollback.
+	RestartTime float64
+	// RecoveryTime is the time spent in localized spatial recoveries.
+	RecoveryTime float64
+	// Faults counts injected faults; LocalRecoveries and Rollbacks how
+	// they were handled; Corrupted counts compute-through faults that left
+	// bad state behind.
+	Faults, LocalRecoveries, Rollbacks, Corrupted int
+}
+
+// Overhead returns Wall - Work: everything that is not useful computation.
+func (o Outcome) Overhead(p Params) float64 { return o.Wall - p.Work }
+
+// Strategy selects a recovery discipline.
+type Strategy int
+
+const (
+	// CheckpointRestart rolls back on every fault.
+	CheckpointRestart Strategy = iota
+	// ForwardRecovery repairs recoverable faults in place.
+	ForwardRecovery
+	// ComputeThrough ignores faults (LetGo).
+	ComputeThrough
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case CheckpointRestart:
+		return "checkpoint-restart"
+	case ForwardRecovery:
+		return "forward-recovery"
+	case ComputeThrough:
+		return "compute-through"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Simulate runs one execution timeline under the given strategy. Fault
+// inter-arrival times are exponential with mean MTBF, measured in wall
+// time. Checkpoints are taken every Interval seconds of *progress*.
+func Simulate(p Params, s Strategy, seed int64) Outcome {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	var out Outcome
+
+	nextFault := expDraw(rng, p.MTBF) // wall-clock time of next fault
+	wall := 0.0
+	progress := 0.0  // completed useful work
+	sinceCkpt := 0.0 // progress since last checkpoint
+	checkpointing := s != ComputeThrough
+
+	advance := func(d float64) { wall += d }
+
+	for progress < p.Work {
+		// Next milestone: checkpoint boundary or completion.
+		step := p.Work - progress
+		if checkpointing && p.Interval-sinceCkpt < step {
+			step = p.Interval - sinceCkpt
+		}
+		// Does a fault strike before we finish this step?
+		if wall+step >= nextFault {
+			done := nextFault - wall // work completed before the fault
+			if done > 0 {
+				progress += done
+				sinceCkpt += done
+			}
+			advance(math.Max(done, 0))
+			out.Faults++
+			nextFault = wall + expDraw(rng, p.MTBF)
+
+			switch s {
+			case ComputeThrough:
+				out.Corrupted++
+			case ForwardRecovery:
+				if rng.Float64() < p.LocalRecoverable {
+					out.LocalRecoveries++
+					out.RecoveryTime += p.LocalRecoveryCost
+					advance(p.LocalRecoveryCost)
+					continue
+				}
+				fallthrough
+			case CheckpointRestart:
+				out.Rollbacks++
+				out.LostWork += sinceCkpt
+				progress -= sinceCkpt
+				sinceCkpt = 0
+				out.RestartTime += p.RestartCost
+				advance(p.RestartCost)
+			}
+			continue
+		}
+
+		progress += step
+		sinceCkpt += step
+		advance(step)
+		if checkpointing && sinceCkpt >= p.Interval && progress < p.Work {
+			out.CkptTime += p.CkptCost
+			advance(p.CkptCost)
+			sinceCkpt = 0
+		}
+	}
+	out.Wall = wall
+	return out
+}
+
+// ExpectedOverhead returns the first-order analytic overhead (seconds) for
+// a strategy — Young's model extended with the forward-recovery split.
+func ExpectedOverhead(p Params, s Strategy) float64 {
+	p = p.withDefaults()
+	faults := p.Work / p.MTBF
+	ckpt := p.Work / p.Interval * p.CkptCost
+	switch s {
+	case ComputeThrough:
+		return 0
+	case CheckpointRestart:
+		return ckpt + faults*(p.Interval/2+p.RestartCost)
+	case ForwardRecovery:
+		local := faults * p.LocalRecoverable
+		rollback := faults * (1 - p.LocalRecoverable)
+		return ckpt + local*p.LocalRecoveryCost + rollback*(p.Interval/2+p.RestartCost)
+	default:
+		panic("tradeoff: unknown strategy")
+	}
+}
+
+// expDraw samples an exponential with the given mean.
+func expDraw(rng *rand.Rand, mean float64) float64 {
+	return rng.ExpFloat64() * mean
+}
+
+// SweepPoint is one row of a parameter sweep.
+type SweepPoint struct {
+	// Recoverable is the swept fraction of locally recoverable faults.
+	Recoverable float64
+	// Overhead maps each strategy to its mean simulated overhead fraction
+	// (overhead seconds / useful work seconds).
+	Overhead map[Strategy]float64
+}
+
+// SweepRecoverable sweeps the locally-recoverable fraction from 0 to 1 in
+// the given number of steps, averaging `seeds` simulations per point — the
+// data behind "how protected does my application need to be before forward
+// recovery pays off?".
+func SweepRecoverable(p Params, points, seeds int) []SweepPoint {
+	if points < 2 {
+		points = 2
+	}
+	if seeds < 1 {
+		seeds = 1
+	}
+	out := make([]SweepPoint, points)
+	for i := range out {
+		q := p
+		q.LocalRecoverable = float64(i) / float64(points-1)
+		pt := SweepPoint{Recoverable: q.LocalRecoverable, Overhead: map[Strategy]float64{}}
+		for _, s := range []Strategy{CheckpointRestart, ForwardRecovery} {
+			sum := 0.0
+			for seed := 0; seed < seeds; seed++ {
+				sum += Simulate(q, s, int64(seed)).Overhead(q)
+			}
+			pt.Overhead[s] = sum / float64(seeds) / q.Work
+		}
+		out[i] = pt
+	}
+	return out
+}

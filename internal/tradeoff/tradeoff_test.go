@@ -1,0 +1,161 @@
+package tradeoff
+
+import (
+	"math"
+	"testing"
+
+	"spatialdue/internal/fti"
+)
+
+// bigParams gives many faults per run so the simulation's law-of-large-
+// numbers average is tight.
+func bigParams() Params {
+	return Params{
+		Work:              1e6, // ~11.5 days of work
+		MTBF:              10000,
+		CkptCost:          30,
+		RestartCost:       20,
+		LocalRecoveryCost: 0.005,
+		LocalRecoverable:  0.9,
+	}
+}
+
+func TestSimulationCompletesWork(t *testing.T) {
+	p := bigParams()
+	for _, s := range []Strategy{CheckpointRestart, ForwardRecovery, ComputeThrough} {
+		out := Simulate(p, s, 1)
+		if out.Wall < p.Work {
+			t.Errorf("%v: wall %v < work %v", s, out.Wall, p.Work)
+		}
+		if out.Faults == 0 {
+			t.Errorf("%v: no faults injected", s)
+		}
+	}
+}
+
+func TestForwardRecoveryBeatsCheckpointRestart(t *testing.T) {
+	p := bigParams()
+	cr := Simulate(p, CheckpointRestart, 2)
+	fr := Simulate(p, ForwardRecovery, 2)
+	if fr.Wall >= cr.Wall {
+		t.Errorf("forward recovery (%v) not faster than checkpoint-restart (%v)", fr.Wall, cr.Wall)
+	}
+	if fr.LocalRecoveries == 0 {
+		t.Error("forward recovery never recovered locally")
+	}
+	if fr.Rollbacks >= cr.Rollbacks {
+		t.Errorf("forward recovery rolled back as much as checkpoint-restart (%d vs %d)",
+			fr.Rollbacks, cr.Rollbacks)
+	}
+}
+
+func TestComputeThroughCheapestButCorrupt(t *testing.T) {
+	p := bigParams()
+	ct := Simulate(p, ComputeThrough, 3)
+	fr := Simulate(p, ForwardRecovery, 3)
+	if ct.Wall > fr.Wall {
+		t.Errorf("compute-through (%v) slower than forward recovery (%v)", ct.Wall, fr.Wall)
+	}
+	if ct.Corrupted != ct.Faults || ct.Corrupted == 0 {
+		t.Errorf("compute-through corruption accounting: %d of %d", ct.Corrupted, ct.Faults)
+	}
+	if ct.CkptTime != 0 || ct.LostWork != 0 {
+		t.Error("compute-through should not checkpoint or lose work")
+	}
+}
+
+func TestSimulationMatchesAnalyticModel(t *testing.T) {
+	p := bigParams()
+	for _, s := range []Strategy{CheckpointRestart, ForwardRecovery} {
+		want := ExpectedOverhead(p, s)
+		// Average several seeds.
+		sum := 0.0
+		const runs = 8
+		for seed := int64(0); seed < runs; seed++ {
+			sum += Simulate(p, s, seed).Overhead(p)
+		}
+		got := sum / runs
+		if math.Abs(got-want)/want > 0.25 {
+			t.Errorf("%v: simulated overhead %v vs analytic %v (>25%% apart)", s, got, want)
+		}
+	}
+}
+
+func TestYoungIntervalNearOptimal(t *testing.T) {
+	// The analytic overhead at Young's interval must beat halving or
+	// doubling it (first-order optimality).
+	p := bigParams()
+	young := fti.OptimalInterval(p.CkptCost, p.MTBF)
+	at := func(interval float64) float64 {
+		q := p
+		q.Interval = interval
+		return ExpectedOverhead(q, CheckpointRestart)
+	}
+	if at(young) > at(young/2) || at(young) > at(young*2) {
+		t.Errorf("Young interval not optimal: %v vs %v / %v",
+			at(young), at(young/2), at(young*2))
+	}
+}
+
+func TestDefaultsApplyYoung(t *testing.T) {
+	p := bigParams()
+	p.Interval = 0
+	out := Simulate(p, CheckpointRestart, 1)
+	if out.CkptTime == 0 {
+		t.Error("no checkpoints with default interval")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	p := bigParams()
+	a := Simulate(p, ForwardRecovery, 7)
+	b := Simulate(p, ForwardRecovery, 7)
+	if a != b {
+		t.Error("same seed produced different outcomes")
+	}
+}
+
+func TestFullyRecoverableNeverRollsBack(t *testing.T) {
+	p := bigParams()
+	p.LocalRecoverable = 1.0
+	out := Simulate(p, ForwardRecovery, 4)
+	if out.Rollbacks != 0 || out.LostWork != 0 {
+		t.Errorf("fully recoverable run rolled back: %+v", out)
+	}
+	if out.LocalRecoveries != out.Faults {
+		t.Errorf("recoveries %d != faults %d", out.LocalRecoveries, out.Faults)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if CheckpointRestart.String() != "checkpoint-restart" ||
+		ForwardRecovery.String() != "forward-recovery" ||
+		ComputeThrough.String() != "compute-through" {
+		t.Error("strategy strings wrong")
+	}
+}
+
+func TestSweepRecoverable(t *testing.T) {
+	p := bigParams()
+	pts := SweepRecoverable(p, 5, 3)
+	if len(pts) != 5 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].Recoverable != 0 || pts[4].Recoverable != 1 {
+		t.Errorf("sweep endpoints = %v, %v", pts[0].Recoverable, pts[4].Recoverable)
+	}
+	// At recoverable=0 forward recovery degenerates to checkpoint-restart.
+	d0 := math.Abs(pts[0].Overhead[ForwardRecovery] - pts[0].Overhead[CheckpointRestart])
+	if d0 > 0.02 {
+		t.Errorf("at 0%% recoverable the strategies differ by %v", d0)
+	}
+	// Forward recovery's overhead decreases (weakly) along the sweep and
+	// beats checkpoint-restart at full coverage.
+	if pts[4].Overhead[ForwardRecovery] >= pts[0].Overhead[ForwardRecovery] {
+		t.Error("forward-recovery overhead did not decrease with coverage")
+	}
+	if pts[4].Overhead[ForwardRecovery] >= pts[4].Overhead[CheckpointRestart]/2 {
+		t.Errorf("full coverage overhead %v not well below checkpoint-restart %v",
+			pts[4].Overhead[ForwardRecovery], pts[4].Overhead[CheckpointRestart])
+	}
+}
