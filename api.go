@@ -109,6 +109,11 @@ func RecoverAny() Policy { return registry.RecoverAny() }
 // RecoverWith fixes the recovery method from domain knowledge.
 func RecoverWith(m Method) Policy { return registry.RecoverWith(m) }
 
+// ValueRange bounds the physically plausible values of an allocation; see
+// Policy.WithRange. Reconstructions outside the range are rejected by the
+// recovery supervisor and escalate instead of entering application state.
+type ValueRange = registry.ValueRange
+
 // Allocation describes one protected memory region.
 type Allocation = registry.Allocation
 
@@ -122,6 +127,28 @@ type Engine = core.Engine
 
 // Outcome describes a completed localized recovery.
 type Outcome = core.Outcome
+
+// VerifyOptions configures reconstruction plausibility verification
+// (Options.Verify): finite, inside the registered ValueRange, and
+// consistent with the local neighbor spread.
+type VerifyOptions = core.VerifyOptions
+
+// Stage identifies a rung of the recovery escalation ladder: primary →
+// tune → alternate → restore → exhausted.
+type Stage = core.Stage
+
+// The escalation-ladder rungs.
+const (
+	StagePrimary   = core.StagePrimary
+	StageTune      = core.StageTune
+	StageAlternate = core.StageAlternate
+	StageRestore   = core.StageRestore
+	StageExhausted = core.StageExhausted
+)
+
+// StageEvent describes one ladder-stage entry during a recovery; see
+// Options.StageHook.
+type StageEvent = core.StageEvent
 
 // NewEngine creates a recovery engine with its own allocation registry.
 func NewEngine(opts Options) *Engine { return core.NewEngine(opts) }

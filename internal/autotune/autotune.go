@@ -96,10 +96,12 @@ func Select(env *predict.Env, idx []int, cfg Config) (Result, error) {
 	a := env.A
 	skip := a.Offset(idx...)
 
-	// Collect probe offsets.
+	// Collect probe offsets. Quarantined (masked) cells hold garbage and
+	// can be neither probes nor stencil inputs, so they are skipped here and
+	// inside every predictor.
 	var probes []int
 	a.ForEachInPatch(idx, cfg.K, func(_ []int, off int) {
-		if off != skip {
+		if off != skip && !env.Masked(off) {
 			probes = append(probes, off)
 		}
 	})

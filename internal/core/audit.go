@@ -30,20 +30,31 @@ type AuditEntry struct {
 	Method predict.Method
 	// Tuned marks RECOVER_ANY recoveries.
 	Tuned bool
+	// Stage is the escalation-ladder rung that produced the value (for OK
+	// entries; StagePrimary for ordinary one-shot recoveries).
+	Stage Stage
 	// Old and New are the values before/after.
 	Old, New float64
 	// OK is false for checkpoint-restart fallbacks.
 	OK bool
+	// Err records the failure cause on fallback entries ("" when OK).
+	Err string
 }
 
 // String implements fmt.Stringer.
 func (e AuditEntry) String() string {
 	if !e.OK {
+		if e.Err != "" {
+			return fmt.Sprintf("#%d %s[%d]: FALLBACK (%s)", e.Seq, e.Alloc, e.Offset, e.Err)
+		}
 		return fmt.Sprintf("#%d %s[%d]: FALLBACK", e.Seq, e.Alloc, e.Offset)
 	}
 	tag := ""
 	if e.Tuned {
 		tag = " (tuned)"
+	}
+	if e.Stage != StagePrimary {
+		tag += fmt.Sprintf(" [stage=%v]", e.Stage)
 	}
 	return fmt.Sprintf("#%d %s[%d]: %v%s %.6g -> %.6g", e.Seq, e.Alloc, e.Offset, e.Method, tag, e.Old, e.New)
 }
@@ -102,6 +113,23 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 			"# TYPE spatialdue_fallbacks_total counter\n"+
 			"spatialdue_fallbacks_total %d\n",
 		st.Recovered, st.Tuned, st.Fallbacks); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP spatialdue_escalations_total Recovery-ladder stage entries per stage.\n"+
+			"# TYPE spatialdue_escalations_total counter\n"); err != nil {
+		return err
+	}
+	esc := e.Escalations()
+	for s := Stage(0); s < numStages; s++ {
+		if _, err := fmt.Fprintf(w, "spatialdue_escalations_total{stage=%q} %d\n", s.String(), esc[s]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP spatialdue_quarantined Elements currently quarantined (corrupt, unrepaired).\n"+
+			"# TYPE spatialdue_quarantined gauge\n"+
+			"spatialdue_quarantined %d\n", e.QuarantineCount()); err != nil {
 		return err
 	}
 	if len(byMethod) > 0 {

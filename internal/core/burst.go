@@ -15,18 +15,24 @@ import (
 // consecutive float32 elements — so the engine also supports reconstructing
 // a *set* of corrupted elements:
 //
-//  1. Seed pass: corrupted cells are filled in BFS order of "most healthy
+//  1. Quarantine: every burst offset is quarantined up front, so no stencil
+//     or probe on the array reads a still-garbage cell — including cells
+//     quarantined before the burst by MarkCorrupt (secondary faults).
+//  2. Seed pass: corrupted cells are filled in BFS order of "most healthy
 //     face neighbors first", each from the average of its currently
 //     trustworthy neighbors, so every cell starts from a sane estimate even
-//     in the middle of the burst.
-//  2. Refinement sweeps: each corrupted cell is re-predicted with the
+//     in the middle of the burst. A seeded cell re-enters stencils.
+//  3. Refinement sweeps: each corrupted cell is re-predicted with the
 //     allocation's recovery method (auto-tuned once for RECOVER_ANY),
 //     Gauss-Seidel style, until the update drops below a relative tolerance
 //     or a sweep cap is reached.
+//  4. Verification: each refined value must pass the plausibility check of
+//     verify.go. Verified cells leave quarantine; failures stay quarantined
+//     and climb the single-element escalation ladder individually.
 //
 // On smooth data this converges in a few sweeps and approaches
 // single-element accuracy; on rough data it degrades gracefully toward the
-// seed estimate.
+// seed estimate, with the ladder catching anything implausible.
 
 // BurstOutcome reports a completed multi-element recovery.
 type BurstOutcome struct {
@@ -36,6 +42,9 @@ type BurstOutcome struct {
 	Tuned bool
 	// Sweeps is the number of refinement sweeps performed.
 	Sweeps int
+	// Escalated counts elements whose refined value failed verification and
+	// had to climb the escalation ladder individually.
+	Escalated int
 	// Old and New hold the values before/after recovery, indexed like the
 	// offsets passed to RecoverBurst.
 	Old, New []float64
@@ -48,24 +57,31 @@ const burstMaxSweeps = 12
 const burstTol = 1e-7
 
 // RecoverBurst reconstructs every element in offsets (all inside alloc's
-// array) in place. Offsets must be distinct; order does not matter.
+// array) in place. Offsets must be distinct; order does not matter. On
+// partial failure the returned outcome is still populated and the error
+// reports how many elements remain quarantined.
 func (e *Engine) RecoverBurst(alloc *registry.Allocation, offsets []int) (BurstOutcome, error) {
+	l := e.lockFor(alloc.Array)
+	l.Lock()
+	defer l.Unlock()
 	return e.recoverBurst(alloc.Array, alloc.Policy, offsets)
 }
 
+// recoverBurst runs the burst pipeline. The caller must hold the array's
+// recovery lock.
 func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offsets []int) (BurstOutcome, error) {
 	if len(offsets) == 0 {
 		return BurstOutcome{}, fmt.Errorf("%w: empty burst", ErrCheckpointRestartRequired)
 	}
-	corrupted := make(map[int]bool, len(offsets))
+	seen := make(map[int]bool, len(offsets))
 	for _, off := range offsets {
 		if off < 0 || off >= arr.Len() {
 			return BurstOutcome{}, fmt.Errorf("%w: offset %d out of range", ErrCheckpointRestartRequired, off)
 		}
-		if corrupted[off] {
+		if seen[off] {
 			return BurstOutcome{}, fmt.Errorf("%w: duplicate offset %d", ErrCheckpointRestartRequired, off)
 		}
-		corrupted[off] = true
+		seen[off] = true
 	}
 	if len(offsets) == arr.Len() {
 		return BurstOutcome{}, fmt.Errorf("%w: every element corrupted", ErrCheckpointRestartRequired)
@@ -74,6 +90,7 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 	out := BurstOutcome{Old: make([]float64, len(offsets)), New: make([]float64, len(offsets))}
 	for i, off := range offsets {
 		out.Old[i] = arr.AtOffset(off)
+		e.quarantine.add(arr, off)
 	}
 
 	e.mu.Lock()
@@ -81,13 +98,15 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 	seed := e.opts.Seed ^ e.seq
 	e.mu.Unlock()
 	env := predict.NewEnv(arr, seed)
+	env.SetMaskFunc(func(o int) bool { return e.quarantine.contains(arr, o) })
 
-	// Mean over the healthy cells only — the corrupted ones may hold NaN or
-	// garbage. Used as a last-resort seed for cells that (pathologically)
-	// never gain a healthy neighbor during the BFS.
+	// Mean over the healthy cells only — quarantined ones (the burst, plus
+	// anything reported by MarkCorrupt) may hold NaN or garbage. Used as a
+	// last-resort seed for cells that (pathologically) never gain a healthy
+	// neighbor during the BFS.
 	healthySum, healthyN := 0.0, 0
 	for off := 0; off < arr.Len(); off++ {
-		if v := arr.AtOffset(off); !corrupted[off] && isFinite(v) {
+		if v := arr.AtOffset(off); !env.Masked(off) && isFinite(v) {
 			healthySum += v
 			healthyN++
 		}
@@ -110,7 +129,7 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 				nb[d] = idx[d] + delta
 				if nb[d] >= 0 && nb[d] < arr.Dim(d) {
 					noff := arr.Offset(nb...)
-					if !corrupted[noff] {
+					if !env.Masked(noff) {
 						sum += arr.AtOffset(noff)
 						n++
 					}
@@ -138,7 +157,7 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 			v = healthyMean
 		}
 		arr.SetOffset(off, v)
-		delete(corrupted, off) // now trustworthy (seeded)
+		env.Allow(off) // seeded: trustworthy enough to feed later stencils
 		pending = pending[1:]
 	}
 
@@ -156,15 +175,14 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 			method = e.opts.Provisional
 		}
 	}
-	p := predict.New(method)
 
-	// --- Gauss-Seidel refinement sweeps. ---
+	// --- Gauss-Seidel refinement sweeps (panic-isolated like the ladder). ---
 	sweeps := 0
 	for ; sweeps < burstMaxSweeps; sweeps++ {
 		maxRel := 0.0
 		for _, off := range offsets {
 			arr.CoordsInto(idx, off)
-			v, err := p.Predict(env, idx)
+			v, err := safePredict(method, env, idx)
 			if err != nil || !isFinite(v) {
 				continue // keep the seed for this cell
 			}
@@ -184,20 +202,66 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 		}
 	}
 
+	// --- Verification: release verified cells, escalate the rest. ---
+	verified := make([]bool, len(offsets))
 	for i, off := range offsets {
-		out.New[i] = arr.AtOffset(off)
+		arr.CoordsInto(idx, off)
+		verified[i] = e.verifyValue(env, idx, off, arr.AtOffset(off), policy.Range) == nil
+	}
+	for i, off := range offsets {
+		if verified[i] {
+			// Released before escalation so ladder climbs for the failures
+			// can trust these neighbors.
+			e.quarantine.remove(arr, off)
+		}
+	}
+
+	recovered, tunedExtra := 0, 0
+	var lastErr error
+	failed := 0
+	for i, off := range offsets {
+		if verified[i] {
+			out.New[i] = arr.AtOffset(off)
+			recovered++
+			e.audit.record(AuditEntry{
+				Alloc: "burst", Offset: off, Method: method, Tuned: tuned,
+				Old: out.Old[i], New: out.New[i], OK: true,
+			})
+			continue
+		}
+		out.Escalated++
+		res, err := e.reconstruct(arr, policy.Any, policy.Method, off, policy.Range, "burst")
+		if err != nil {
+			failed++
+			lastErr = err
+			out.New[i] = arr.AtOffset(off)
+			e.audit.record(AuditEntry{Alloc: "burst", Offset: off, Err: err.Error()})
+			continue
+		}
+		out.New[i] = res.value
+		recovered++
+		if res.tuned {
+			tunedExtra++
+		}
 		e.audit.record(AuditEntry{
-			Alloc: "burst", Offset: off, Method: method, Tuned: tuned,
-			Old: out.Old[i], New: out.New[i], OK: true,
+			Alloc: "burst", Offset: off, Method: res.method, Tuned: res.tuned,
+			Stage: res.stage, Old: out.Old[i], New: res.value, OK: true,
 		})
 	}
+
 	out.Method, out.Tuned, out.Sweeps = method, tuned, sweeps
 	e.mu.Lock()
-	e.stats.Recovered += len(offsets)
+	e.stats.Recovered += recovered
 	if tuned {
 		e.stats.Tuned++
 	}
+	e.stats.Tuned += tunedExtra
+	e.stats.Fallbacks += failed
 	e.mu.Unlock()
+	if failed > 0 {
+		return out, fmt.Errorf("%w: %d of %d burst elements unrecovered (last: %v)",
+			ErrCheckpointRestartRequired, failed, len(offsets), lastErr)
+	}
 	return out, nil
 }
 

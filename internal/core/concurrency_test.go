@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/predict"
+	"spatialdue/internal/registry"
+)
+
+// TestConcurrentRecoveries hammers one engine from many goroutines under
+// -race: single-element recoveries and burst recoveries interleave on two
+// protected arrays. Every corrupt cell is reported up front via MarkCorrupt
+// so concurrent stencils never read a NaN that another goroutine has not
+// repaired yet; the per-array recovery lock serializes the repairs.
+func TestConcurrentRecoveries(t *testing.T) {
+	eng := NewEngine(Options{Seed: 7})
+	a := smoothArray(24, 24)
+	b := smoothArray(24, 24)
+	allocA := eng.Protect("a", a, bitflip.Float32, registry.RecoverWith(predict.MethodAverage))
+	allocB := eng.Protect("b", b, bitflip.Float32, registry.RecoverAny())
+
+	// Pre-corrupt a scattered set on each array and quarantine everything
+	// before any recovery starts.
+	var offsA, offsB []int
+	for i := 2; i < 22; i += 3 {
+		offA := a.Offset(i, (i*7)%24)
+		offB := b.Offset((i*5)%24, i)
+		a.SetOffset(offA, math.NaN())
+		b.SetOffset(offB, math.NaN())
+		offsA = append(offsA, offA)
+		offsB = append(offsB, offB)
+	}
+	for _, off := range offsA {
+		eng.MarkCorrupt(allocA, off)
+	}
+	for _, off := range offsB {
+		eng.MarkCorrupt(allocB, off)
+	}
+	// One contiguous burst per array, quarantined up front too.
+	burstA := []int{a.Offset(12, 3), a.Offset(12, 4), a.Offset(12, 5)}
+	burstB := []int{b.Offset(5, 18), b.Offset(5, 19)}
+	for _, off := range burstA {
+		a.SetOffset(off, math.NaN())
+		eng.MarkCorrupt(allocA, off)
+	}
+	for _, off := range burstB {
+		b.SetOffset(off, math.NaN())
+		eng.MarkCorrupt(allocB, off)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(offsA)+len(offsB)+2)
+	for _, off := range offsA {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			if _, err := eng.RecoverElement(allocA, off); err != nil {
+				errs <- err
+			}
+		}(off)
+	}
+	for _, off := range offsB {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			if _, err := eng.RecoverElement(allocB, off); err != nil {
+				errs <- err
+			}
+		}(off)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if _, err := eng.RecoverBurst(allocA, burstA); err != nil {
+			errs <- err
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if _, err := eng.RecoverBurst(allocB, burstB); err != nil {
+			errs <- err
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent recovery failed: %v", err)
+	}
+
+	check := func(name string, offs []int, arr interface{ AtOffset(int) float64 }) {
+		for _, off := range offs {
+			if v := arr.AtOffset(off); !isFinite(v) {
+				t.Errorf("%s offset %d left non-finite: %v", name, off, v)
+			}
+		}
+	}
+	check("a", append(append([]int(nil), offsA...), burstA...), a)
+	check("b", append(append([]int(nil), offsB...), burstB...), b)
+
+	if n := eng.QuarantineCount(); n != 0 {
+		t.Errorf("QuarantineCount = %d after all recoveries, want 0", n)
+	}
+	want := len(offsA) + len(offsB) + len(burstA) + len(burstB)
+	if st := eng.Stats(); st.Recovered != want || st.Fallbacks != 0 {
+		t.Errorf("Stats = %+v, want Recovered=%d Fallbacks=0", st, want)
+	}
+}

@@ -6,8 +6,11 @@
 //	DUE detected at address  →  relate address to a registered allocation
 //	→  reconstruct the corrupted element with the allocation's recorded
 //	   method (RECOVER_ANY triggers local auto-tuning)
-//	→  write the reconstruction in place and resume
-//	→  if the address is not registered, or reconstruction is impossible,
+//	→  verify the reconstruction is plausible; escalate through the
+//	   recovery ladder (re-tune, alternate methods, checkpoint element
+//	   restore) while it is not
+//	→  write the verified reconstruction in place and resume
+//	→  if the address is not registered, or the ladder is exhausted,
 //	   signal that checkpoint-restart is required instead.
 package core
 
@@ -27,8 +30,8 @@ import (
 )
 
 // ErrCheckpointRestartRequired is returned when localized recovery is not
-// possible (unregistered address, or no method applies) and the caller must
-// fall back to rolling back to a checkpoint.
+// possible (unregistered address, or the escalation ladder is exhausted)
+// and the caller must fall back to rolling back to a checkpoint.
 var ErrCheckpointRestartRequired = errors.New("core: checkpoint-restart required")
 
 // Options configures an Engine.
@@ -37,10 +40,28 @@ type Options struct {
 	// paper's defaults (K=3, 1% tolerance, all headline methods).
 	Tune autotune.Config
 	// Provisional is the cheap method used to patch the corrupted element
-	// before auto-tuning probes the neighborhood (so probe stencils that
-	// overlap the corrupted cell are not polluted by garbage). Defaults to
-	// MethodAverage.
+	// while recovery runs (the cell is masked out of every stencil, but raw
+	// readers of the array see a bounded placeholder instead of garbage).
+	// Defaults to MethodAverage unless ProvisionalSet is true.
 	Provisional predict.Method
+	// ProvisionalSet marks Provisional as deliberately chosen. Without it a
+	// zero Provisional selects the default; with it MethodZero (the zero
+	// value of predict.Method) is honored as the provisional method.
+	ProvisionalSet bool
+	// Verify configures reconstruction plausibility verification; see
+	// VerifyOptions. The zero value enables it with defaults.
+	Verify VerifyOptions
+	// MaxAlternates bounds the alternate-method rung of the escalation
+	// ladder: how many next-best tuner candidates are tried after the
+	// primary and re-tune rungs fail. Zero selects the default (3);
+	// negative disables the rung.
+	MaxAlternates int
+	// StageHook, when set, is called at every ladder-stage entry. It runs
+	// on the recovering goroutine with the array's recovery lock held, so
+	// it must not call back into recovery on this engine; report secondary
+	// faults with MarkCorrupt (the fault-injection harness does exactly
+	// that to exercise double faults).
+	StageHook func(StageEvent)
 	// TuneCacheBlock enables region-level memoization of RECOVER_ANY
 	// tuning decisions: one tuner run serves every corruption inside a
 	// TuneCacheBlock^d region of the same array. Zero disables caching
@@ -56,10 +77,13 @@ type Outcome struct {
 	Allocation *registry.Allocation
 	// Offset is the linear element offset repaired.
 	Offset int
-	// Method is the reconstruction method used.
+	// Method is the reconstruction method used (MethodZero with
+	// Stage == StageRestore means the value came from a checkpoint).
 	Method predict.Method
 	// Tuned is true when the method came from RECOVER_ANY auto-tuning.
 	Tuned bool
+	// Stage is the escalation-ladder rung that produced the value.
+	Stage Stage
 	// Old is the corrupted value that was replaced; New the reconstruction.
 	Old, New float64
 }
@@ -76,14 +100,19 @@ type Stats struct {
 
 // Engine performs localized DUE/SDC recovery.
 type Engine struct {
-	opts  Options
-	table *registry.Table
-	audit auditLog
+	opts       Options
+	table      *registry.Table
+	audit      auditLog
+	quarantine quarantineSet
 
-	mu     sync.Mutex
-	seq    int64
-	stats  Stats
-	caches map[*ndarray.Array]*autotune.Cache
+	mu        sync.Mutex
+	seq       int64
+	stats     Stats
+	escal     [numStages]int64
+	caches    map[*ndarray.Array]*autotune.Cache
+	locks     map[*ndarray.Array]*sync.Mutex
+	ckptWorld *fti.World
+	ckptRank  int
 }
 
 // NewEngine creates an engine with its own allocation registry.
@@ -94,7 +123,7 @@ func NewEngine(opts Options) *Engine {
 	if opts.Tune.Tolerance <= 0 {
 		opts.Tune.Tolerance = 0.01
 	}
-	if opts.Provisional == 0 {
+	if !opts.ProvisionalSet && opts.Provisional == predict.MethodZero {
 		opts.Provisional = predict.MethodAverage
 	}
 	return &Engine{opts: opts, table: registry.NewTable()}
@@ -129,6 +158,35 @@ func (e *Engine) AttachMCA(m *mca.Machine) {
 	})
 }
 
+// AttachCheckpoints gives the escalation ladder a restore rung: when every
+// prediction-based recovery of an element fails verification, the element
+// is re-read from rank's newest surviving checkpoint in w before the
+// engine gives up to whole-state checkpoint-restart.
+func (e *Engine) AttachCheckpoints(w *fti.World, rank int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ckptWorld = w
+	e.ckptRank = rank
+}
+
+// lockFor returns (creating on demand) the recovery lock of an array.
+// Recoveries on the same array are serialized: predictors scan neighbor
+// values in place, so two concurrent repairs of one array would race.
+// Different arrays recover concurrently.
+func (e *Engine) lockFor(arr *ndarray.Array) *sync.Mutex {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.locks == nil {
+		e.locks = map[*ndarray.Array]*sync.Mutex{}
+	}
+	l, ok := e.locks[arr]
+	if !ok {
+		l = &sync.Mutex{}
+		e.locks[arr] = l
+	}
+	return l
+}
+
 // RecoverAddress relates a faulting physical address to a registered
 // allocation and repairs the affected element (Section 3.3). An
 // unregistered address yields ErrCheckpointRestartRequired.
@@ -138,37 +196,41 @@ func (e *Engine) RecoverAddress(addr uint64) (Outcome, error) {
 		e.mu.Lock()
 		e.stats.Fallbacks++
 		e.mu.Unlock()
-		e.audit.record(AuditEntry{Alloc: fmt.Sprintf("addr %#x", addr), Offset: -1})
+		e.audit.record(AuditEntry{Alloc: fmt.Sprintf("addr %#x", addr), Offset: -1, Err: err.Error()})
 		return Outcome{}, fmt.Errorf("%w: %v", ErrCheckpointRestartRequired, err)
 	}
 	return e.RecoverElement(alloc, off)
 }
 
 // RecoverElement reconstructs the element at linear offset off of a
-// registered allocation according to its recovery policy, writes the value
-// in place, and reports the outcome.
+// registered allocation according to its recovery policy, verifies the
+// reconstruction (escalating through the recovery ladder on failure),
+// writes the value in place, and reports the outcome.
 func (e *Engine) RecoverElement(alloc *registry.Allocation, off int) (Outcome, error) {
-	method, tuned, newV, old, err := e.reconstruct(alloc.Array, alloc.Policy.Any, alloc.Policy.Method, off)
+	l := e.lockFor(alloc.Array)
+	l.Lock()
+	res, err := e.reconstruct(alloc.Array, alloc.Policy.Any, alloc.Policy.Method, off, alloc.Policy.Range, alloc.Name)
+	l.Unlock()
 	if err != nil {
 		e.mu.Lock()
 		e.stats.Fallbacks++
 		e.mu.Unlock()
-		e.audit.record(AuditEntry{Alloc: alloc.Name, Offset: off})
+		e.audit.record(AuditEntry{Alloc: alloc.Name, Offset: off, Err: err.Error()})
 		return Outcome{}, err
 	}
 	e.mu.Lock()
 	e.stats.Recovered++
-	if tuned {
+	if res.tuned {
 		e.stats.Tuned++
 	}
 	e.mu.Unlock()
 	e.audit.record(AuditEntry{
-		Alloc: alloc.Name, Offset: off, Method: method, Tuned: tuned,
-		Old: old, New: newV, OK: true,
+		Alloc: alloc.Name, Offset: off, Method: res.method, Tuned: res.tuned,
+		Stage: res.stage, Old: res.old, New: res.value, OK: true,
 	})
 	return Outcome{
-		Allocation: alloc, Offset: off, Method: method, Tuned: tuned,
-		Old: old, New: newV,
+		Allocation: alloc, Offset: off, Method: res.method, Tuned: res.tuned,
+		Stage: res.stage, Old: res.old, New: res.value,
 	}, nil
 }
 
@@ -176,83 +238,29 @@ func (e *Engine) RecoverElement(alloc *registry.Allocation, off int) (Outcome, e
 // repairing via the per-dataset policy recorded by fti.Protect.
 func (e *Engine) FTIRepairer() fti.RepairFunc {
 	return func(ds *fti.Dataset, off int) (float64, error) {
-		method, tuned, v, old, err := e.reconstruct(ds.Array, ds.Policy.Any, ds.Policy.Method, off)
+		l := e.lockFor(ds.Array)
+		l.Lock()
+		res, err := e.reconstruct(ds.Array, ds.Policy.Any, ds.Policy.Method, off, nil, "fti:"+ds.Name)
+		l.Unlock()
 		if err != nil {
 			e.mu.Lock()
 			e.stats.Fallbacks++
 			e.mu.Unlock()
-			e.audit.record(AuditEntry{Alloc: "fti:" + ds.Name, Offset: off})
+			e.audit.record(AuditEntry{Alloc: "fti:" + ds.Name, Offset: off, Err: err.Error()})
 			return 0, err
 		}
 		e.mu.Lock()
 		e.stats.Recovered++
-		if tuned {
+		if res.tuned {
 			e.stats.Tuned++
 		}
 		e.mu.Unlock()
 		e.audit.record(AuditEntry{
-			Alloc: "fti:" + ds.Name, Offset: off, Method: method, Tuned: tuned,
-			Old: old, New: v, OK: true,
+			Alloc: "fti:" + ds.Name, Offset: off, Method: res.method, Tuned: res.tuned,
+			Stage: res.stage, Old: res.old, New: res.value, OK: true,
 		})
-		return v, nil
+		return res.value, nil
 	}
-}
-
-// reconstruct runs the recovery pipeline on one element: provisional patch,
-// optional auto-tuning, prediction, in-place write.
-func (e *Engine) reconstruct(arr *ndarray.Array, tuneAny bool, fixed predict.Method, off int) (method predict.Method, tuned bool, newV, old float64, err error) {
-	if off < 0 || off >= arr.Len() {
-		return 0, false, 0, 0, fmt.Errorf("%w: offset %d out of range", ErrCheckpointRestartRequired, off)
-	}
-	old = arr.AtOffset(off)
-	idx := arr.Coords(off)
-
-	e.mu.Lock()
-	e.seq++
-	seed := e.opts.Seed ^ e.seq
-	e.mu.Unlock()
-
-	// A fresh Env per recovery: no precomputed moments, so each method pays
-	// its honest cost (global regression scans the array, as in the paper's
-	// Figure 10 measurements).
-	env := predict.NewEnv(arr, seed)
-
-	method = fixed
-	if tuneAny {
-		// Patch the corrupted cell with a provisional estimate so tuner
-		// probes whose stencils overlap it see something sane.
-		if prov, perr := predict.New(e.opts.Provisional).Predict(env, idx); perr == nil && isFinite(prov) {
-			arr.SetOffset(off, prov)
-		} else {
-			arr.SetOffset(off, 0)
-		}
-		var (
-			best predict.Method
-			terr error
-		)
-		if e.opts.TuneCacheBlock > 0 {
-			best, _, terr = e.cacheFor(arr).Select(env, idx, e.opts.Tune)
-		} else {
-			best, terr = autotuneSelect(env, idx, e.opts.Tune)
-		}
-		if terr != nil {
-			arr.SetOffset(off, old)
-			return 0, false, 0, old, fmt.Errorf("%w: auto-tune failed: %v", ErrCheckpointRestartRequired, terr)
-		}
-		method = best
-		tuned = true
-	}
-
-	v, perr := predict.New(method).Predict(env, idx)
-	if perr != nil || !isFinite(v) {
-		arr.SetOffset(off, old)
-		if perr == nil {
-			perr = fmt.Errorf("non-finite reconstruction %v", v)
-		}
-		return 0, false, 0, old, fmt.Errorf("%w: %v failed: %v", ErrCheckpointRestartRequired, method, perr)
-	}
-	arr.SetOffset(off, v)
-	return method, tuned, v, old, nil
 }
 
 func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

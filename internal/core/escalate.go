@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+
+	"spatialdue/internal/autotune"
+	"spatialdue/internal/ndarray"
+	"spatialdue/internal/predict"
+	"spatialdue/internal/registry"
+)
+
+// The escalation ladder is the supervisor's answer to "the reconstruction
+// is wrong or impossible": instead of either trusting a bad value or
+// immediately giving up to checkpoint-restart, each recovery climbs a
+// bounded sequence of increasingly expensive rungs until one produces a
+// verified value:
+//
+//	primary   — the allocation's own policy (fixed method, or the
+//	            auto-tuner's pick for RECOVER_ANY);
+//	tune      — a fresh, cache-bypassing auto-tune run over the masked
+//	            neighborhood, trying its winner;
+//	alternate — the tuner's next-best candidates, in rank order, up to
+//	            MaxAlternates attempts;
+//	restore   — the single affected element re-read from the newest
+//	            surviving checkpoint (fti.RestoreElement), when a
+//	            checkpoint world is attached;
+//	exhausted — give up: the corrupted value is restored (the caller
+//	            rolls back whole-state), the element stays quarantined,
+//	            and ErrCheckpointRestartRequired is returned.
+//
+// Every stage entry increments a per-stage counter (exported as
+// spatialdue_escalations_total{stage=...}) and fires the StageHook, and the
+// stage that finally produced the written value is recorded in the audit
+// entry. Predictor execution is panic-isolated: a panicking method is an
+// escalation, never a crash.
+
+// Stage identifies a rung of the escalation ladder.
+type Stage int
+
+const (
+	// StagePrimary is the allocation's recorded policy.
+	StagePrimary Stage = iota
+	// StageTune is a fresh auto-tune run after the primary failed.
+	StageTune
+	// StageAlternate tries the tuner's next-best candidates.
+	StageAlternate
+	// StageRestore re-reads the element from the newest surviving checkpoint.
+	StageRestore
+	// StageExhausted means the ladder ran out of rungs.
+	StageExhausted
+
+	numStages
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StagePrimary:
+		return "primary"
+	case StageTune:
+		return "tune"
+	case StageAlternate:
+		return "alternate"
+	case StageRestore:
+		return "restore"
+	case StageExhausted:
+		return "exhausted"
+	}
+	return fmt.Sprintf("Stage(%d)", int(s))
+}
+
+// StageEvent describes one ladder-stage entry during a recovery.
+type StageEvent struct {
+	// Alloc names the allocation under recovery ("burst" for burst elements,
+	// "fti:<name>" for checkpoint-library repairs).
+	Alloc string
+	// Offset is the element being recovered.
+	Offset int
+	// Stage is the rung being entered.
+	Stage Stage
+	// Method is the method about to be attempted, when the stage has one.
+	Method predict.Method
+	// Err is the failure that caused escalation into this stage (nil for
+	// StagePrimary).
+	Err error
+}
+
+// defaultMaxAlternates bounds the alternate-method rung.
+const defaultMaxAlternates = 3
+
+// ladderResult is the outcome of a successful climb.
+type ladderResult struct {
+	method predict.Method
+	tuned  bool
+	stage  Stage
+	old    float64
+	value  float64
+}
+
+// safePredict runs one predictor with panic isolation: a method that
+// panics (including an out-of-range Method value, which predict.New
+// rejects by panicking) is reported as an error so the ladder escalates
+// instead of the recovery path crashing the application it is supposed to
+// keep alive.
+func safePredict(m predict.Method, env *predict.Env, idx []int) (v float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: predictor %v panicked: %v", m, r)
+		}
+	}()
+	return predict.New(m).Predict(env, idx)
+}
+
+// enterStage counts a stage entry and fires the hook. The hook runs on the
+// recovering goroutine while the array lock is held: it must not call back
+// into recovery on the same engine (MarkCorrupt is the supported way to
+// report secondary faults from a hook).
+func (e *Engine) enterStage(alloc string, off int, st Stage, m predict.Method, cause error) {
+	e.mu.Lock()
+	e.escal[st]++
+	hook := e.opts.StageHook
+	e.mu.Unlock()
+	if hook != nil {
+		hook(StageEvent{Alloc: alloc, Offset: off, Stage: st, Method: m, Err: cause})
+	}
+}
+
+// reconstruct supervises the recovery of one element: quarantine, masked
+// prediction, plausibility verification, and the escalation ladder. The
+// caller must hold the array's recovery lock. On success the verified value
+// has been written in place and the element released from quarantine; on
+// failure the pre-recovery value is back in place and the element remains
+// quarantined.
+func (e *Engine) reconstruct(arr *ndarray.Array, tuneAny bool, fixed predict.Method, off int, vr *registry.ValueRange, alloc string) (ladderResult, error) {
+	if off < 0 || off >= arr.Len() {
+		return ladderResult{}, fmt.Errorf("%w: offset %d out of range", ErrCheckpointRestartRequired, off)
+	}
+	old := arr.AtOffset(off)
+	idx := arr.Coords(off)
+
+	// Quarantine first: from here on no stencil, probe, or verification
+	// neighborhood on this array may read the corrupted cell.
+	e.quarantine.add(arr, off)
+
+	e.mu.Lock()
+	e.seq++
+	seed := e.opts.Seed ^ e.seq
+	maxAlt := e.opts.MaxAlternates
+	e.mu.Unlock()
+	if maxAlt == 0 {
+		maxAlt = defaultMaxAlternates
+	}
+
+	// A fresh Env per recovery: no precomputed moments, so each method pays
+	// its honest cost (global regression scans the array, as in the paper's
+	// Figure 10 measurements). The mask is live: cells quarantined mid-climb
+	// (secondary faults reported via MarkCorrupt) disappear from stencils
+	// immediately.
+	env := predict.NewEnv(arr, seed)
+	env.SetMaskFunc(func(o int) bool { return e.quarantine.contains(arr, o) })
+
+	// Patch the cell with a provisional estimate. Predictors never read it
+	// (it is masked), but concurrent readers of the raw array see something
+	// bounded instead of NaN/garbage while the ladder climbs.
+	if prov, perr := safePredict(e.opts.Provisional, env, idx); perr == nil && isFinite(prov) {
+		arr.SetOffset(off, prov)
+	} else {
+		arr.SetOffset(off, 0)
+	}
+
+	tried := map[predict.Method]bool{}
+	attempt := func(m predict.Method) (float64, error) {
+		tried[m] = true
+		v, err := safePredict(m, env, idx)
+		if err != nil {
+			return 0, err
+		}
+		if err := e.verifyValue(env, idx, off, v, vr); err != nil {
+			return 0, err
+		}
+		return v, nil
+	}
+	succeed := func(st Stage, m predict.Method, tuned bool, v float64) (ladderResult, error) {
+		arr.SetOffset(off, v)
+		e.quarantine.remove(arr, off)
+		return ladderResult{method: m, tuned: tuned, stage: st, old: old, value: v}, nil
+	}
+
+	// --- Stage: primary ---
+	var (
+		lastErr error
+		ranked  []autotune.Score // best-first candidates from the latest tune
+	)
+	method, tuned := fixed, false
+	if tuneAny {
+		if e.opts.TuneCacheBlock > 0 {
+			if m, _, terr := e.cacheFor(arr).Select(env, idx, e.opts.Tune); terr == nil {
+				method, tuned = m, true
+			} else {
+				lastErr = fmt.Errorf("auto-tune failed: %w", terr)
+			}
+		} else if res, terr := autotune.Select(env, idx, e.opts.Tune); terr == nil {
+			method, tuned, ranked = res.Best, true, res.Scores
+		} else {
+			lastErr = fmt.Errorf("auto-tune failed: %w", terr)
+		}
+	}
+	if !tuneAny || tuned {
+		e.enterStage(alloc, off, StagePrimary, method, nil)
+		v, aerr := attempt(method)
+		if aerr == nil {
+			return succeed(StagePrimary, method, tuned, v)
+		}
+		lastErr = aerr
+	} else {
+		// RECOVER_ANY with no usable tuner result: the primary rung has no
+		// method to try, but it is still entered (and counted) so the ladder
+		// trace is complete.
+		e.enterStage(alloc, off, StagePrimary, method, lastErr)
+	}
+
+	// --- Stage: tune (fresh, cache-bypassing run) ---
+	e.enterStage(alloc, off, StageTune, 0, lastErr)
+	if res, terr := autotune.Select(env, idx, e.opts.Tune); terr == nil {
+		ranked = res.Scores
+		if !tried[res.Best] {
+			v, aerr := attempt(res.Best)
+			if aerr == nil {
+				return succeed(StageTune, res.Best, true, v)
+			}
+			lastErr = aerr
+		}
+	} else if lastErr == nil {
+		lastErr = fmt.Errorf("auto-tune failed: %w", terr)
+	}
+
+	// --- Stage: alternate (next-best tuner candidates) ---
+	if len(ranked) > 0 && maxAlt > 0 {
+		e.enterStage(alloc, off, StageAlternate, 0, lastErr)
+		attempts := 0
+		for _, sc := range ranked {
+			if attempts >= maxAlt {
+				break
+			}
+			if tried[sc.Method] || sc.Probes == 0 {
+				continue
+			}
+			attempts++
+			v, aerr := attempt(sc.Method)
+			if aerr == nil {
+				return succeed(StageAlternate, sc.Method, true, v)
+			}
+			lastErr = aerr
+		}
+	}
+
+	// --- Stage: restore (newest surviving checkpoint) ---
+	e.mu.Lock()
+	w, rank := e.ckptWorld, e.ckptRank
+	e.mu.Unlock()
+	if w != nil {
+		e.enterStage(alloc, off, StageRestore, 0, lastErr)
+		if v, rerr := w.RestoreElement(rank, arr, off); rerr == nil {
+			// Checkpoint data is from an earlier timestep: require it finite
+			// and inside the registered range, but do not hold it to the
+			// current neighbor envelope.
+			if isFinite(v) && (vr == nil || vr.Contains(v)) {
+				return succeed(StageRestore, 0, false, v)
+			}
+			lastErr = errImplausible{fmt.Sprintf("checkpoint value %v fails plausibility", v)}
+		} else {
+			lastErr = fmt.Errorf("checkpoint restore failed: %w", rerr)
+		}
+	}
+
+	// --- Stage: exhausted ---
+	e.enterStage(alloc, off, StageExhausted, 0, lastErr)
+	// Leave the corrupted value in place (the caller will checkpoint-restart,
+	// which needs consistency) and keep the element quarantined so neighbors
+	// recovering later never trust it.
+	arr.SetOffset(off, old)
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no recovery method applies")
+	}
+	return ladderResult{old: old}, fmt.Errorf("%w: ladder exhausted for %s[%d]: %v",
+		ErrCheckpointRestartRequired, alloc, off, lastErr)
+}
+
+// Escalations returns the lifetime count of ladder-stage entries per stage.
+func (e *Engine) Escalations() map[Stage]int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[Stage]int64, numStages)
+	for s := Stage(0); s < numStages; s++ {
+		out[s] = e.escal[s]
+	}
+	return out
+}

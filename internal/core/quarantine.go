@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"spatialdue/internal/ndarray"
+	"spatialdue/internal/registry"
+)
+
+// The quarantine set tracks every element offset that has been reported
+// corrupt but not yet repaired and verified. Its job is double-fault
+// hygiene: when a second DUE lands while a first recovery is in flight (or
+// a burst takes out several cells at once), no reconstruction may read the
+// still-garbage neighbors. The recovery engine wires this set into
+// predict.Env as a live mask, so every stencil, probe, and range
+// computation skips quarantined cells automatically.
+//
+// Lifecycle: an offset enters quarantine when recovery of it begins (or when
+// MarkCorrupt reports it from a detector), and leaves only when a verified
+// reconstruction has been written in place. An offset whose recovery
+// exhausts the escalation ladder stays quarantined, so later recoveries of
+// its neighbors keep treating it as garbage until checkpoint-restart
+// resolves it.
+
+type quarantineSet struct {
+	mu      sync.Mutex
+	byArray map[*ndarray.Array]map[int]struct{}
+}
+
+func (q *quarantineSet) add(arr *ndarray.Array, off int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.byArray == nil {
+		q.byArray = map[*ndarray.Array]map[int]struct{}{}
+	}
+	set := q.byArray[arr]
+	if set == nil {
+		set = map[int]struct{}{}
+		q.byArray[arr] = set
+	}
+	set[off] = struct{}{}
+}
+
+func (q *quarantineSet) remove(arr *ndarray.Array, off int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	set := q.byArray[arr]
+	delete(set, off)
+	if len(set) == 0 {
+		delete(q.byArray, arr)
+	}
+}
+
+func (q *quarantineSet) contains(arr *ndarray.Array, off int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	_, ok := q.byArray[arr][off]
+	return ok
+}
+
+func (q *quarantineSet) offsets(arr *ndarray.Array) []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	set := q.byArray[arr]
+	out := make([]int, 0, len(set))
+	for off := range set {
+		out = append(out, off)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (q *quarantineSet) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, set := range q.byArray {
+		n += len(set)
+	}
+	return n
+}
+
+// MarkCorrupt reports that the element at linear offset off of alloc holds
+// garbage (e.g. a second MCE arrived while another recovery was running, or
+// a detector localized corruption that will be repaired later). The offset
+// is masked out of every stencil until a later RecoverElement/RecoverBurst
+// repairs and verifies it.
+func (e *Engine) MarkCorrupt(alloc *registry.Allocation, off int) {
+	if off < 0 || off >= alloc.Array.Len() {
+		return
+	}
+	e.quarantine.add(alloc.Array, off)
+}
+
+// Quarantined returns the offsets of alloc currently quarantined (reported
+// corrupt, not yet repaired), in ascending order.
+func (e *Engine) Quarantined(alloc *registry.Allocation) []int {
+	return e.quarantine.offsets(alloc.Array)
+}
+
+// QuarantineCount returns the total number of quarantined elements across
+// all protected arrays (exported to Prometheus as spatialdue_quarantined).
+func (e *Engine) QuarantineCount() int { return e.quarantine.size() }

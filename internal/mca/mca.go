@@ -114,6 +114,18 @@ type latent struct {
 	bit  int
 }
 
+// queued is an overflow event awaiting redelivery: either a record that was
+// displaced from a full bank by a newer error, or a new error that arrived
+// while every bank's record was mid-delivery. Real hardware drops these
+// (the overflow bit is the only trace); the simulator keeps them so a
+// second DUE arriving during recovery of the first is recovered too, not
+// silently lost.
+type queued struct {
+	addr uint64
+	bit  int
+	code uint64
+}
+
 // Machine is a simulated machine-check architecture: a set of banks, a list
 // of latent (planted, not yet discovered) memory faults, and a chain of
 // exception handlers.
@@ -122,8 +134,10 @@ type Machine struct {
 	banks    []uint64 // latched MCi_STATUS per bank
 	addrs    []uint64 // latched MCi_ADDR per bank
 	miscs    []uint64 // latched MCi_MISC per bank
+	inflight []bool   // bank record is currently being delivered to handlers
 	nextBank int
 	latents  []latent
+	pending  []queued // overflowed events awaiting redelivery
 	handlers []Handler
 	// counters
 	raisedDUE, raisedCE, overflows int
@@ -138,9 +152,10 @@ func New(banks int) *Machine {
 		banks = 1
 	}
 	return &Machine{
-		banks: make([]uint64, banks),
-		addrs: make([]uint64, banks),
-		miscs: make([]uint64, banks),
+		banks:    make([]uint64, banks),
+		addrs:    make([]uint64, banks),
+		miscs:    make([]uint64, banks),
+		inflight: make([]bool, banks),
 	}
 }
 
@@ -187,7 +202,9 @@ func (m *Machine) Touch(addr uint64, size int) (faulted bool, err error) {
 	if hit == nil {
 		return false, nil
 	}
-	return true, m.raise(hit.addr, hit.bit, CodeMemRead)
+	_, err = m.raise(hit.addr, hit.bit, CodeMemRead, false)
+	m.drainPending()
+	return true, err
 }
 
 // Scrub runs one patrol-scrubber pass over [lo, hi): every latent fault in
@@ -210,32 +227,74 @@ func (m *Machine) Scrub(lo, hi uint64) (found int, err error) {
 			return found, err
 		}
 		found++
-		if e := m.raise(hit.addr, hit.bit, CodeMemScrub); e != nil && err == nil {
+		if _, e := m.raise(hit.addr, hit.bit, CodeMemScrub, false); e != nil && err == nil {
 			err = e
 		}
+		m.drainPending()
 	}
 }
 
 // RaiseMemoryDUE latches and delivers an uncorrectable memory error at addr
 // immediately (bypassing the latent list) — the path used when a detector
 // outside the MCA localizes corruption and wants identical delivery
-// semantics.
+// semantics. A DUE raised while every bank is busy (e.g. from inside a
+// handler recovering an earlier DUE) is queued and redelivered once a bank
+// frees up; nil then means "accepted", not yet "recovered".
 func (m *Machine) RaiseMemoryDUE(addr uint64, bit int) error {
-	return m.raise(addr, bit, CodeMemRead)
+	_, err := m.raise(addr, bit, CodeMemRead, false)
+	m.drainPending()
+	return err
 }
 
-func (m *Machine) raise(addr uint64, bit int, code uint64) error {
+// raise latches one error record and delivers it through the handler chain.
+// over forces the overflow bit (set on redeliveries of displaced records,
+// matching what the register held when the record was displaced). delivered
+// is false when the event was queued instead (all banks held records being
+// delivered right now).
+func (m *Machine) raise(addr uint64, bit int, code uint64, over bool) (delivered bool, err error) {
 	m.mu.Lock()
-	bank := m.nextBank
-	m.nextBank = (m.nextBank + 1) % len(m.banks)
+	// Scan for a bank with no valid record, starting at the rotation point.
+	bank := -1
+	for k := 0; k < len(m.banks); k++ {
+		b := (m.nextBank + k) % len(m.banks)
+		if m.banks[b]&StatusVal == 0 {
+			bank = b
+			break
+		}
+	}
 	status := StatusVal | StatusUC | StatusEN | StatusAddrV | code
-	if m.banks[bank]&StatusVal != 0 {
+	if over {
 		status |= StatusOver
+	}
+	if bank < 0 {
+		// Every bank holds a valid record: a real machine sets the overflow
+		// bit and drops one of the two records. We set the bit, then keep
+		// both: the loser goes on the redelivery queue.
+		bank = m.nextBank
+		m.nextBank = (m.nextBank + 1) % len(m.banks)
 		m.overflows++
+		m.banks[bank] |= StatusOver
+		if m.inflight[bank] {
+			// The latched record is mid-delivery (this raise came from
+			// inside a handler). Don't clobber registers the handler may
+			// still read — queue the NEW event for redelivery.
+			m.pending = append(m.pending, queued{addr: addr, bit: bit, code: code})
+			m.mu.Unlock()
+			return false, nil
+		}
+		// Stale record from a failed delivery: displace it to the queue and
+		// latch the new error, which inherits the overflow bit.
+		m.pending = append(m.pending, queued{
+			addr: m.addrs[bank], bit: int(m.miscs[bank]), code: m.banks[bank] & 0xFFFF,
+		})
+		status |= StatusOver
+	} else {
+		m.nextBank = (bank + 1) % len(m.banks)
 	}
 	m.banks[bank] = status
 	m.addrs[bank] = addr
 	m.miscs[bank] = uint64(bit)
+	m.inflight[bank] = true
 	m.raisedDUE++
 	handlers := append([]Handler(nil), m.handlers...)
 	m.mu.Unlock()
@@ -245,15 +304,69 @@ func (m *Machine) raise(addr uint64, bit int, code uint64) error {
 	for _, h := range handlers {
 		if err := h(ev); err == nil {
 			m.clearBank(bank)
-			return nil
+			return true, nil
 		} else if firstErr == nil {
 			firstErr = err
 		}
 	}
+	m.mu.Lock()
+	m.inflight[bank] = false // record stays latched for later inspection
+	m.mu.Unlock()
 	if firstErr == nil {
 		firstErr = ErrNoHandler
 	}
-	return firstErr
+	return true, firstErr
+}
+
+// drainPending redelivers queued overflow events while banks are available.
+// Redelivered events carry the overflow bit, preserving the one trace real
+// hardware would have left. Delivery failures (no handler succeeded) leave
+// the record latched in its bank, as for any raise, and draining continues;
+// an event that cannot even be assigned a bank is re-queued and draining
+// stops until the next raise or explicit Redeliver.
+func (m *Machine) drainPending() {
+	for {
+		m.mu.Lock()
+		if len(m.pending) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		// Only pop when a bank is free — redelivery into a full machine
+		// would just re-queue (and re-count an overflow that already
+		// happened).
+		free := false
+		for b := range m.banks {
+			if m.banks[b]&StatusVal == 0 {
+				free = true
+				break
+			}
+		}
+		if !free {
+			m.mu.Unlock()
+			return
+		}
+		q := m.pending[0]
+		m.pending = m.pending[1:]
+		m.mu.Unlock()
+		if delivered, _ := m.raise(q.addr, q.bit, q.code, true); !delivered {
+			return
+		}
+	}
+}
+
+// PendingOverflow reports how many overflowed events await redelivery.
+func (m *Machine) PendingOverflow() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// Redeliver retries delivery of queued overflow events (normally automatic
+// after every Touch/Scrub/RaiseMemoryDUE; exposed for handlers that freed a
+// bank asynchronously).
+func (m *Machine) Redeliver() error {
+	m.drainPending()
+	return nil
 }
 
 func (m *Machine) clearBank(bank int) {
@@ -262,6 +375,7 @@ func (m *Machine) clearBank(bank int) {
 	m.banks[bank] = 0
 	m.addrs[bank] = 0
 	m.miscs[bank] = 0
+	m.inflight[bank] = false
 }
 
 // ReadBank returns the latched (status, addr, misc) registers of a bank.

@@ -50,13 +50,27 @@ func (l Lagrange) Predict(env *Env, idx []int) (float64, error) {
 	dim0 := a.Dim(0)
 	x := idx[0]
 
-	nodes := l.fitNodes(x, dim0)
+	nb := make([]int, len(idx))
+	copy(nb, idx)
+	// usable reports whether node offset o (along dimension 0) is in bounds
+	// and not quarantined.
+	usable := func(o int) bool {
+		p := x + o
+		if p < 0 || p >= dim0 {
+			return false
+		}
+		if !env.HasMask() {
+			return true
+		}
+		nb[0] = p
+		return !env.Masked(a.Offset(nb...))
+	}
+
+	nodes := l.fitNodes(x, dim0, usable)
 	if nodes == nil {
 		return 0, ErrUnsupported
 	}
 	w := lagrangeWeights(nodes)
-	nb := make([]int, len(idx))
-	copy(nb, idx)
 	sum := 0.0
 	for r, off := range nodes {
 		nb[0] = x + off
@@ -65,14 +79,14 @@ func (l Lagrange) Predict(env *Env, idx []int) (float64, error) {
 	return sum, nil
 }
 
-// fitNodes returns a node-offset set that lies fully inside [0, dim0) when
-// shifted by x: the configured offsets, their mirror image, or the nearest
-// k in-bounds non-zero offsets. Returns nil if fewer than len(Offsets)
-// candidates exist (dimension too small).
-func (l Lagrange) fitNodes(x, dim0 int) []int {
+// fitNodes returns a node-offset set that is fully usable (in bounds and
+// unmasked) when shifted by x: the configured offsets, their mirror image,
+// or the nearest k usable non-zero offsets. Returns nil if fewer than
+// len(Offsets) candidates exist (dimension too small or too quarantined).
+func (l Lagrange) fitNodes(x, dim0 int, usable func(o int) bool) []int {
 	inBounds := func(offs []int) bool {
 		for _, o := range offs {
-			if p := x + o; p < 0 || p >= dim0 {
+			if !usable(o) {
 				return false
 			}
 		}
@@ -88,12 +102,12 @@ func (l Lagrange) fitNodes(x, dim0 int) []int {
 	if inBounds(mir) {
 		return mir
 	}
-	// Nearest in-bounds non-zero offsets, alternating outward.
+	// Nearest usable non-zero offsets, alternating outward.
 	k := len(l.Offsets)
 	nodes := make([]int, 0, k)
 	for dist := 1; len(nodes) < k && dist < dim0; dist++ {
 		for _, o := range [2]int{-dist, +dist} {
-			if p := x + o; p >= 0 && p < dim0 {
+			if usable(o) {
 				nodes = append(nodes, o)
 				if len(nodes) == k {
 					break

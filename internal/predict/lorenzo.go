@@ -66,16 +66,14 @@ func (l Lorenzo) Predict(env *Env, idx []int) (float64, error) {
 	d := a.NumDims()
 	L := l.Layers
 
-	// Pick an orientation per dimension: -1 means use preceding neighbors
-	// (x-1 .. x-L), +1 means succeeding. Preceding is preferred.
-	dir := make([]int, d)
+	// Per-dimension feasibility: which of -1 (preceding) / +1 (succeeding)
+	// keeps L layers in bounds. Preceding is preferred.
+	canNeg := make([]bool, d)
+	canPos := make([]bool, d)
 	for t := 0; t < d; t++ {
-		switch {
-		case idx[t]-L >= 0:
-			dir[t] = -1
-		case idx[t]+L < a.Dim(t):
-			dir[t] = +1
-		default:
+		canNeg[t] = idx[t]-L >= 0
+		canPos[t] = idx[t]+L < a.Dim(t)
+		if !canNeg[t] && !canPos[t] {
 			// Neither side has L in-bounds layers in this dimension; the
 			// stencil cannot be applied (possible only when dim size <= L).
 			return 0, ErrUnsupported
@@ -83,37 +81,90 @@ func (l Lorenzo) Predict(env *Env, idx []int) (float64, error) {
 	}
 
 	coef := binom(L)
-	// Enumerate s in {0..L}^d \ {0} with an odometer.
 	s := make([]int, d)
 	nb := make([]int, d)
-	sum := 0.0
-	for {
-		// Advance the odometer; the all-zero vector is skipped by
-		// incrementing before the first use.
-		t := d - 1
-		for t >= 0 {
-			s[t]++
-			if s[t] <= L {
+	// sweep evaluates the stencil under dir. With check set it only tests
+	// whether every cell read is unmasked, returning (0, ok).
+	sweep := func(dir []int, check bool) (float64, bool) {
+		for t := range s {
+			s[t] = 0
+		}
+		sum := 0.0
+		for {
+			// Enumerate s in {0..L}^d \ {0} with an odometer; the all-zero
+			// vector is skipped by incrementing before the first use.
+			t := d - 1
+			for t >= 0 {
+				s[t]++
+				if s[t] <= L {
+					break
+				}
+				s[t] = 0
+				t--
+			}
+			if t < 0 {
+				return sum, true // wrapped around: enumeration complete
+			}
+			// Coefficient c(s) = -prod_t (-1)^(s_t) C(L, s_t).
+			c := -1
+			for u := 0; u < d; u++ {
+				c *= coef[s[u]]
+				if s[u]%2 == 1 {
+					c = -c
+				}
+				nb[u] = idx[u] + dir[u]*s[u]
+			}
+			off := a.Offset(nb...)
+			if check && env.Masked(off) {
+				return 0, false
+			}
+			if !check {
+				sum += float64(c) * a.AtOffset(off)
+			}
+		}
+	}
+
+	// Default orientation: preceding wherever it fits.
+	dir := make([]int, d)
+	for t := 0; t < d; t++ {
+		if canNeg[t] {
+			dir[t] = -1
+		} else {
+			dir[t] = +1
+		}
+	}
+	if !env.HasMask() {
+		v, _ := sweep(dir, false)
+		return v, nil
+	}
+	// With quarantined cells in play, search the 2^d orientations (the
+	// preferred all-upwind stencil first) for one whose cells are all
+	// usable.
+	for flips := 0; flips < 1<<d; flips++ {
+		ok := true
+		for t := 0; t < d; t++ {
+			mirrored := flips>>t&1 == 1
+			switch {
+			case !mirrored && canNeg[t]:
+				dir[t] = -1
+			case mirrored && canPos[t]:
+				dir[t] = +1
+			default:
+				ok = false
+			}
+			if !ok {
 				break
 			}
-			s[t] = 0
-			t--
 		}
-		if t < 0 {
-			break // wrapped around: enumeration complete
+		if !ok {
+			continue
 		}
-		// Coefficient c(s) = -prod_t (-1)^(s_t) C(L, s_t).
-		c := -1
-		for u := 0; u < d; u++ {
-			c *= coef[s[u]]
-			if s[u]%2 == 1 {
-				c = -c
-			}
-			nb[u] = idx[u] + dir[u]*s[u]
+		if _, clean := sweep(dir, true); clean {
+			v, _ := sweep(dir, false)
+			return v, nil
 		}
-		sum += float64(c) * a.At(nb...)
 	}
-	return sum, nil
+	return 0, ErrUnsupported
 }
 
 var _ Predictor = Lorenzo{}
@@ -157,7 +208,7 @@ func (l LorenzoAuto) Predict(env *Env, idx []int) (float64, error) {
 		sum, n := 0.0, 0
 		var failed bool
 		a.ForEachInPatch(idx, radius, func(_ []int, off int) {
-			if off == skip || failed {
+			if off == skip || failed || env.Masked(off) {
 				return
 			}
 			a.CoordsInto(probeIdx, off)

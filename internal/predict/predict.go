@@ -14,6 +14,7 @@ package predict
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"spatialdue/internal/ndarray"
@@ -42,6 +43,13 @@ type Env struct {
 	rangeOK  bool
 	min, max float64
 	mom      *Moments // non-nil after Precompute
+
+	// Mask state: offsets whose stored values are known-garbage (e.g.
+	// quarantined multi-DUE neighbors) and must not feed any stencil.
+	masked   map[int]bool
+	allowed  map[int]bool       // overrides masked and maskFn (seeded cells)
+	maskFn   func(off int) bool // live predicate (engine quarantine set)
+	haveMask bool
 }
 
 // NewEnv wraps a dataset with a deterministic random source. Dataset-wide
@@ -52,14 +60,87 @@ func NewEnv(a *ndarray.Array, seed int64) *Env {
 }
 
 // Range returns the dataset's (min, max), computing and caching it on first
-// use — the Random predictor's bound (Section 3.4.2).
+// use — the Random predictor's bound (Section 3.4.2). Masked (quarantined)
+// cells are excluded so known-garbage values cannot widen the range.
 func (e *Env) Range() (min, max float64) {
 	if !e.rangeOK {
-		e.min, e.max = e.A.MinMax()
+		if e.haveMask {
+			e.min, e.max = math.NaN(), math.NaN()
+			for off := 0; off < e.A.Len(); off++ {
+				if e.Masked(off) {
+					continue
+				}
+				v := e.A.AtOffset(off)
+				if math.IsNaN(v) {
+					continue
+				}
+				if math.IsNaN(e.min) || v < e.min {
+					e.min = v
+				}
+				if math.IsNaN(e.max) || v > e.max {
+					e.max = v
+				}
+			}
+		} else {
+			e.min, e.max = e.A.MinMax()
+		}
 		e.rangeOK = true
 	}
 	return e.min, e.max
 }
+
+// Mask marks offsets as unusable: no predictor will read their stored
+// values. Used by the recovery engine to keep quarantined (corrupt but not
+// yet repaired) cells out of every stencil, so a multi-element burst never
+// feeds known-garbage neighbors into a reconstruction.
+func (e *Env) Mask(offs ...int) {
+	if e.masked == nil {
+		e.masked = map[int]bool{}
+	}
+	for _, off := range offs {
+		e.masked[off] = true
+	}
+	e.haveMask = true
+	e.rangeOK = false
+}
+
+// Allow marks offsets as readable again even if Mask or the mask predicate
+// covers them — used by burst recovery once a cell has been seeded with a
+// provisional estimate and may participate in refining its neighbors.
+func (e *Env) Allow(offs ...int) {
+	if e.allowed == nil {
+		e.allowed = map[int]bool{}
+	}
+	for _, off := range offs {
+		e.allowed[off] = true
+	}
+	e.rangeOK = false
+}
+
+// SetMaskFunc installs a live mask predicate consulted on every read (in
+// addition to any offsets passed to Mask). The recovery engine wires its
+// quarantine set here so cells reported corrupt *while a recovery is in
+// flight* are masked immediately.
+func (e *Env) SetMaskFunc(fn func(off int) bool) {
+	e.maskFn = fn
+	e.haveMask = e.haveMask || fn != nil
+	e.rangeOK = false
+}
+
+// Masked reports whether the value stored at off must not be used.
+func (e *Env) Masked(off int) bool {
+	if !e.haveMask || e.allowed[off] {
+		return false
+	}
+	if e.masked[off] {
+		return true
+	}
+	return e.maskFn != nil && e.maskFn(off)
+}
+
+// HasMask reports whether any mask state is installed (used to decide
+// whether precomputed global-regression moments are still trustworthy).
+func (e *Env) HasMask() bool { return e.haveMask }
 
 // Precompute builds the global regression moment cache in a single O(N)
 // pass, turning every subsequent GlobalRegression prediction into O(1) work.

@@ -111,7 +111,9 @@ func (GlobalRegression) Name() string { return "Linear Regression" }
 // Predict implements Predictor.
 func (GlobalRegression) Predict(env *Env, idx []int) (float64, error) {
 	a := env.A
-	if env.mom != nil {
+	// Precomputed moments include every element; with quarantined cells in
+	// play they are no longer trustworthy, so fall back to the honest scan.
+	if env.mom != nil && !env.HasMask() {
 		return env.mom.PredictExcluding(a, idx)
 	}
 	// Full scan, skipping the corrupted element.
@@ -127,7 +129,7 @@ func (GlobalRegression) Predict(env *Env, idx []int) (float64, error) {
 	cur := make([]int, d)
 	phi := make([]float64, p)
 	for off := 0; off < a.Len(); off++ {
-		if off == skip {
+		if off == skip || env.Masked(off) {
 			continue
 		}
 		a.CoordsInto(cur, off)
@@ -186,7 +188,7 @@ func (l LocalRegression) Predict(env *Env, idx []int) (float64, error) {
 	skip := a.Offset(idx...)
 	n := 0
 	a.ForEachInPatch(idx, r, func(cur []int, off int) {
-		if off == skip {
+		if off == skip || env.Masked(off) {
 			return
 		}
 		phi[0] = 1

@@ -45,14 +45,17 @@ func (Average) Predict(env *Env, idx []int) (float64, error) {
 		for _, delta := range [2]int{-1, +1} {
 			nb[d] = idx[d] + delta
 			if nb[d] >= 0 && nb[d] < a.Dim(d) {
-				sum += a.At(nb...)
-				n++
+				if noff := a.Offset(nb...); !env.Masked(noff) {
+					sum += a.AtOffset(noff)
+					n++
+				}
 			}
 		}
 		nb[d] = idx[d]
 	}
 	if n == 0 {
-		// A 1x1x...x1 array has no neighbors at all.
+		// A 1x1x...x1 array has no neighbors at all (or every neighbor is
+		// quarantined).
 		return 0, ErrUnsupported
 	}
 	return sum / float64(n), nil
@@ -92,9 +95,18 @@ func (c CurveFit) Predict(env *Env, idx []int) (float64, error) {
 	a := env.A
 	off := a.Offset(idx...)
 	need := c.Order + 1
+	usable := func(dir int) bool {
+		for k := 1; k <= need; k++ {
+			p := off + dir*k
+			if p < 0 || p >= a.Len() || env.Masked(p) {
+				return false
+			}
+		}
+		return true
+	}
 	dir := -1 // prefer preceding values
-	if off-need < 0 {
-		if off+need >= a.Len() {
+	if !usable(-1) {
+		if !usable(+1) {
 			return 0, ErrUnsupported
 		}
 		dir = +1

@@ -44,15 +44,31 @@ const (
 	baseStart = 0x1000_0000
 )
 
+// ValueRange bounds the physically plausible values of an allocation,
+// registered at Protect time from domain knowledge (a density is
+// non-negative, a probability lies in [0,1], ...). The recovery supervisor
+// rejects any reconstruction outside [Lo, Hi] and escalates instead of
+// writing an implausible value into application state.
+type ValueRange struct {
+	// Lo and Hi are the inclusive plausibility bounds.
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies inside the range.
+func (r ValueRange) Contains(v float64) bool { return v >= r.Lo && v <= r.Hi }
+
 // Policy selects how a corrupted element of an allocation is recovered,
 // mirroring the paper's FTI_Protect extension (Algorithm 1): either a fixed
 // method chosen with domain knowledge (RECOVER_LORENZO, ...) or RECOVER_ANY,
-// which triggers the local auto-tuner.
+// which triggers the local auto-tuner. An optional ValueRange adds a
+// domain-knowledge plausibility bound checked on every reconstruction.
 type Policy struct {
 	// Any corresponds to RECOVER_ANY: auto-tune locally at recovery time.
 	Any bool
 	// Method is the fixed method when Any is false.
 	Method predict.Method
+	// Range, when non-nil, bounds plausible reconstructed values.
+	Range *ValueRange
 }
 
 // RecoverAny is the RECOVER_ANY policy.
@@ -61,12 +77,24 @@ func RecoverAny() Policy { return Policy{Any: true} }
 // RecoverWith fixes the recovery method.
 func RecoverWith(m predict.Method) Policy { return Policy{Method: m} }
 
+// WithRange returns a copy of the policy carrying a plausibility range for
+// reconstructed values, e.g. RecoverAny().WithRange(0, 1) for a probability
+// field.
+func (p Policy) WithRange(lo, hi float64) Policy {
+	p.Range = &ValueRange{Lo: lo, Hi: hi}
+	return p
+}
+
 // String implements fmt.Stringer.
 func (p Policy) String() string {
+	s := "RECOVER_" + p.Method.String()
 	if p.Any {
-		return "RECOVER_ANY"
+		s = "RECOVER_ANY"
 	}
-	return "RECOVER_" + p.Method.String()
+	if p.Range != nil {
+		s += fmt.Sprintf(" range=[%g,%g]", p.Range.Lo, p.Range.Hi)
+	}
+	return s
 }
 
 // Allocation describes one registered memory region.
