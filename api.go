@@ -48,6 +48,7 @@ import (
 	"spatialdue/internal/ndarray"
 	"spatialdue/internal/predict"
 	"spatialdue/internal/registry"
+	"spatialdue/internal/service"
 	"spatialdue/internal/tradeoff"
 )
 
@@ -273,3 +274,52 @@ func MetricsHandler(e *Engine) http.Handler {
 		}
 	})
 }
+
+// RecoveryService is the resilient long-running recovery front end: a
+// bounded worker pool with admission control, per-recovery deadlines, retry
+// with jittered backoff, per-allocation circuit breakers, and an optional
+// crash-safe write-ahead journal that replays unfinished recoveries after a
+// restart. See cmd/duerecover -serve for a complete deployment shape.
+type RecoveryService = service.Service
+
+// ServiceConfig parameterizes a RecoveryService.
+type ServiceConfig = service.Config
+
+// ServiceResult reports one finished recovery (ServiceConfig.OnOutcome).
+type ServiceResult = service.Result
+
+// ServiceStats are a RecoveryService's lifetime counters.
+type ServiceStats = service.Stats
+
+// BreakerState is the observable state of an allocation's circuit breaker.
+type BreakerState = service.BreakerState
+
+// Circuit breaker states.
+const (
+	BreakerClosed   = service.BreakerClosed
+	BreakerOpen     = service.BreakerOpen
+	BreakerHalfOpen = service.BreakerHalfOpen
+)
+
+// NewRecoveryService creates a recovery service over an engine. With
+// ServiceConfig.JournalPath set, unfinished intents from a previous run are
+// re-quarantined and replayed; register allocations (under stable names)
+// before calling. Call Start to launch the pool and Drain/Close to stop.
+func NewRecoveryService(e *Engine, cfg ServiceConfig) (*RecoveryService, error) {
+	return service.New(e, cfg)
+}
+
+// ErrOverloaded rejects submissions past the service's admission bound; an
+// MCA delivering the event keeps it latched for redelivery.
+var ErrOverloaded = service.ErrOverloaded
+
+// ErrCircuitOpen (wrapping ErrCheckpointRestartRequired) rejects
+// submissions for an allocation degraded by its circuit breaker.
+var ErrCircuitOpen = service.ErrCircuitOpen
+
+// ErrServiceStopped rejects submissions after Drain/Close.
+var ErrServiceStopped = service.ErrStopped
+
+// ErrRecoveryAbandoned marks a recovery abandoned at its context deadline;
+// the element stays quarantined and the service retries with backoff.
+var ErrRecoveryAbandoned = core.ErrRecoveryAbandoned

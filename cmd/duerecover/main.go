@@ -8,13 +8,24 @@
 //
 //	duerecover [-dataset CESM/FLDS] [-method "Lorenzo 1-Layer"|any]
 //	           [-trials 5] [-seed 1] [-scale small]
+//
+// With -serve it instead runs the resilient recovery service: MCA events
+// stream through admission control, a write-ahead journal, and a bounded
+// worker pool, and SIGTERM/SIGINT drains gracefully:
+//
+//	duerecover -serve [-workers 4] [-queue 64] [-deadline 2s]
+//	           [-journal recovery.jsonl] [-events 200] [-rate 100]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"spatialdue"
 	"spatialdue/internal/bitflip"
@@ -29,6 +40,14 @@ func main() {
 		trials    = flag.Int("trials", 5, "number of injected DUEs")
 		seed      = flag.Int64("seed", 1, "random seed")
 		scaleFlag = flag.String("scale", "small", "dataset scale: tiny, small, medium")
+
+		serve    = flag.Bool("serve", false, "run the resilient recovery service instead of one-shot trials")
+		workers  = flag.Int("workers", 4, "serve: recovery pool size")
+		queue    = flag.Int("queue", 64, "serve: admission queue depth")
+		deadline = flag.Duration("deadline", 2*time.Second, "serve: per-recovery deadline (negative disables)")
+		jpath    = flag.String("journal", "", "serve: crash-safe recovery journal path (empty disables)")
+		events   = flag.Int("events", 200, "serve: number of MCA events to stream (0 = until signalled)")
+		rate     = flag.Float64("rate", 100, "serve: event rate per second (0 = as fast as possible)")
 	)
 	flag.Parse()
 
@@ -72,6 +91,15 @@ func main() {
 
 	eng := spatialdue.NewEngine(spatialdue.Options{Seed: *seed})
 	alloc := eng.Protect(ds.Name, ds.Array, ds.DType, policy)
+
+	if *serve {
+		runServe(eng, alloc, ds, serveOptions{
+			workers: *workers, queue: *queue, deadline: *deadline,
+			journal: *jpath, events: *events, rate: *rate, seed: *seed,
+		})
+		return
+	}
+
 	machine := spatialdue.NewMCA(4)
 	eng.AttachMCA(machine)
 
@@ -105,6 +133,103 @@ func main() {
 	st := eng.Stats()
 	fmt.Printf("\nengine: %d recovered (%d auto-tuned), %d checkpoint-restart fallbacks\n",
 		st.Recovered, st.Tuned, st.Fallbacks)
+}
+
+type serveOptions struct {
+	workers, queue int
+	deadline       time.Duration
+	journal        string
+	events         int
+	rate           float64
+	seed           int64
+}
+
+// runServe is the deployment shape of the resilient recovery service:
+// intake → journal → bounded pool → engine, with graceful drain on
+// SIGTERM/SIGINT. A stream of simulated MCA events (planted faults
+// discovered by demand accesses) drives the pipeline.
+func runServe(eng *spatialdue.Engine, alloc *spatialdue.Allocation, ds *sdrbench.Dataset, opt serveOptions) {
+	svc, err := spatialdue.NewRecoveryService(eng, spatialdue.ServiceConfig{
+		Workers: opt.workers, QueueDepth: opt.queue, Deadline: opt.deadline,
+		JournalPath: opt.journal, JournalSync: true, Seed: opt.seed,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if replayed := svc.Stats().Replayed; replayed > 0 {
+		fmt.Printf("journal: replaying %d unfinished recoveries from %s\n", replayed, opt.journal)
+	}
+	svc.Start()
+	machine := spatialdue.NewMCA(4)
+	svc.AttachMCA(machine)
+
+	fmt.Printf("serving %s: %d workers, queue %d, deadline %v\n", ds, opt.workers, opt.queue, opt.deadline)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+
+	// Event source: plant a latent fault, then touch the address — the
+	// memory controller discovers it and raises the MCE into the service.
+	inj := faultinject.New(opt.seed, ds.DType)
+	var interval time.Duration
+	if opt.rate > 0 {
+		interval = time.Duration(float64(time.Second) / opt.rate)
+	}
+	sent, overloaded := 0, 0
+	var stopReason string
+stream:
+	for opt.events == 0 || sent < opt.events {
+		select {
+		case sig := <-sigs:
+			stopReason = fmt.Sprintf("signal %v", sig)
+			break stream
+		default:
+		}
+		trial := inj.PlanOne(ds.Array)
+		faultinject.Apply(ds.Array, trial)
+		addr := alloc.AddrOf(trial.Offset)
+		machine.Plant(addr, trial.Bit)
+		if _, err := machine.Touch(addr, ds.DType.Size()); err != nil {
+			// Rejected delivery (queue full): the bank keeps the record
+			// latched and the service redelivers when capacity frees up.
+			overloaded++
+		}
+		sent++
+		if interval > 0 {
+			time.Sleep(interval)
+		}
+	}
+	if stopReason == "" {
+		stopReason = fmt.Sprintf("%d events sent", sent)
+	}
+
+	// Let backpressured events redeliver from their banks before intake
+	// closes: rejected-at-burst is delivered-late, not lost.
+	for settle := time.Now().Add(10 * time.Second); time.Now().Before(settle); {
+		machine.RedeliverLatched()
+		if len(machine.LatchedBanks()) == 0 && machine.PendingOverflow() == 0 && svc.QueueLen() == 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	fmt.Printf("\ndraining (%s)...\n", stopReason)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		fatalf("drain: %v", err)
+	}
+
+	st := svc.Stats()
+	fmt.Printf("service: %d submitted, %d accepted, %d rejected (%d raises saw backpressure), %d recovered, %d failed, %d retries, %d replayed\n",
+		st.Submitted, st.Accepted, st.Rejected, overloaded, st.Recovered, st.Failed, st.Retries, st.Replayed)
+	es := eng.Stats()
+	fmt.Printf("engine:  %d recovered (%d auto-tuned), %d checkpoint-restart fallbacks\n",
+		es.Recovered, es.Tuned, es.Fallbacks)
+	fmt.Println()
+	if err := svc.WriteMetrics(os.Stdout); err != nil {
+		fatalf("metrics: %v", err)
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -13,6 +13,7 @@ import (
 	"math"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 
@@ -23,12 +24,13 @@ import (
 	"spatialdue/internal/sdrbench"
 )
 
-// relErrClamp bounds individual relative errors when summing, so a handful
-// of wild reconstructions cannot dominate mean statistics.
-const relErrClamp = 1e3
+// defaultRelErrClamp bounds individual relative errors when summing, so a
+// handful of wild reconstructions cannot dominate mean statistics.
+const defaultRelErrClamp = 1e3
 
-// reservoirCap bounds the per-(method, app) sample kept for quantiles.
-const reservoirCap = 4096
+// defaultReservoirCap bounds the per-(method, app) sample kept for
+// quantiles.
+const defaultReservoirCap = 4096
 
 // Config parameterizes a campaign.
 type Config struct {
@@ -63,6 +65,20 @@ type Config struct {
 	Workers int
 	// Progress, when non-nil, receives one line per completed dataset.
 	Progress func(string)
+	// RelErrClamp bounds individual relative errors when summing (0 selects
+	// the default 1e3). Large journaled campaigns can lower it to tighten
+	// mean statistics against outliers.
+	RelErrClamp float64
+	// ReservoirCap bounds the per-(method, app) quantile sample (0 selects
+	// the default 4096). Lower it to bound memory on very large campaigns.
+	ReservoirCap int
+	// ResumeJournal, when set, is a crash-safe campaign checkpoint
+	// (internal/journal): every completed dataset's results are appended to
+	// it, and a rerun with an identical configuration skips those datasets
+	// and merges the journaled results instead of recomputing them. A
+	// journal written under a different configuration is ignored and
+	// overwritten.
+	ResumeJournal string
 }
 
 // DefaultConfig returns a configuration that reproduces the paper's shape
@@ -95,30 +111,36 @@ type Cell struct {
 	// Sample is a deterministic reservoir of relative errors for quantiles.
 	Sample []float64
 	seen   int
+	clamp  float64
+	rcap   int
 }
 
-func newCell(nThresh int) *Cell { return &Cell{Hits: make([]int, nThresh)} }
+func newCell(nThresh int, clamp float64, rcap int) *Cell {
+	return &Cell{Hits: make([]int, nThresh), clamp: clamp, rcap: rcap}
+}
 
 func (c *Cell) add(re float64, thresholds []float64, rng *splitmix) {
 	c.Trials++
-	if math.IsInf(re, 0) {
+	if math.IsInf(re, 0) || math.IsNaN(re) {
+		// No usable prediction (or a NaN reconstruction, equally unusable):
+		// count a failure and charge the clamp value.
 		c.Failures++
-		re = relErrClamp
+		re = c.clamp
 	}
 	for i, t := range thresholds {
 		if re <= t {
 			c.Hits[i]++
 		}
 	}
-	if re > relErrClamp {
-		re = relErrClamp
+	if re > c.clamp {
+		re = c.clamp
 	}
 	c.SumRelErr += re
 	// Reservoir sampling (Algorithm R) with a deterministic generator.
 	c.seen++
-	if len(c.Sample) < reservoirCap {
+	if len(c.Sample) < c.rcap {
 		c.Sample = append(c.Sample, re)
-	} else if j := int(rng.next() % uint64(c.seen)); j < reservoirCap {
+	} else if j := int(rng.next() % uint64(c.seen)); j < c.rcap {
 		c.Sample[j] = re
 	}
 }
@@ -133,8 +155,8 @@ func (c *Cell) merge(o *Cell) {
 	c.seen += o.seen
 	// Keep merge deterministic: concatenate then truncate.
 	c.Sample = append(c.Sample, o.Sample...)
-	if len(c.Sample) > reservoirCap {
-		c.Sample = c.Sample[:reservoirCap]
+	if len(c.Sample) > c.rcap {
+		c.Sample = c.Sample[:c.rcap]
 	}
 }
 
@@ -245,6 +267,20 @@ func (r *Results) appIndex(app sdrbench.App) int {
 	return -1
 }
 
+// pooledCell merges one method's cells across every application, keeping
+// the campaign's aggregation parameters (clamp, reservoir cap).
+func (r *Results) pooledCell(mi int) *Cell {
+	clamp, rcap := float64(defaultRelErrClamp), defaultReservoirCap
+	if cs := r.PerMethodApp[mi]; len(cs) > 0 && cs[0].rcap > 0 {
+		clamp, rcap = cs[0].clamp, cs[0].rcap
+	}
+	pooled := newCell(len(r.Thresholds), clamp, rcap)
+	for _, c := range r.PerMethodApp[mi] {
+		pooled.merge(c)
+	}
+	return pooled
+}
+
 // OverallRate pools every application (Figures 2-4): total hits over total
 // trials for method index mi at threshold index ti.
 func (r *Results) OverallRate(mi, ti int) float64 {
@@ -285,6 +321,12 @@ func Run(cfg Config) (*Results, error) {
 	if cfg.Tolerance <= 0 {
 		cfg.Tolerance = 0.01
 	}
+	if cfg.RelErrClamp <= 0 {
+		cfg.RelErrClamp = defaultRelErrClamp
+	}
+	if cfg.ReservoirCap <= 0 {
+		cfg.ReservoirCap = defaultReservoirCap
+	}
 
 	res := &Results{
 		Thresholds:   cfg.Thresholds,
@@ -295,7 +337,7 @@ func Run(cfg Config) (*Results, error) {
 	for mi := range cfg.Methods {
 		res.PerMethodApp[mi] = make([]*Cell, len(cfg.Apps))
 		for ai := range cfg.Apps {
-			res.PerMethodApp[mi][ai] = newCell(len(cfg.Thresholds))
+			res.PerMethodApp[mi][ai] = newCell(len(cfg.Thresholds), cfg.RelErrClamp, cfg.ReservoirCap)
 		}
 	}
 	if cfg.AutotuneTrials > 0 {
@@ -340,7 +382,7 @@ func Run(cfg Config) (*Results, error) {
 		for mi := range cfg.Methods {
 			res.PerMethodApp[mi] = make([]*Cell, len(apps))
 			for ai := range apps {
-				res.PerMethodApp[mi][ai] = newCell(len(cfg.Thresholds))
+				res.PerMethodApp[mi][ai] = newCell(len(cfg.Thresholds), cfg.RelErrClamp, cfg.ReservoirCap)
 			}
 		}
 		if res.Autotune != nil {
@@ -357,20 +399,70 @@ func Run(cfg Config) (*Results, error) {
 		}
 	}
 
+	// Checkpoint/resume: with a journal attached, datasets completed by a
+	// previous (possibly crashed) run under an identical configuration are
+	// merged from the journal instead of recomputed.
+	var resume *resumeState
+	if cfg.ResumeJournal != "" {
+		var err error
+		resume, err = openResume(cfg.ResumeJournal, cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer resume.close()
+	}
+
 	var (
 		mu    sync.Mutex
 		wg    sync.WaitGroup
 		errMu sync.Mutex
 		first error
 	)
+	// absorb merges one dataset's results into the campaign totals.
+	absorb := func(app sdrbench.App, dr *datasetResult, resumed bool) {
+		dc := DatasetCells{
+			Info:   dr.info,
+			Hits:   make([][]int, len(cfg.Methods)),
+			Trials: make([]int, len(cfg.Methods)),
+		}
+		for mi, c := range dr.cells {
+			dc.Hits[mi] = append([]int(nil), c.Hits...)
+			dc.Trials[mi] = c.Trials
+		}
+		mu.Lock()
+		ai := res.appIndex(app)
+		for mi := range cfg.Methods {
+			res.PerMethodApp[mi][ai].merge(dr.cells[mi])
+		}
+		if res.Autotune != nil && dr.autotune != nil {
+			res.Autotune[ai].merge(dr.autotune)
+		}
+		res.Datasets = append(res.Datasets, dr.info)
+		res.PerDataset = append(res.PerDataset, dc)
+		res.TotalTrials += cfg.Trials
+		mu.Unlock()
+		if cfg.Progress != nil {
+			suffix := "done"
+			if resumed {
+				suffix = "resumed from journal"
+			}
+			cfg.Progress(fmt.Sprintf("%s/%s %s (%d trials)", app, dr.info.Name, suffix, cfg.Trials))
+		}
+	}
 	sem := make(chan struct{}, cfg.Workers)
 	for _, j := range jobs {
+		if resume != nil {
+			if dr, ok := resume.lookup(j.app, j.name, cfg); ok {
+				absorb(j.app, dr, true)
+				continue
+			}
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(j job) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			dr, err := runDataset(cfg, j.app, j.name, j.load)
+			dr, err := runDatasetSafe(cfg, j.app, j.name, j.load)
 			if err != nil {
 				errMu.Lock()
 				if first == nil {
@@ -379,30 +471,17 @@ func Run(cfg Config) (*Results, error) {
 				errMu.Unlock()
 				return
 			}
-			dc := DatasetCells{
-				Info:   dr.info,
-				Hits:   make([][]int, len(cfg.Methods)),
-				Trials: make([]int, len(cfg.Methods)),
+			if resume != nil {
+				if err := resume.record(j.app, j.name, dr); err != nil {
+					errMu.Lock()
+					if first == nil {
+						first = err
+					}
+					errMu.Unlock()
+					return
+				}
 			}
-			for mi, c := range dr.cells {
-				dc.Hits[mi] = append([]int(nil), c.Hits...)
-				dc.Trials[mi] = c.Trials
-			}
-			mu.Lock()
-			ai := res.appIndex(j.app)
-			for mi := range cfg.Methods {
-				res.PerMethodApp[mi][ai].merge(dr.cells[mi])
-			}
-			if res.Autotune != nil && dr.autotune != nil {
-				res.Autotune[ai].merge(dr.autotune)
-			}
-			res.Datasets = append(res.Datasets, dr.info)
-			res.PerDataset = append(res.PerDataset, dc)
-			res.TotalTrials += cfg.Trials
-			mu.Unlock()
-			if cfg.Progress != nil {
-				cfg.Progress(fmt.Sprintf("%s/%s done (%d trials)", j.app, j.name, cfg.Trials))
-			}
+			absorb(j.app, dr, false)
 		}(j)
 	}
 	wg.Wait()
@@ -439,6 +518,20 @@ func seedFor(base int64, app sdrbench.App, name string) int64 {
 	return int64(h.Sum64())
 }
 
+// runDatasetSafe isolates per-trial panics: a predictor (or a corrupt real
+// dataset) that panics mid-campaign loses that dataset's contribution but
+// surfaces as an ordinary error on the campaign, instead of crashing every
+// other in-flight dataset with it.
+func runDatasetSafe(cfg Config, app sdrbench.App, name string, load func() (*sdrbench.Dataset, error)) (dr *datasetResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			dr = nil
+			err = fmt.Errorf("campaign: dataset %s/%s panicked: %v\n%s", app, name, r, debug.Stack())
+		}
+	}()
+	return runDataset(cfg, app, name, load)
+}
+
 func runDataset(cfg Config, app sdrbench.App, name string, load func() (*sdrbench.Dataset, error)) (*datasetResult, error) {
 	var ds *sdrbench.Dataset
 	if load != nil {
@@ -466,7 +559,7 @@ func runDataset(cfg Config, app sdrbench.App, name string, load func() (*sdrbenc
 
 	dr := &datasetResult{cells: make([]*Cell, len(cfg.Methods))}
 	for i := range dr.cells {
-		dr.cells[i] = newCell(len(cfg.Thresholds))
+		dr.cells[i] = newCell(len(cfg.Thresholds), cfg.RelErrClamp, cfg.ReservoirCap)
 	}
 	min, max := arr.MinMax()
 	dr.info = DatasetInfo{

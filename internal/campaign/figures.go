@@ -225,10 +225,7 @@ func (r *Results) WriteOverallCSV(w io.Writer) error {
 		}
 		var mean, med float64
 		var trials int
-		pooled := newCell(len(r.Thresholds))
-		for _, c := range r.PerMethodApp[mi] {
-			pooled.merge(c)
-		}
+		pooled := r.pooledCell(mi)
 		mean, med, trials = pooled.MeanRelErr(), pooled.MedianRelErr(), pooled.Trials
 		row = append(row, fmt.Sprintf("%.6g", mean), fmt.Sprintf("%.6g", med), fmt.Sprint(trials))
 		rows = append(rows, row)
@@ -291,10 +288,7 @@ func (r *Results) WriteQuantilesCSV(w io.Writer) error {
 	}
 	var rows [][]string
 	for mi, m := range r.Methods {
-		pooled := newCell(len(r.Thresholds))
-		for _, c := range r.PerMethodApp[mi] {
-			pooled.merge(c)
-		}
+		pooled := r.pooledCell(mi)
 		sample := append([]float64(nil), pooled.Sample...)
 		sort.Float64s(sample)
 		row := []string{m.String()}
@@ -309,11 +303,7 @@ func (r *Results) WriteQuantilesCSV(w io.Writer) error {
 // MedianRelErrPooled returns the pooled median relative error of a method —
 // the statistic behind the paper's headline Lorenzo claim.
 func (r *Results) MedianRelErrPooled(mi int) float64 {
-	pooled := newCell(len(r.Thresholds))
-	for _, c := range r.PerMethodApp[mi] {
-		pooled.merge(c)
-	}
-	return pooled.MedianRelErr()
+	return r.pooledCell(mi).MedianRelErr()
 }
 
 func dimsString(dims []int) string {

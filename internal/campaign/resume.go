@@ -1,0 +1,173 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync"
+
+	"spatialdue/internal/journal"
+	"spatialdue/internal/sdrbench"
+)
+
+// Campaign checkpoint/resume rides on the crash-safe journal from
+// internal/journal: the first record fingerprints the configuration, and
+// every completed dataset appends one result record. A rerun with the same
+// configuration scans the journal, merges the recorded datasets, and only
+// computes the rest — so a campaign killed (or crashed) at dataset 7 of 20
+// restarts at dataset 8 instead of trial one. A journal whose fingerprint
+// does not match the current configuration is stale and is overwritten: a
+// half-campaign under different parameters is worthless, never mergeable.
+
+// resumeHeader is the journal's first record.
+type resumeHeader struct {
+	Kind        string `json:"k"` // "campaign"
+	Fingerprint uint64 `json:"fp"`
+}
+
+// cellWire mirrors Cell on disk (Cell carries unexported aggregation
+// parameters that are re-derived from the configuration on load).
+type cellWire struct {
+	Trials    int       `json:"trials"`
+	Hits      []int     `json:"hits"`
+	Failures  int       `json:"fail,omitempty"`
+	SumRelErr float64   `json:"sum"`
+	Sample    []float64 `json:"sample,omitempty"`
+	Seen      int       `json:"seen"`
+}
+
+// datasetRecord is one completed dataset's journaled contribution.
+type datasetRecord struct {
+	Kind     string        `json:"k"` // "dataset"
+	App      sdrbench.App  `json:"app"`
+	Name     string        `json:"name"`
+	Info     DatasetInfo   `json:"info"`
+	Cells    []cellWire    `json:"cells"`
+	Autotune *AutotuneCell `json:"tune,omitempty"`
+}
+
+// fingerprint hashes every configuration field that shapes a campaign's
+// numbers. Progress/Workers are deliberately excluded: they change
+// scheduling, not results.
+func fingerprint(cfg Config) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "scale=%d|trials=%d|at=%d|atk=%d|atp=%d|tol=%g|seed=%d|clamp=%g|rcap=%d|dir=%q",
+		cfg.Scale, cfg.Trials, cfg.AutotuneTrials, cfg.AutotuneK, cfg.AutotuneMaxProbes,
+		cfg.Tolerance, cfg.Seed, cfg.RelErrClamp, cfg.ReservoirCap, cfg.DataDir)
+	fmt.Fprintf(h, "|thresh=%v|methods=%v|apps=%v", cfg.Thresholds, cfg.Methods, cfg.Apps)
+	return h.Sum64()
+}
+
+// resumeState tracks journaled datasets and appends new ones.
+type resumeState struct {
+	mu   sync.Mutex
+	log  *journal.Log
+	done map[string]*datasetRecord
+}
+
+func resumeKey(app sdrbench.App, name string) string {
+	return fmt.Sprintf("%d|%s", int(app), name)
+}
+
+// openResume scans (and, when stale, resets) the campaign journal at path.
+// Call with the configuration AFTER defaults are applied, so the
+// fingerprint is stable across equivalent Config spellings.
+func openResume(path string, cfg Config) (*resumeState, error) {
+	fp := fingerprint(cfg)
+	st := &resumeState{done: map[string]*datasetRecord{}}
+	matched := false
+	sawHeader := false
+	err := journal.Scan(path, func(line []byte) error {
+		if !sawHeader {
+			sawHeader = true
+			var hdr resumeHeader
+			if err := json.Unmarshal(line, &hdr); err != nil || hdr.Kind != "campaign" {
+				return fmt.Errorf("campaign: %s is not a campaign journal", path)
+			}
+			matched = hdr.Fingerprint == fp
+			return nil
+		}
+		if !matched {
+			return nil // stale journal: records are unusable, skip decoding
+		}
+		var rec datasetRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("campaign: decode journal record: %w", err)
+		}
+		if rec.Kind != "dataset" {
+			return fmt.Errorf("campaign: unexpected journal record kind %q", rec.Kind)
+		}
+		st.done[resumeKey(rec.App, rec.Name)] = &rec
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sawHeader && !matched {
+		// Different configuration: the journal cannot be resumed. Start over.
+		if err := os.Remove(path); err != nil {
+			return nil, fmt.Errorf("campaign: reset stale journal: %w", err)
+		}
+		st.done = map[string]*datasetRecord{}
+	}
+	log, err := journal.OpenLog(path, true)
+	if err != nil {
+		return nil, err
+	}
+	st.log = log
+	if !matched {
+		if err := log.Append(resumeHeader{Kind: "campaign", Fingerprint: fp}); err != nil {
+			log.Close()
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// lookup returns the journaled result for one dataset, rebuilt with the
+// current configuration's aggregation parameters.
+func (st *resumeState) lookup(app sdrbench.App, name string, cfg Config) (*datasetResult, bool) {
+	st.mu.Lock()
+	rec, ok := st.done[resumeKey(app, name)]
+	st.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	dr := &datasetResult{
+		cells:    make([]*Cell, len(rec.Cells)),
+		autotune: rec.Autotune,
+		info:     rec.Info,
+	}
+	for i, w := range rec.Cells {
+		c := newCell(len(cfg.Thresholds), cfg.RelErrClamp, cfg.ReservoirCap)
+		c.Trials = w.Trials
+		c.Failures = w.Failures
+		c.SumRelErr = w.SumRelErr
+		copy(c.Hits, w.Hits)
+		c.Sample = append([]float64(nil), w.Sample...)
+		c.seen = w.Seen
+		dr.cells[i] = c
+	}
+	return dr, true
+}
+
+// record journals one completed dataset (fsynced: after record returns, a
+// crash cannot cost this dataset's work).
+func (st *resumeState) record(app sdrbench.App, name string, dr *datasetResult) error {
+	rec := datasetRecord{
+		Kind: "dataset", App: app, Name: name,
+		Info:     dr.info,
+		Cells:    make([]cellWire, len(dr.cells)),
+		Autotune: dr.autotune,
+	}
+	for i, c := range dr.cells {
+		rec.Cells[i] = cellWire{
+			Trials: c.Trials, Hits: c.Hits, Failures: c.Failures,
+			SumRelErr: c.SumRelErr, Sample: c.Sample, Seen: c.seen,
+		}
+	}
+	return st.log.Append(rec)
+}
+
+func (st *resumeState) close() error { return st.log.Close() }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -62,8 +63,8 @@ const burstTol = 1e-7
 // reports how many elements remain quarantined.
 func (e *Engine) RecoverBurst(alloc *registry.Allocation, offsets []int) (BurstOutcome, error) {
 	l := e.lockFor(alloc.Array)
-	l.Lock()
-	defer l.Unlock()
+	l.lockBlocking()
+	defer l.unlock()
 	return e.recoverBurst(alloc.Array, alloc.Policy, offsets)
 }
 
@@ -230,7 +231,7 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 			continue
 		}
 		out.Escalated++
-		res, err := e.reconstruct(arr, policy.Any, policy.Method, off, policy.Range, "burst")
+		res, err := e.reconstruct(context.Background(), arr, policy.Any, policy.Method, off, policy.Range, "burst")
 		if err != nil {
 			failed++
 			lastErr = err

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -33,6 +34,14 @@ import (
 // possible (unregistered address, or the escalation ladder is exhausted)
 // and the caller must fall back to rolling back to a checkpoint.
 var ErrCheckpointRestartRequired = errors.New("core: checkpoint-restart required")
+
+// ErrRecoveryAbandoned is returned by the context-aware recovery entry
+// points when the context expires before a verified value is written: the
+// deadline passed while waiting for the array's recovery lock, or mid-climb
+// on the escalation ladder. The element stays quarantined, so later
+// recoveries of its neighbors never trust it, and a retry (or checkpoint
+// restart) remains safe.
+var ErrRecoveryAbandoned = errors.New("core: recovery abandoned")
 
 // Options configures an Engine.
 type Options struct {
@@ -110,10 +119,39 @@ type Engine struct {
 	stats     Stats
 	escal     [numStages]int64
 	caches    map[*ndarray.Array]*autotune.Cache
-	locks     map[*ndarray.Array]*sync.Mutex
+	locks     map[*ndarray.Array]recLock
 	ckptWorld *fti.World
 	ckptRank  int
 }
+
+// recLock is a context-aware mutex (one-slot semaphore) guarding an array's
+// recovery critical section. Unlike sync.Mutex, acquisition can give up when
+// a context expires, so one wedged recovery cannot transitively wedge every
+// worker that touches the same array.
+type recLock chan struct{}
+
+func newRecLock() recLock { return make(recLock, 1) }
+
+// lock acquires the lock, or returns the context's error if it expires
+// first.
+func (l recLock) lock(ctx context.Context) error {
+	select {
+	case l <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case l <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// lockBlocking acquires the lock unconditionally (legacy non-context paths).
+func (l recLock) lockBlocking() { l <- struct{}{} }
+
+func (l recLock) unlock() { <-l }
 
 // NewEngine creates an engine with its own allocation registry.
 func NewEngine(opts Options) *Engine {
@@ -173,15 +211,15 @@ func (e *Engine) AttachCheckpoints(w *fti.World, rank int) {
 // Recoveries on the same array are serialized: predictors scan neighbor
 // values in place, so two concurrent repairs of one array would race.
 // Different arrays recover concurrently.
-func (e *Engine) lockFor(arr *ndarray.Array) *sync.Mutex {
+func (e *Engine) lockFor(arr *ndarray.Array) recLock {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.locks == nil {
-		e.locks = map[*ndarray.Array]*sync.Mutex{}
+		e.locks = map[*ndarray.Array]recLock{}
 	}
 	l, ok := e.locks[arr]
 	if !ok {
-		l = &sync.Mutex{}
+		l = newRecLock()
 		e.locks[arr] = l
 	}
 	return l
@@ -191,6 +229,13 @@ func (e *Engine) lockFor(arr *ndarray.Array) *sync.Mutex {
 // allocation and repairs the affected element (Section 3.3). An
 // unregistered address yields ErrCheckpointRestartRequired.
 func (e *Engine) RecoverAddress(addr uint64) (Outcome, error) {
+	return e.RecoverAddressCtx(context.Background(), addr)
+}
+
+// RecoverAddressCtx is RecoverAddress with a context governing the whole
+// recovery (lock wait, prediction, verification, ladder climb); see
+// RecoverElementCtx for the deadline semantics.
+func (e *Engine) RecoverAddressCtx(ctx context.Context, addr uint64) (Outcome, error) {
 	alloc, off, err := e.table.Lookup(addr)
 	if err != nil {
 		e.mu.Lock()
@@ -199,7 +244,7 @@ func (e *Engine) RecoverAddress(addr uint64) (Outcome, error) {
 		e.audit.record(AuditEntry{Alloc: fmt.Sprintf("addr %#x", addr), Offset: -1, Err: err.Error()})
 		return Outcome{}, fmt.Errorf("%w: %v", ErrCheckpointRestartRequired, err)
 	}
-	return e.RecoverElement(alloc, off)
+	return e.RecoverElementCtx(ctx, alloc, off)
 }
 
 // RecoverElement reconstructs the element at linear offset off of a
@@ -207,10 +252,55 @@ func (e *Engine) RecoverAddress(addr uint64) (Outcome, error) {
 // reconstruction (escalating through the recovery ladder on failure),
 // writes the value in place, and reports the outcome.
 func (e *Engine) RecoverElement(alloc *registry.Allocation, off int) (Outcome, error) {
+	return e.RecoverElementCtx(context.Background(), alloc, off)
+}
+
+// RecoverElementCtx is RecoverElement under a context. When the context
+// expires the call returns ErrRecoveryAbandoned immediately — even if a
+// predictor or checkpoint restore is wedged — so a bounded worker pool can
+// give up on a stuck recovery without leaking its worker. The abandoned
+// climb keeps running in the background holding the array's recovery lock:
+// it aborts at its next cooperative checkpoint (every ladder-stage entry and
+// every attempt), restores the pre-recovery value, leaves the element
+// quarantined, and only then releases the lock, so no concurrent recovery
+// ever observes a half-finished repair. A recovery that completes after
+// abandonment is still counted and audited.
+func (e *Engine) RecoverElementCtx(ctx context.Context, alloc *registry.Allocation, off int) (Outcome, error) {
+	if ctx.Done() == nil {
+		// Not cancelable: run inline, no goroutine overhead.
+		return e.recoverElementSync(ctx, alloc, off)
+	}
+	type result struct {
+		out Outcome
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		out, err := e.recoverElementSync(ctx, alloc, off)
+		done <- result{out, err}
+	}()
+	select {
+	case r := <-done:
+		return r.out, r.err
+	case <-ctx.Done():
+		return Outcome{}, fmt.Errorf("%w: %s[%d]: %v", ErrRecoveryAbandoned, alloc.Name, off, ctx.Err())
+	}
+}
+
+// recoverElementSync runs one complete element recovery on the calling
+// goroutine: lock, ladder climb, bookkeeping.
+func (e *Engine) recoverElementSync(ctx context.Context, alloc *registry.Allocation, off int) (Outcome, error) {
 	l := e.lockFor(alloc.Array)
-	l.Lock()
-	res, err := e.reconstruct(alloc.Array, alloc.Policy.Any, alloc.Policy.Method, off, alloc.Policy.Range, alloc.Name)
-	l.Unlock()
+	if err := l.lock(ctx); err != nil {
+		err = fmt.Errorf("%w: %s[%d]: waiting for recovery lock: %v", ErrRecoveryAbandoned, alloc.Name, off, err)
+		e.mu.Lock()
+		e.stats.Fallbacks++
+		e.mu.Unlock()
+		e.audit.record(AuditEntry{Alloc: alloc.Name, Offset: off, Err: err.Error()})
+		return Outcome{}, err
+	}
+	res, err := e.reconstruct(ctx, alloc.Array, alloc.Policy.Any, alloc.Policy.Method, off, alloc.Policy.Range, alloc.Name)
+	l.unlock()
 	if err != nil {
 		e.mu.Lock()
 		e.stats.Fallbacks++
@@ -239,9 +329,9 @@ func (e *Engine) RecoverElement(alloc *registry.Allocation, off int) (Outcome, e
 func (e *Engine) FTIRepairer() fti.RepairFunc {
 	return func(ds *fti.Dataset, off int) (float64, error) {
 		l := e.lockFor(ds.Array)
-		l.Lock()
-		res, err := e.reconstruct(ds.Array, ds.Policy.Any, ds.Policy.Method, off, nil, "fti:"+ds.Name)
-		l.Unlock()
+		l.lockBlocking()
+		res, err := e.reconstruct(context.Background(), ds.Array, ds.Policy.Any, ds.Policy.Method, off, nil, "fti:"+ds.Name)
+		l.unlock()
 		if err != nil {
 			e.mu.Lock()
 			e.stats.Fallbacks++

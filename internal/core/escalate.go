@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"spatialdue/internal/autotune"
@@ -131,9 +132,18 @@ func (e *Engine) enterStage(alloc string, off int, st Stage, m predict.Method, c
 // has been written in place and the element released from quarantine; on
 // failure the pre-recovery value is back in place and the element remains
 // quarantined.
-func (e *Engine) reconstruct(arr *ndarray.Array, tuneAny bool, fixed predict.Method, off int, vr *registry.ValueRange, alloc string) (ladderResult, error) {
+//
+// The context is checked cooperatively at every stage entry and before
+// every attempt: once it expires the climb aborts with
+// ErrRecoveryAbandoned, restoring the pre-recovery value and keeping the
+// element quarantined (same invariant as ladder exhaustion, minus the
+// exhausted-stage accounting — the recovery was cut short, not beaten).
+func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bool, fixed predict.Method, off int, vr *registry.ValueRange, alloc string) (ladderResult, error) {
 	if off < 0 || off >= arr.Len() {
 		return ladderResult{}, fmt.Errorf("%w: offset %d out of range", ErrCheckpointRestartRequired, off)
+	}
+	if err := ctx.Err(); err != nil {
+		return ladderResult{}, fmt.Errorf("%w: %s[%d]: %v", ErrRecoveryAbandoned, alloc, off, err)
 	}
 	old := arr.AtOffset(off)
 	idx := arr.Coords(off)
@@ -170,6 +180,9 @@ func (e *Engine) reconstruct(arr *ndarray.Array, tuneAny bool, fixed predict.Met
 
 	tried := map[predict.Method]bool{}
 	attempt := func(m predict.Method) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		tried[m] = true
 		v, err := safePredict(m, env, idx)
 		if err != nil {
@@ -184,6 +197,12 @@ func (e *Engine) reconstruct(arr *ndarray.Array, tuneAny bool, fixed predict.Met
 		arr.SetOffset(off, v)
 		e.quarantine.remove(arr, off)
 		return ladderResult{method: m, tuned: tuned, stage: st, old: old, value: v}, nil
+	}
+	// abort cuts the climb short when the context expires: pre-recovery
+	// value back in place, element still quarantined.
+	abort := func(cause error) (ladderResult, error) {
+		arr.SetOffset(off, old)
+		return ladderResult{old: old}, fmt.Errorf("%w: %s[%d]: %v", ErrRecoveryAbandoned, alloc, off, cause)
 	}
 
 	// --- Stage: primary ---
@@ -220,6 +239,9 @@ func (e *Engine) reconstruct(arr *ndarray.Array, tuneAny bool, fixed predict.Met
 	}
 
 	// --- Stage: tune (fresh, cache-bypassing run) ---
+	if err := ctx.Err(); err != nil {
+		return abort(err)
+	}
 	e.enterStage(alloc, off, StageTune, 0, lastErr)
 	if res, terr := autotune.Select(env, idx, e.opts.Tune); terr == nil {
 		ranked = res.Scores
@@ -235,12 +257,18 @@ func (e *Engine) reconstruct(arr *ndarray.Array, tuneAny bool, fixed predict.Met
 	}
 
 	// --- Stage: alternate (next-best tuner candidates) ---
+	if err := ctx.Err(); err != nil {
+		return abort(err)
+	}
 	if len(ranked) > 0 && maxAlt > 0 {
 		e.enterStage(alloc, off, StageAlternate, 0, lastErr)
 		attempts := 0
 		for _, sc := range ranked {
 			if attempts >= maxAlt {
 				break
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return abort(cerr)
 			}
 			if tried[sc.Method] || sc.Probes == 0 {
 				continue
@@ -255,6 +283,9 @@ func (e *Engine) reconstruct(arr *ndarray.Array, tuneAny bool, fixed predict.Met
 	}
 
 	// --- Stage: restore (newest surviving checkpoint) ---
+	if err := ctx.Err(); err != nil {
+		return abort(err)
+	}
 	e.mu.Lock()
 	w, rank := e.ckptWorld, e.ckptRank
 	e.mu.Unlock()

@@ -1,0 +1,83 @@
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Crash points extend the injector beyond data faults to *process* faults:
+// named locations in the recovery pipeline (journal writes, the gap between
+// a finished recovery and its journaled outcome) call CrashPoint, and a test
+// arms the points where the process should "die". An armed point panics with
+// a crashPanic; the test (or the recovery service's worker, which treats it
+// as process death) recovers it with IsCrash and then exercises the restart
+// path — journal replay, re-quarantine — exactly as if the machine had lost
+// power there.
+//
+// The canonical points, in recovery order:
+//
+//	journal/intent-written   — the intent record is durable, no work started
+//	service/recovery-done    — the engine finished, outcome not yet journaled
+//	journal/outcome-unwritten — inside Finish, before the outcome record
+//	journal/outcome-written  — the outcome record is durable (crash is benign)
+//
+// All state is global (like a real fault injector wrapping one process) and
+// guarded for concurrent use; production builds never arm anything, so
+// CrashPoint is a cheap read of a usually-empty map.
+
+// crashPanic is the value an armed crash point panics with.
+type crashPanic struct{ point string }
+
+func (c crashPanic) String() string { return fmt.Sprintf("faultinject: crash at %q", c.point) }
+
+var (
+	crashMu sync.Mutex
+	armedAt map[string]int // point -> remaining trigger count
+)
+
+// ArmCrash arms a crash point: the next call to CrashPoint(point) panics.
+// Arming the same point again adds another trigger.
+func ArmCrash(point string) {
+	crashMu.Lock()
+	defer crashMu.Unlock()
+	if armedAt == nil {
+		armedAt = map[string]int{}
+	}
+	armedAt[point]++
+}
+
+// DisarmCrashes clears every armed crash point.
+func DisarmCrashes() {
+	crashMu.Lock()
+	defer crashMu.Unlock()
+	armedAt = nil
+}
+
+// CrashPoint declares a named crash site. If the point is armed, it panics
+// with a value recognized by IsCrash, simulating the process dying right
+// there; otherwise it is a no-op.
+func CrashPoint(point string) {
+	crashMu.Lock()
+	n := armedAt[point]
+	if n > 0 {
+		if n == 1 {
+			delete(armedAt, point)
+		} else {
+			armedAt[point] = n - 1
+		}
+	}
+	crashMu.Unlock()
+	if n > 0 {
+		panic(crashPanic{point: point})
+	}
+}
+
+// IsCrash reports whether a recovered panic value came from an armed crash
+// point, and at which point.
+func IsCrash(r any) (point string, ok bool) {
+	c, ok := r.(crashPanic)
+	if !ok {
+		return "", false
+	}
+	return c.point, true
+}

@@ -1,0 +1,58 @@
+package faultinject
+
+import "testing"
+
+func TestCrashPointUnarmedIsNoop(t *testing.T) {
+	CrashPoint("nowhere") // must not panic
+}
+
+func TestCrashPointFiresOncePerArm(t *testing.T) {
+	defer DisarmCrashes()
+	ArmCrash("p")
+
+	fired := func() (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				point, isCrash := IsCrash(r)
+				if !isCrash || point != "p" {
+					panic(r)
+				}
+				ok = true
+			}
+		}()
+		CrashPoint("p")
+		return false
+	}
+
+	if !fired() {
+		t.Fatal("armed point did not fire")
+	}
+	if fired() {
+		t.Fatal("point fired twice for a single arm")
+	}
+
+	// Double-arming yields two triggers.
+	ArmCrash("p")
+	ArmCrash("p")
+	if !fired() || !fired() {
+		t.Fatal("double-armed point did not fire twice")
+	}
+	if fired() {
+		t.Fatal("point fired a third time")
+	}
+}
+
+func TestDisarmCrashes(t *testing.T) {
+	ArmCrash("q")
+	DisarmCrashes()
+	CrashPoint("q") // must not panic
+}
+
+func TestIsCrashRejectsForeignPanics(t *testing.T) {
+	if _, ok := IsCrash("some other panic"); ok {
+		t.Error("IsCrash accepted a foreign panic value")
+	}
+	if _, ok := IsCrash(nil); ok {
+		t.Error("IsCrash accepted nil")
+	}
+}

@@ -1,0 +1,201 @@
+// Package journal provides the crash-safe write-ahead journal behind the
+// resilient recovery service (and the campaign driver's checkpoint/resume).
+//
+// The durability model is the classic WAL one: before any recovery work
+// begins, an *intent* record (allocation, offset, faulting address, detected
+// value) is appended and optionally fsynced; after the recovery's outcome is
+// known (verified write, escalation-ladder exhaustion, abandonment), an
+// *outcome* record referencing the intent is appended. A process that dies
+// between the two leaves a dangling intent; on restart, Open returns every
+// dangling intent so the service can re-quarantine the offset and replay the
+// recovery instead of silently losing a corrupt element.
+//
+// Records are single JSON lines. A crash mid-append leaves at most one torn
+// final line, which Scan detects (no trailing newline, or undecodable JSON
+// on the last line) and discards — equivalent to the record never having
+// been written, which is exactly the WAL contract.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Log is a crash-safe append-only record log: one JSON document per line,
+// optional fsync per append.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	sync bool
+}
+
+// OpenLog opens (creating if needed) the log at path for appending. A torn
+// final record left by a crash mid-append is truncated away first, so the
+// next append starts on a clean line instead of concatenating onto the torn
+// tail. With sync true every append is fsynced before returning — the
+// durability the WAL contract wants; false trades crash-window durability
+// for speed (the OS still sees every write immediately, so only a machine
+// crash, not a process crash, can lose records).
+func OpenLog(path string, sync bool) (*Log, error) {
+	if dir := filepath.Dir(path); dir != "" && dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+	}
+	if err := repairTail(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Log{f: f, path: path, sync: sync}, nil
+}
+
+// repairTail truncates a torn final record (crash mid-append) so the log
+// ends on a record boundary. A missing file needs no repair.
+func repairTail(path string) error {
+	intact, err := scanFile(path, func([]byte) error { return nil })
+	if err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if st.Size() > intact {
+		if err := os.Truncate(path, intact); err != nil {
+			return fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Append marshals v as one JSON line and appends it. The write is a single
+// write(2) call (line assembled in memory first), so concurrent appenders
+// never interleave bytes; with sync enabled the line is fsynced before
+// Append returns.
+func (l *Log) Append(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("journal: marshal: %w", err)
+	}
+	data = append(data, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("journal: log %s is closed", l.path)
+	}
+	if _, err := l.f.Write(data); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the log. Further Appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// Scan reads every intact record of the log at path, calling fn with the
+// raw JSON of each line in order. A torn final record (partial line from a
+// crash mid-append) is silently discarded; torn or corrupt records anywhere
+// else are an error, because an append-only log can only be damaged at its
+// tail by a crash. A missing file scans as empty.
+func Scan(path string, fn func(line []byte) error) error {
+	_, err := scanFile(path, fn)
+	return err
+}
+
+// scanFile is Scan plus bookkeeping of the intact prefix length: the byte
+// offset just past the last complete, valid record (what a tail repair
+// truncates to).
+func scanFile(path string, fn func(line []byte) error) (intact int64, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReader(f)
+	var pendingErr error // defect found on the previous line; fatal unless it was the last
+	var offset int64
+	lineNo := 0
+	for {
+		line, err := r.ReadBytes('\n')
+		atEOF := err == io.EOF
+		if err != nil && !atEOF {
+			return intact, fmt.Errorf("journal: read %s: %w", path, err)
+		}
+		if pendingErr != nil {
+			// The defective line was complete (newline-terminated), which a
+			// crashed single-write append cannot produce: real corruption.
+			return intact, pendingErr
+		}
+		if len(line) == 0 && atEOF {
+			return intact, nil
+		}
+		lineNo++
+		offset += int64(len(line))
+		torn := atEOF && (len(line) == 0 || line[len(line)-1] != '\n')
+		trimmed := bytes.TrimRight(line, "\n")
+		if len(trimmed) == 0 {
+			intact = offset
+			if atEOF {
+				return intact, nil
+			}
+			continue
+		}
+		if !json.Valid(trimmed) {
+			if torn || atEOF {
+				// Torn tail from a crash mid-append: as if never written.
+				return intact, nil
+			}
+			pendingErr = fmt.Errorf("journal: %s line %d: corrupt record", path, lineNo)
+			continue
+		}
+		if torn {
+			// Valid JSON but no newline: the append's final byte was lost.
+			// Treat as torn — the writer had not finished the record.
+			return intact, nil
+		}
+		if err := fn(trimmed); err != nil {
+			return intact, err
+		}
+		intact = offset
+		if atEOF {
+			return intact, nil
+		}
+	}
+}

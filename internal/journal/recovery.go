@@ -1,0 +1,163 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"spatialdue/internal/faultinject"
+)
+
+// Intent is one journaled recovery intent: everything a restarted service
+// needs to re-quarantine and replay the recovery of a corrupt element.
+type Intent struct {
+	// ID is the journal-assigned sequence number, unique within the file.
+	ID uint64
+	// Alloc is the allocation name (replay resolves it by name, since
+	// simulated base addresses are reassigned on restart).
+	Alloc string
+	// Addr is the faulting physical address as originally reported.
+	Addr uint64
+	// Offset is the linear element offset under recovery.
+	Offset int
+	// Detected is the corrupt value observed at intake (forensics only).
+	Detected float64
+}
+
+// intentWire is the on-disk shape of an Intent. The detected value is the
+// raw IEEE-754 bit pattern, not a JSON number: a DUE's payload is arbitrary
+// garbage bits, frequently NaN or Inf, which encoding/json refuses to emit
+// as a number — and the forensic record must be bit-exact anyway.
+type intentWire struct {
+	ID           uint64 `json:"id"`
+	Alloc        string `json:"alloc"`
+	Addr         uint64 `json:"addr,omitempty"`
+	Offset       int    `json:"off"`
+	DetectedBits uint64 `json:"valbits"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (in Intent) MarshalJSON() ([]byte, error) {
+	return json.Marshal(intentWire{
+		ID: in.ID, Alloc: in.Alloc, Addr: in.Addr, Offset: in.Offset,
+		DetectedBits: math.Float64bits(in.Detected),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (in *Intent) UnmarshalJSON(b []byte) error {
+	var w intentWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*in = Intent{ID: w.ID, Alloc: w.Alloc, Addr: w.Addr, Offset: w.Offset,
+		Detected: math.Float64frombits(w.DetectedBits)}
+	return nil
+}
+
+// Outcome is the terminal record of a journaled recovery.
+type Outcome struct {
+	// ID references the intent.
+	ID uint64 `json:"id"`
+	// OK marks a verified in-place recovery.
+	OK bool `json:"ok"`
+	// Detail carries the failure cause, or the method/stage on success.
+	Detail string `json:"detail,omitempty"`
+}
+
+// record is the on-disk envelope: exactly one of Intent/Outcome is set.
+type record struct {
+	Kind    string   `json:"k"` // "intent" | "outcome"
+	Intent  *Intent  `json:"i,omitempty"`
+	Outcome *Outcome `json:"o,omitempty"`
+}
+
+// Recovery is the service's write-ahead recovery journal.
+type Recovery struct {
+	mu     sync.Mutex
+	log    *Log
+	nextID uint64
+}
+
+// OpenRecovery opens (creating if needed) the recovery journal at path and
+// replays its records: every intent without a matching outcome — a recovery
+// the previous process started but never finished — is returned in ID order
+// so the caller can re-quarantine and resubmit it. New records append after
+// the old ones; IDs continue from the highest seen.
+func OpenRecovery(path string, sync bool) (*Recovery, []Intent, error) {
+	dangling := map[uint64]Intent{}
+	var maxID uint64
+	err := Scan(path, func(line []byte) error {
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("journal: decode record: %w", err)
+		}
+		switch rec.Kind {
+		case "intent":
+			if rec.Intent == nil {
+				return fmt.Errorf("journal: intent record without body")
+			}
+			dangling[rec.Intent.ID] = *rec.Intent
+			if rec.Intent.ID > maxID {
+				maxID = rec.Intent.ID
+			}
+		case "outcome":
+			if rec.Outcome == nil {
+				return fmt.Errorf("journal: outcome record without body")
+			}
+			delete(dangling, rec.Outcome.ID)
+			if rec.Outcome.ID > maxID {
+				maxID = rec.Outcome.ID
+			}
+		default:
+			return fmt.Errorf("journal: unknown record kind %q", rec.Kind)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	log, err := OpenLog(path, sync)
+	if err != nil {
+		return nil, nil, err
+	}
+	unfinished := make([]Intent, 0, len(dangling))
+	for _, in := range dangling {
+		unfinished = append(unfinished, in)
+	}
+	sort.Slice(unfinished, func(i, j int) bool { return unfinished[i].ID < unfinished[j].ID })
+	return &Recovery{log: log, nextID: maxID + 1}, unfinished, nil
+}
+
+// Begin journals a recovery intent (durably, when the journal is synced)
+// and returns its ID. This must complete before any recovery work starts:
+// it is the write-ahead in write-ahead journal.
+func (r *Recovery) Begin(alloc string, addr uint64, off int, detected float64) (uint64, error) {
+	r.mu.Lock()
+	id := r.nextID
+	r.nextID++
+	r.mu.Unlock()
+	in := Intent{ID: id, Alloc: alloc, Addr: addr, Offset: off, Detected: detected}
+	if err := r.log.Append(record{Kind: "intent", Intent: &in}); err != nil {
+		return 0, err
+	}
+	faultinject.CrashPoint("journal/intent-written")
+	return id, nil
+}
+
+// Finish journals the outcome of intent id. Until this returns, the intent
+// counts as unfinished and a restart will replay it.
+func (r *Recovery) Finish(id uint64, ok bool, detail string) error {
+	faultinject.CrashPoint("journal/outcome-unwritten")
+	out := Outcome{ID: id, OK: ok, Detail: detail}
+	if err := r.log.Append(record{Kind: "outcome", Outcome: &out}); err != nil {
+		return err
+	}
+	faultinject.CrashPoint("journal/outcome-written")
+	return nil
+}
+
+// Close closes the underlying log.
+func (r *Recovery) Close() error { return r.log.Close() }

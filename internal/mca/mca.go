@@ -369,6 +369,71 @@ func (m *Machine) Redeliver() error {
 	return nil
 }
 
+// RedeliverLatched re-runs the handler chain for every bank whose record
+// was latched by a *failed* delivery — the shape a backpressuring consumer
+// produces: an admission-controlled recovery service that rejects a DUE
+// with its queue full returns an error from the handler, the record stays
+// latched, and the service calls RedeliverLatched once capacity frees up.
+// Banks that deliver successfully are cleared (and the overflow queue
+// drained into them); banks that fail again stay latched for the next
+// round. It returns the number of events successfully redelivered.
+func (m *Machine) RedeliverLatched() int {
+	m.mu.Lock()
+	type latched struct {
+		bank   int
+		status uint64
+		addr   uint64
+		misc   uint64
+	}
+	var records []latched
+	for b := range m.banks {
+		if m.banks[b]&StatusVal != 0 && !m.inflight[b] {
+			m.inflight[b] = true
+			records = append(records, latched{bank: b, status: m.banks[b], addr: m.addrs[b], misc: m.miscs[b]})
+		}
+	}
+	handlers := append([]Handler(nil), m.handlers...)
+	m.mu.Unlock()
+
+	delivered := 0
+	for _, rec := range records {
+		ev := Event{Bank: rec.bank, Status: rec.status, Addr: rec.addr, Misc: rec.misc, Kind: KindMemDUE}
+		handled := false
+		for _, h := range handlers {
+			if err := h(ev); err == nil {
+				handled = true
+				break
+			}
+		}
+		if handled {
+			m.clearBank(rec.bank)
+			delivered++
+		} else {
+			m.mu.Lock()
+			m.inflight[rec.bank] = false
+			m.mu.Unlock()
+		}
+	}
+	if delivered > 0 {
+		m.drainPending()
+	}
+	return delivered
+}
+
+// LatchedBanks returns the indices of banks holding a valid, undelivered
+// error record (delivery failed; awaiting RedeliverLatched).
+func (m *Machine) LatchedBanks() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []int
+	for b := range m.banks {
+		if m.banks[b]&StatusVal != 0 && !m.inflight[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
 func (m *Machine) clearBank(bank int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -1,0 +1,89 @@
+package mca
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRedeliverLatched models a backpressuring consumer: the handler
+// rejects deliveries while "overloaded", the records stay latched in their
+// banks, and RedeliverLatched re-runs the chain once capacity frees up.
+func TestRedeliverLatched(t *testing.T) {
+	m := New(4)
+	overloaded := true
+	var delivered []uint64
+	m.Handle(func(ev Event) error {
+		if overloaded {
+			return errors.New("queue full")
+		}
+		delivered = append(delivered, ev.Addr)
+		return nil
+	})
+
+	for _, addr := range []uint64{0x100, 0x200, 0x300} {
+		m.Plant(addr, 1)
+		if faulted, err := m.Touch(addr, 8); !faulted || err == nil {
+			t.Fatalf("touch %#x: faulted=%v err=%v, want rejected delivery", addr, faulted, err)
+		}
+	}
+	if got := m.LatchedBanks(); len(got) != 3 {
+		t.Fatalf("latched banks = %v, want 3", got)
+	}
+	// Redelivery into a still-overloaded consumer changes nothing.
+	if n := m.RedeliverLatched(); n != 0 {
+		t.Fatalf("overloaded redelivery delivered %d, want 0", n)
+	}
+	if got := m.LatchedBanks(); len(got) != 3 {
+		t.Fatalf("latched banks after failed redelivery = %v, want 3", got)
+	}
+
+	overloaded = false
+	if n := m.RedeliverLatched(); n != 3 {
+		t.Fatalf("redelivered %d, want 3", n)
+	}
+	if len(delivered) != 3 {
+		t.Fatalf("handler saw %v, want all 3 addresses", delivered)
+	}
+	if got := m.LatchedBanks(); len(got) != 0 {
+		t.Errorf("banks still latched: %v", got)
+	}
+	// Idempotent on an empty machine.
+	if n := m.RedeliverLatched(); n != 0 {
+		t.Errorf("empty redelivery delivered %d", n)
+	}
+}
+
+// TestRedeliverLatchedDrainsOverflowQueue: clearing a latched bank must
+// also pull queued overflow events back in.
+func TestRedeliverLatchedDrainsOverflowQueue(t *testing.T) {
+	m := New(1)
+	overloaded := true
+	var delivered []uint64
+	m.Handle(func(ev Event) error {
+		if overloaded {
+			return errors.New("queue full")
+		}
+		delivered = append(delivered, ev.Addr)
+		return nil
+	})
+
+	if err := m.RaiseMemoryDUE(0x100, 0); err == nil {
+		t.Fatal("first DUE should be rejected")
+	}
+	// Second DUE finds the only bank latched: displaced onto the queue.
+	_ = m.RaiseMemoryDUE(0x200, 0)
+	if m.PendingOverflow() == 0 {
+		t.Fatal("expected an overflowed event awaiting redelivery")
+	}
+
+	overloaded = false
+	if n := m.RedeliverLatched(); n < 1 {
+		t.Fatalf("redelivered %d, want >= 1", n)
+	}
+	if len(delivered) != 2 {
+		t.Fatalf("handler saw %v, want both addresses", delivered)
+	}
+	if m.PendingOverflow() != 0 || len(m.LatchedBanks()) != 0 {
+		t.Errorf("machine not clean: pending=%d latched=%v", m.PendingOverflow(), m.LatchedBanks())
+	}
+}

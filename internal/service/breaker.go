@@ -1,0 +1,111 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the observable state of one allocation's circuit breaker.
+type BreakerState int
+
+const (
+	// BreakerClosed: recoveries flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: repeated recoveries of this allocation failed; new DUEs
+	// on it are degraded straight to checkpoint-restart until the cooldown
+	// elapses.
+	BreakerOpen
+	// BreakerHalfOpen: cooldown elapsed; exactly one probe recovery is in
+	// flight. Success closes the breaker, failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-allocation circuit breaker. A repeatedly faulting
+// array/bank (the "repeated faulting banks" pattern fleet studies report)
+// stops consuming pool capacity: after threshold consecutive failures the
+// breaker opens and the allocation degrades to checkpoint-restart; after
+// cooldown one probe recovery is admitted, and only its success restores
+// normal service.
+type breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int
+	openedAt  time.Time
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	trips     int
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a recovery of this allocation may be admitted, and
+// whether it is the half-open probe (whose result decides the breaker's
+// fate).
+func (b *breaker) allow() (probe, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return false, true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true, true
+		}
+		return false, false
+	default: // BreakerHalfOpen: the probe is already in flight
+		return false, false
+	}
+}
+
+// onSuccess records a verified recovery: the breaker closes and the failure
+// streak resets.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+}
+
+// onFailure records a failed recovery; it trips the breaker after threshold
+// consecutive failures, and a failed half-open probe re-opens immediately.
+// It reports whether this call transitioned the breaker to open.
+func (b *breaker) onFailure() (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
+		tripped = b.state != BreakerOpen
+		if tripped {
+			b.trips++
+		}
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.failures = 0
+	}
+	return tripped
+}
+
+// snapshot returns the current state (refreshing open→half-open is left to
+// allow, so a quiescent open breaker reads as open).
+func (b *breaker) snapshot() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

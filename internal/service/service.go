@@ -1,0 +1,655 @@
+// Package service wraps core.Engine in a long-running, resilient recovery
+// front end — the intake layer a fleet-scale deployment puts between MCA
+// event streams and the reconstruction math:
+//
+//   - a bounded worker pool with admission control: past a configurable
+//     queue depth, new DUEs are rejected with ErrOverloaded instead of
+//     blocking MCA delivery (the machine keeps the record latched and the
+//     service redelivers once capacity frees up);
+//   - a per-recovery context deadline plumbed through the engine's
+//     escalation ladder, so a stuck predictor or checkpoint restore cannot
+//     wedge a worker;
+//   - retry with jittered exponential backoff for transient failures
+//     (abandoned/timed-out climbs), while permanent failures
+//     (ErrCheckpointRestartRequired) fail fast;
+//   - a per-allocation circuit breaker: repeated failed recoveries on the
+//     same allocation trip it, degrading that allocation to
+//     checkpoint-restart until a probe recovery succeeds;
+//   - an optional crash-safe write-ahead journal (internal/journal): every
+//     intent is durable before work starts, every outcome after, and a
+//     restarted service replays unfinished intents — re-quarantining their
+//     offsets — instead of silently losing corrupt elements.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"spatialdue/internal/core"
+	"spatialdue/internal/faultinject"
+	"spatialdue/internal/journal"
+	"spatialdue/internal/mca"
+	"spatialdue/internal/registry"
+)
+
+// ErrOverloaded is returned by Submit/SubmitAddress when the admission
+// queue is full. The event is NOT accepted: an MCA delivering it keeps the
+// record latched, and the service redelivers once a worker frees up.
+var ErrOverloaded = errors.New("service: overloaded: recovery queue full")
+
+// ErrStopped is returned by submissions after Drain/Close (or a simulated
+// crash).
+var ErrStopped = errors.New("service: stopped")
+
+// ErrCircuitOpen is returned (wrapping ErrCheckpointRestartRequired) when
+// the target allocation's circuit breaker is open: the allocation is
+// degraded to checkpoint-restart until a probe recovery succeeds.
+var ErrCircuitOpen = errors.New("service: circuit open")
+
+// Config parameterizes a Service. Zero values select the documented
+// defaults; negative values disable where noted.
+type Config struct {
+	// Workers is the recovery pool size (default 4).
+	Workers int
+	// QueueDepth bounds queued-but-unstarted recoveries; submissions past
+	// it get ErrOverloaded (default 64).
+	QueueDepth int
+	// Deadline bounds each recovery attempt end to end: lock wait, ladder
+	// climb, verification. Default 2s; negative disables deadlines.
+	Deadline time.Duration
+	// MaxRetries is how many times a transient failure (an abandoned,
+	// timed-out climb) is retried with backoff before the recovery is
+	// declared failed. Default 2; negative disables retries.
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the jittered exponential backoff
+	// between retries (defaults 5ms and 250ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips an
+	// allocation's circuit breaker (default 3; negative disables breakers).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// admitting a probe recovery (default 5s).
+	BreakerCooldown time.Duration
+	// JournalPath, when set, enables the crash-safe recovery journal.
+	JournalPath string
+	// JournalSync fsyncs every journal append (full WAL durability).
+	JournalSync bool
+	// Seed makes retry jitter deterministic.
+	Seed int64
+	// OnOutcome, when set, receives every finished recovery (called from
+	// worker goroutines; must not block for long).
+	OnOutcome func(Result)
+}
+
+// Result reports one finished (or terminally failed) recovery.
+type Result struct {
+	// Alloc and Offset identify the repaired element; Addr is the faulting
+	// address as submitted (0 for direct Submit calls on offset).
+	Alloc  string
+	Offset int
+	Addr   uint64
+	// Outcome is the engine outcome when Err is nil.
+	Outcome core.Outcome
+	// Err is the terminal error (nil on success).
+	Err error
+	// Attempts is how many engine attempts were made (1 + retries).
+	Attempts int
+	// Replayed marks recoveries resubmitted from the journal on restart.
+	Replayed bool
+	// Probe marks a circuit breaker's half-open probe recovery.
+	Probe bool
+}
+
+// Stats are the service's lifetime counters.
+type Stats struct {
+	// Submitted counts all submission attempts; Accepted the ones admitted.
+	Submitted, Accepted uint64
+	// Rejected counts ErrOverloaded rejections; BreakerRejected counts
+	// submissions degraded to checkpoint-restart by an open breaker.
+	Rejected, BreakerRejected uint64
+	// Recovered and Failed count terminal outcomes; Abandoned is the subset
+	// of Failed whose final error was a deadline abandonment.
+	Recovered, Failed, Abandoned uint64
+	// Retries counts backoff retries across all recoveries.
+	Retries uint64
+	// Replayed counts journal intents resubmitted on restart.
+	Replayed uint64
+	// BreakerTrips counts closed/half-open -> open transitions.
+	BreakerTrips uint64
+}
+
+// task is one queued recovery.
+type task struct {
+	alloc     *registry.Allocation
+	addr      uint64
+	off       int
+	detected  float64
+	id        uint64 // journal intent id (valid when journaled)
+	journaled bool
+	replayed  bool
+	probe     bool
+}
+
+// Service is the resilient recovery front end. Create with New, launch
+// workers with Start, stop with Drain/Close.
+type Service struct {
+	eng *core.Engine
+	cfg Config
+	jr  *journal.Recovery
+
+	queue chan task
+	wg    sync.WaitGroup
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu       sync.Mutex
+	breakers map[string]*breaker
+	pendingN int
+	stopped  bool
+	started  bool
+	crashed  string // crash point, when a simulated crash killed the service
+	stats    Stats
+	machine  *mca.Machine
+}
+
+// New creates a service over eng. When cfg.JournalPath is set, the journal
+// is opened and every unfinished intent from a previous run is replayed:
+// its offset is re-quarantined immediately and a recovery task is enqueued
+// (counted in Stats.Replayed). Allocations must therefore be registered —
+// under the same names — before New is called. Workers do not run until
+// Start, so callers may inspect the replayed state first.
+func New(eng *core.Engine, cfg Config) (*Service, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("service: nil engine")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Deadline == 0 {
+		cfg.Deadline = 2 * time.Second
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 5 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 250 * time.Millisecond
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+
+	s := &Service{
+		eng:      eng,
+		cfg:      cfg,
+		breakers: map[string]*breaker{},
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+	}
+
+	var unfinished []journal.Intent
+	if cfg.JournalPath != "" {
+		jr, dangling, err := journal.OpenRecovery(cfg.JournalPath, cfg.JournalSync)
+		if err != nil {
+			return nil, err
+		}
+		s.jr = jr
+		unfinished = dangling
+	}
+	// Queue capacity covers the admission bound plus every replayed intent,
+	// so replay enqueues can never block.
+	s.queue = make(chan task, cfg.QueueDepth+len(unfinished))
+	for _, in := range unfinished {
+		s.replay(in)
+	}
+	return s, nil
+}
+
+// replay re-quarantines and resubmits one unfinished journal intent.
+func (s *Service) replay(in journal.Intent) {
+	alloc, ok := s.eng.Table().ByName(in.Alloc)
+	if !ok || in.Offset < 0 || in.Offset >= alloc.Array.Len() {
+		// The allocation vanished across the restart: the intent can never
+		// be replayed. Close it out so the journal converges.
+		_ = s.jr.Finish(in.ID, false, "orphaned on replay: allocation not registered")
+		return
+	}
+	// Re-quarantine first: even before the pool touches the task, no
+	// stencil may trust the possibly-corrupt cell the crash left behind.
+	s.eng.MarkCorrupt(alloc, in.Offset)
+	s.mu.Lock()
+	s.pendingN++
+	s.stats.Replayed++
+	s.queue <- task{
+		alloc: alloc, addr: in.Addr, off: in.Offset, detected: in.Detected,
+		id: in.ID, journaled: true, replayed: true,
+	}
+	s.mu.Unlock()
+}
+
+// Start launches the worker pool. Idempotent.
+func (s *Service) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.stopped {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// AttachMCA registers the service as a machine-check handler. Delivery is
+// non-blocking: the handler only admits the event into the queue (nil means
+// accepted, not recovered). An ErrOverloaded rejection leaves the record
+// latched in its bank, and the service calls RedeliverLatched whenever a
+// worker frees capacity, so overflowed events are delivered late rather
+// than dropped.
+func (s *Service) AttachMCA(m *mca.Machine) {
+	s.mu.Lock()
+	s.machine = m
+	s.mu.Unlock()
+	m.Handle(func(ev mca.Event) error {
+		if !ev.IsDUE() {
+			return fmt.Errorf("service: not a recoverable DUE: %v", ev)
+		}
+		return s.SubmitAddress(ev.Addr)
+	})
+}
+
+// SubmitAddress admits the DUE at a faulting physical address. It returns
+// nil when the recovery was accepted (it completes asynchronously),
+// ErrOverloaded when the queue is full, ErrCircuitOpen (wrapping
+// ErrCheckpointRestartRequired) when the allocation is degraded, and
+// ErrCheckpointRestartRequired when the address is not registered.
+func (s *Service) SubmitAddress(addr uint64) error {
+	alloc, off, err := s.eng.Table().Lookup(addr)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.Submitted++
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %v", core.ErrCheckpointRestartRequired, err)
+	}
+	return s.submit(alloc, addr, off)
+}
+
+// Submit admits a recovery for a known allocation element (detector paths
+// that localize corruption without a physical address).
+func (s *Service) Submit(alloc *registry.Allocation, off int) error {
+	if off < 0 || off >= alloc.Array.Len() {
+		return fmt.Errorf("%w: offset %d out of range", core.ErrCheckpointRestartRequired, off)
+	}
+	return s.submit(alloc, alloc.AddrOf(off), off)
+}
+
+func (s *Service) submit(alloc *registry.Allocation, addr uint64, off int) error {
+	// Admission control: reserve a queue slot or reject immediately —
+	// never block the deliverer.
+	s.mu.Lock()
+	s.stats.Submitted++
+	if s.stopped {
+		s.mu.Unlock()
+		return ErrStopped
+	}
+	if s.pendingN >= s.cfg.QueueDepth {
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return ErrOverloaded
+	}
+	s.pendingN++
+	s.mu.Unlock()
+
+	release := func() {
+		s.mu.Lock()
+		s.pendingN--
+		s.mu.Unlock()
+	}
+
+	// Circuit breaker: a degraded allocation goes straight to
+	// checkpoint-restart without consuming pool time.
+	probe := false
+	if br := s.breakerFor(alloc.Name); br != nil {
+		var ok bool
+		probe, ok = br.allow()
+		if !ok {
+			release()
+			s.mu.Lock()
+			s.stats.BreakerRejected++
+			s.mu.Unlock()
+			return fmt.Errorf("%w: allocation %q degraded to checkpoint-restart: %w",
+				ErrCircuitOpen, alloc.Name, core.ErrCheckpointRestartRequired)
+		}
+	}
+
+	// Quarantine at intake: from this moment the corrupt cell is masked
+	// out of every stencil, even while the task waits in the queue.
+	s.eng.MarkCorrupt(alloc, off)
+	detected := alloc.Array.AtOffset(off)
+
+	// Write-ahead intent: durable before any work begins.
+	t := task{alloc: alloc, addr: addr, off: off, detected: detected, probe: probe}
+	if s.jr != nil {
+		id, err := s.jr.Begin(alloc.Name, addr, off, detected)
+		if err != nil {
+			release()
+			return fmt.Errorf("service: journal intent: %w", err)
+		}
+		t.id, t.journaled = id, true
+	}
+
+	s.mu.Lock()
+	if s.stopped {
+		s.pendingN--
+		s.mu.Unlock()
+		return ErrStopped
+	}
+	s.stats.Accepted++
+	s.queue <- t // cannot block: slot reserved above
+	s.mu.Unlock()
+	return nil
+}
+
+// breakerFor returns (creating on demand) the allocation's breaker, or nil
+// when breakers are disabled.
+func (s *Service) breakerFor(name string) *breaker {
+	if s.cfg.BreakerThreshold < 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.breakers[name]
+	if !ok {
+		b = newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, time.Now)
+		s.breakers[name] = b
+	}
+	return b
+}
+
+// BreakerState reports the circuit state of an allocation (BreakerClosed
+// for unknown or disabled breakers).
+func (s *Service) BreakerState(name string) BreakerState {
+	s.mu.Lock()
+	b := s.breakers[name]
+	s.mu.Unlock()
+	if b == nil {
+		return BreakerClosed
+	}
+	return b.snapshot()
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		s.mu.Lock()
+		s.pendingN--
+		dead := s.crashed != ""
+		s.mu.Unlock()
+		if dead {
+			// Simulated process death: queued work is lost with the
+			// process (the journal has its intents).
+			continue
+		}
+		s.process(t)
+		s.maybeRedeliver()
+	}
+}
+
+// process runs one recovery to its terminal outcome: deadline-bounded
+// attempts, jittered backoff on transient failures, breaker and journal
+// bookkeeping.
+func (s *Service) process(t task) {
+	defer func() {
+		if r := recover(); r != nil {
+			if point, ok := faultinject.IsCrash(r); ok {
+				s.die(point)
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	var (
+		out      core.Outcome
+		err      error
+		attempts int
+	)
+	for {
+		attempts++
+		ctx := context.Background()
+		cancel := func() {}
+		if s.cfg.Deadline > 0 {
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
+		}
+		out, err = s.eng.RecoverElementCtx(ctx, t.alloc, t.off)
+		cancel()
+		if err == nil || !transient(err) || attempts > s.cfg.MaxRetries {
+			break
+		}
+		s.mu.Lock()
+		s.stats.Retries++
+		s.mu.Unlock()
+		time.Sleep(s.backoff(attempts))
+	}
+
+	if br := s.breakerFor(t.alloc.Name); br != nil {
+		if err == nil {
+			br.onSuccess()
+		} else if br.onFailure() {
+			s.mu.Lock()
+			s.stats.BreakerTrips++
+			s.mu.Unlock()
+		}
+	}
+
+	s.mu.Lock()
+	if err == nil {
+		s.stats.Recovered++
+	} else {
+		s.stats.Failed++
+		if errors.Is(err, core.ErrRecoveryAbandoned) {
+			s.stats.Abandoned++
+		}
+	}
+	s.mu.Unlock()
+
+	if t.journaled && !s.isCrashed() {
+		faultinject.CrashPoint("service/recovery-done")
+		detail := ""
+		if err != nil {
+			detail = err.Error()
+		} else {
+			detail = fmt.Sprintf("method=%v stage=%v attempts=%d", out.Method, out.Stage, attempts)
+		}
+		if jerr := s.jr.Finish(t.id, err == nil, detail); jerr != nil && err == nil {
+			err = jerr
+		}
+	}
+
+	if s.cfg.OnOutcome != nil {
+		s.cfg.OnOutcome(Result{
+			Alloc: t.alloc.Name, Offset: t.off, Addr: t.addr,
+			Outcome: out, Err: err, Attempts: attempts,
+			Replayed: t.replayed, Probe: t.probe,
+		})
+	}
+}
+
+// transient reports whether a recovery error is worth retrying: abandoned
+// (timed-out) climbs are; ladder exhaustion and unregistered addresses are
+// permanent.
+func transient(err error) bool {
+	return errors.Is(err, core.ErrRecoveryAbandoned)
+}
+
+// backoff returns the jittered exponential delay before retry n (1-based).
+func (s *Service) backoff(n int) time.Duration {
+	d := s.cfg.BackoffBase << uint(n-1)
+	if d > s.cfg.BackoffMax || d <= 0 {
+		d = s.cfg.BackoffMax
+	}
+	// Full jitter in [d/2, d]: desynchronizes retry storms while keeping
+	// the expected delay close to the nominal curve.
+	s.rngMu.Lock()
+	j := time.Duration(s.rng.Int63n(int64(d)/2 + 1))
+	s.rngMu.Unlock()
+	return d/2 + j
+}
+
+// maybeRedeliver pulls back MCA events whose delivery failed while the
+// service was overloaded, now that a worker freed capacity.
+func (s *Service) maybeRedeliver() {
+	s.mu.Lock()
+	m := s.machine
+	room := s.pendingN < s.cfg.QueueDepth && !s.stopped
+	s.mu.Unlock()
+	if m != nil && room {
+		m.RedeliverLatched()
+	}
+}
+
+// die freezes the service in response to an armed crash point: submissions
+// fail, queued tasks are dropped, and no further journal records are
+// written — the closest a test can get to kill -9 without losing the
+// process.
+func (s *Service) die(point string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed == "" {
+		s.crashed = point
+	}
+	s.stopped = true
+}
+
+func (s *Service) isCrashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed != ""
+}
+
+// Crashed reports whether a simulated crash killed the service, and at
+// which crash point.
+func (s *Service) Crashed() (point string, crashed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed, s.crashed != ""
+}
+
+// QueueLen returns the number of queued-but-unstarted recoveries.
+func (s *Service) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pendingN
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Drain gracefully shuts the service down: intake stops (submissions get
+// ErrStopped), queued recoveries complete, workers exit, and the journal
+// is closed. The context bounds the wait.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.stopped {
+		s.stopped = true
+	}
+	if s.started {
+		s.started = false
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain: %w", ctx.Err())
+	}
+	if s.jr != nil && !s.isCrashed() {
+		return s.jr.Close()
+	}
+	return nil
+}
+
+// Close is Drain without a bound.
+func (s *Service) Close() error { return s.Drain(context.Background()) }
+
+// WriteMetrics exports the service counters in the Prometheus text format,
+// complementing the engine's own WriteMetrics.
+func (s *Service) WriteMetrics(w io.Writer) error {
+	st := s.Stats()
+	s.mu.Lock()
+	pending := s.pendingN
+	states := make(map[string]BreakerState, len(s.breakers))
+	for name, b := range s.breakers {
+		states[name] = b.snapshot()
+	}
+	s.mu.Unlock()
+	if _, err := fmt.Fprintf(w,
+		"# HELP spatialdue_service_submitted_total Recovery submissions (incl. rejected).\n"+
+			"# TYPE spatialdue_service_submitted_total counter\n"+
+			"spatialdue_service_submitted_total %d\n"+
+			"# HELP spatialdue_service_rejected_total Submissions rejected with ErrOverloaded.\n"+
+			"# TYPE spatialdue_service_rejected_total counter\n"+
+			"spatialdue_service_rejected_total %d\n"+
+			"# HELP spatialdue_service_breaker_rejected_total Submissions degraded by an open breaker.\n"+
+			"# TYPE spatialdue_service_breaker_rejected_total counter\n"+
+			"spatialdue_service_breaker_rejected_total %d\n"+
+			"# HELP spatialdue_service_recovered_total Recoveries completed successfully.\n"+
+			"# TYPE spatialdue_service_recovered_total counter\n"+
+			"spatialdue_service_recovered_total %d\n"+
+			"# HELP spatialdue_service_failed_total Recoveries that failed terminally.\n"+
+			"# TYPE spatialdue_service_failed_total counter\n"+
+			"spatialdue_service_failed_total %d\n"+
+			"# HELP spatialdue_service_abandoned_total Failed recoveries whose final attempt hit the deadline.\n"+
+			"# TYPE spatialdue_service_abandoned_total counter\n"+
+			"spatialdue_service_abandoned_total %d\n"+
+			"# HELP spatialdue_service_retries_total Backoff retries.\n"+
+			"# TYPE spatialdue_service_retries_total counter\n"+
+			"spatialdue_service_retries_total %d\n"+
+			"# HELP spatialdue_service_replayed_total Journal intents replayed on restart.\n"+
+			"# TYPE spatialdue_service_replayed_total counter\n"+
+			"spatialdue_service_replayed_total %d\n"+
+			"# HELP spatialdue_service_breaker_trips_total Circuit breaker trips.\n"+
+			"# TYPE spatialdue_service_breaker_trips_total counter\n"+
+			"spatialdue_service_breaker_trips_total %d\n"+
+			"# HELP spatialdue_service_queue_depth Queued-but-unstarted recoveries.\n"+
+			"# TYPE spatialdue_service_queue_depth gauge\n"+
+			"spatialdue_service_queue_depth %d\n",
+		st.Submitted, st.Rejected, st.BreakerRejected, st.Recovered, st.Failed,
+		st.Abandoned, st.Retries, st.Replayed, st.BreakerTrips, pending); err != nil {
+		return err
+	}
+	for name, state := range states {
+		if _, err := fmt.Fprintf(w, "spatialdue_service_breaker_state{alloc=%q,state=%q} 1\n", name, state); err != nil {
+			return err
+		}
+	}
+	return nil
+}
