@@ -44,6 +44,8 @@ import (
 	"spatialdue/internal/core"
 	"spatialdue/internal/detect"
 	"spatialdue/internal/fti"
+	"spatialdue/internal/httpapi"
+	"spatialdue/internal/httpapi/client"
 	"spatialdue/internal/mca"
 	"spatialdue/internal/ndarray"
 	"spatialdue/internal/predict"
@@ -323,3 +325,43 @@ var ErrServiceStopped = service.ErrStopped
 // ErrRecoveryAbandoned marks a recovery abandoned at its context deadline;
 // the element stays quarantined and the service retries with backoff.
 var ErrRecoveryAbandoned = core.ErrRecoveryAbandoned
+
+// ErrVerifyFailed marks a reconstruction rejected by plausibility
+// verification (non-finite, outside the registered ValueRange, or wildly
+// off the neighbor spread); the escalation ladder tries the next rung.
+var ErrVerifyFailed = core.ErrVerifyFailed
+
+// HTTPServer is the networked recovery front end: per-tenant allocation
+// registration, field upload/download, streaming DUE/MCE ingestion into a
+// RecoveryService, recovery-outcome and quarantine queries, health and
+// metrics endpoints. See cmd/duerecover -serve -listen for the deployment
+// shape and cmd/dueload for a load generator driving it.
+type HTTPServer = httpapi.Server
+
+// HTTPServerConfig parameterizes an HTTPServer.
+type HTTPServerConfig = httpapi.ServerConfig
+
+// NewHTTPServer builds the full networked pipeline over an engine: a
+// recovery service (from cfg.Service), an ingestion MCA whose banks latch
+// backpressured events for redelivery, and the HTTP surface. Serve with
+// HTTPServer.Run (graceful drain on context cancellation) or mount it as an
+// http.Handler.
+func NewHTTPServer(e *Engine, cfg HTTPServerConfig) (*HTTPServer, error) {
+	return httpapi.NewServer(e, cfg)
+}
+
+// HTTPClient is the typed client SDK for an HTTPServer. Error responses map
+// back to the package sentinels: errors.Is(err, ErrOverloaded) works across
+// the wire exactly as in-process.
+type HTTPClient = client.Client
+
+// HTTPClientConfig parameterizes an HTTPClient.
+type HTTPClientConfig = client.Config
+
+// NewHTTPClient returns a client for the recovery server at
+// cfg.BaseURL, scoped to cfg.Tenant.
+func NewHTTPClient(cfg HTTPClientConfig) *HTTPClient { return client.New(cfg) }
+
+// HTTPError is a decoded server error (status, machine-readable code, and
+// the Latched backpressure marker).
+type HTTPError = httpapi.Error

@@ -1,0 +1,432 @@
+// Command dueload is a load generator for the networked recovery server
+// (duerecover -serve -listen). It runs N concurrent clients, each in its
+// own tenant: register an allocation → upload a smooth field → storm the
+// server with inject-then-ingest DUE bursts → wait for every corruption to
+// recover. It reports ingest and end-to-end recovery latency histograms,
+// recovery-quality counters, and verifies the run ends with zero
+// quarantined cells and every recovered value close to the original.
+//
+// Backpressure discipline: a 429/latched ingest is counted, never resent —
+// the server keeps the event bank-latched and redelivers it itself; the
+// settle phase proves those events were delivered late, not dropped.
+//
+// Usage:
+//
+//	dueload [-addr http://127.0.0.1:8080] [-clients 8] [-events 96]
+//	        [-burst 16] [-pause 25ms] [-rows 64] [-cols 64]
+//	        [-settle 60s] [-seed 1] [-tol 0.01]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/httpapi"
+	"spatialdue/internal/httpapi/client"
+	"spatialdue/internal/service"
+	"spatialdue/internal/stats"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8080", "recovery server base URL")
+		clients = flag.Int("clients", 8, "concurrent clients (one tenant each)")
+		events  = flag.Int("events", 96, "DUE events per client (capped at rows*cols)")
+		burst   = flag.Int("burst", 16, "events per back-to-back burst")
+		pause   = flag.Duration("pause", 25*time.Millisecond, "pause between bursts")
+		rows    = flag.Int("rows", 64, "field rows")
+		cols    = flag.Int("cols", 64, "field cols")
+		settle  = flag.Duration("settle", 60*time.Second, "max wait for all recoveries to land and quarantine to clear")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		tol     = flag.Float64("tol", 0.01, "relative-error bound counted as a high-quality recovery")
+	)
+	flag.Parse()
+	if *clients < 1 || *events < 1 || *rows < 2 || *cols < 2 {
+		fatalf("need -clients >= 1, -events >= 1, -rows/-cols >= 2")
+	}
+	if *events > *rows**cols {
+		*events = *rows * *cols
+	}
+
+	fmt.Printf("dueload: %d clients x %d events against %s (%dx%d fields, burst %d)\n",
+		*clients, *events, *addr, *rows, *cols, *burst)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2**settle+5*time.Minute)
+	defer cancel()
+
+	reports := make([]*report, *clients)
+	errs := make([]error, *clients)
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = runClient(ctx, clientParams{
+				addr: *addr, tenant: fmt.Sprintf("load-%02d", i),
+				rows: *rows, cols: *cols, events: *events, burst: *burst,
+				pause: *pause, settle: *settle, seed: *seed + int64(i)*7919, tol: *tol,
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	total := report{
+		ingest: newLatencyHist(), e2e: newLatencyHist(),
+		byCode: map[string]int{}, byMethod: map[string]int{},
+	}
+	failedClients := 0
+	for i, err := range errs {
+		if err != nil {
+			failedClients++
+			fmt.Fprintf(os.Stderr, "dueload: client %d: %v\n", i, err)
+			continue
+		}
+		total.merge(reports[i])
+	}
+
+	fmt.Printf("\n== ingest results ==\n")
+	fmt.Printf("accepted  %6d\n", total.accepted)
+	fmt.Printf("latched   %6d  (429/503 backpressure; server-side redelivery, never resent)\n", total.latched)
+	fmt.Printf("rejected  %6d\n", total.rejected)
+
+	fmt.Printf("\n== recovery quality ==\n")
+	fmt.Printf("recovered %6d  (%d auto-tuned, %d via post-settle repair sweep)\n",
+		total.recovered, total.tuned, total.swept)
+	fmt.Printf("failed-attempt outcomes %d\n", total.failedOutcomes)
+	for _, kv := range sortedCounts(total.byMethod) {
+		fmt.Printf("  method %-24s %6d\n", kv.k, kv.v)
+	}
+	for _, kv := range sortedCounts(total.byCode) {
+		fmt.Printf("  failure code %-24s %6d\n", kv.k, kv.v)
+	}
+	fmt.Printf("within %.2g rel err: %d/%d (max rel err %.3g)\n",
+		*tol, total.withinTol, total.verified, total.maxRelErr)
+	fmt.Printf("quarantined at end: %d\n", total.quarantined)
+
+	fmt.Printf("\n== ingest latency (HTTP round trip) ==\n")
+	printHist(total.ingest)
+	fmt.Printf("\n== end-to-end recovery latency (ingest -> outcome) ==\n")
+	printHist(total.e2e)
+
+	if failedClients > 0 {
+		fatalf("%d client(s) failed", failedClients)
+	}
+	if total.quarantined > 0 {
+		fatalf("run ended with %d unresolved quarantined cells", total.quarantined)
+	}
+	if total.unresolved > 0 {
+		fatalf("%d injected DUEs never produced a successful outcome", total.unresolved)
+	}
+	fmt.Printf("\nOK: all %d injected DUEs recovered, zero quarantined cells\n",
+		total.recoveredOffsets)
+}
+
+type clientParams struct {
+	addr, tenant  string
+	rows, cols    int
+	events, burst int
+	pause, settle time.Duration
+	seed          int64
+	tol           float64
+}
+
+type report struct {
+	accepted, latched, rejected int
+	recovered, tuned            int
+	failedOutcomes              int
+	byCode, byMethod            map[string]int
+	verified, withinTol         int
+	maxRelErr                   float64
+	quarantined                 int
+	unresolved                  int
+	recoveredOffsets            int
+	swept                       int
+	ingest, e2e                 *stats.Histogram
+}
+
+func (r *report) merge(o *report) {
+	r.accepted += o.accepted
+	r.latched += o.latched
+	r.rejected += o.rejected
+	r.recovered += o.recovered
+	r.tuned += o.tuned
+	r.failedOutcomes += o.failedOutcomes
+	r.verified += o.verified
+	r.withinTol += o.withinTol
+	r.quarantined += o.quarantined
+	r.unresolved += o.unresolved
+	r.recoveredOffsets += o.recoveredOffsets
+	r.swept += o.swept
+	r.maxRelErr = math.Max(r.maxRelErr, o.maxRelErr)
+	for k, v := range o.byCode {
+		r.byCode[k] += v
+	}
+	for k, v := range o.byMethod {
+		r.byMethod[k] += v
+	}
+	mergeHist(r.ingest, o.ingest)
+	mergeHist(r.e2e, o.e2e)
+}
+
+// runClient drives one tenant through the full lifecycle.
+func runClient(ctx context.Context, p clientParams) (*report, error) {
+	c := client.New(client.Config{BaseURL: p.addr, Tenant: p.tenant})
+	rep := &report{
+		ingest: newLatencyHist(), e2e: newLatencyHist(),
+		byCode: map[string]int{}, byMethod: map[string]int{},
+	}
+
+	const allocName = "field"
+	_, err := c.Register(ctx, httpapi.RegisterRequest{
+		Name: allocName, Dims: []int{p.rows, p.cols}, DType: "float32",
+		Policy: httpapi.PolicyInfo{Any: true, Range: &httpapi.RangeInfo{Lo: 50, Hi: 150}},
+	})
+	if err != nil {
+		return rep, fmt.Errorf("register: %w", err)
+	}
+
+	// A smooth field with per-tenant phase: spatial prediction recovers
+	// smooth data accurately, so every injection should repair in-range.
+	orig := make([]float64, p.rows*p.cols)
+	phase := float64(p.seed%17) / 17 * 2 * math.Pi
+	for i := 0; i < p.rows; i++ {
+		for j := 0; j < p.cols; j++ {
+			orig[i*p.cols+j] = 100 +
+				10*math.Sin(2*math.Pi*float64(i)/float64(p.rows)+phase)*
+					math.Cos(2*math.Pi*float64(j)/float64(p.cols)) +
+				5*float64(i+j)/float64(p.rows+p.cols)
+		}
+	}
+	if err := c.Upload(ctx, allocName, orig); err != nil {
+		return rep, fmt.Errorf("upload: %w", err)
+	}
+
+	// Storm, one burst at a time: plant the whole burst's latent faults
+	// first (injection serializes against in-flight recoveries on the
+	// array's recovery lock), then blast the DUE events back-to-back so
+	// admission control — not the injector — is what gets exercised.
+	// Distinct offsets keep the ingest->outcome latency map exact.
+	offsets := distinctOffsets(p.events, p.rows*p.cols, p.seed)
+	ingestAt := make(map[int]time.Time, p.events)
+	burst := p.burst
+	if burst < 1 {
+		burst = 1
+	}
+	for start := 0; start < len(offsets); start += burst {
+		if start > 0 && p.pause > 0 {
+			time.Sleep(p.pause)
+		}
+		end := start + burst
+		if end > len(offsets) {
+			end = len(offsets)
+		}
+		injected := make([]*httpapi.InjectReport, 0, end-start)
+		for n := start; n < end; n++ {
+			off := offsets[n]
+			inj, err := c.Inject(ctx, allocName, httpapi.InjectRequest{
+				Offset: &off, Seed: p.seed + int64(n),
+			})
+			if err != nil {
+				return rep, fmt.Errorf("inject offset %d: %w", off, err)
+			}
+			injected = append(injected, inj)
+		}
+		for _, inj := range injected {
+			t0 := time.Now()
+			_, err := c.Ingest(ctx, httpapi.EventRequest{Addr: inj.Addr, Bit: inj.Bit})
+			rep.ingest.Add(time.Since(t0).Seconds())
+			ingestAt[inj.Offset] = t0
+			switch {
+			case err == nil:
+				rep.accepted++
+			case errors.Is(err, service.ErrOverloaded), errors.Is(err, service.ErrCircuitOpen):
+				// Backpressure: the event is latched server-side and will
+				// be redelivered. Counting it is all a correct client does.
+				rep.latched++
+			default:
+				rep.rejected++
+				return rep, fmt.Errorf("ingest offset %d: %w", inj.Offset, err)
+			}
+		}
+	}
+
+	// Settle: follow the outcome feed until every injected offset has a
+	// successful recovery (latched events arrive late — that is the point).
+	deadline := time.Now().Add(p.settle)
+	okAt := make(map[int]bool, p.events)
+	failedAt := make(map[int]bool)
+	var cursor uint64
+	for len(okAt) < len(offsets) && time.Now().Before(deadline) {
+		page, err := c.Outcomes(ctx, cursor, allocName, 1000)
+		if err != nil {
+			return rep, fmt.Errorf("outcomes: %w", err)
+		}
+		cursor = page.Next
+		for _, rec := range page.Outcomes {
+			if rec.OK {
+				rep.recovered++
+				rep.byMethod[rec.Method]++
+				if rec.Tuned {
+					rep.tuned++
+				}
+				delete(failedAt, rec.Offset)
+				if t0, seen := ingestAt[rec.Offset]; seen && !okAt[rec.Offset] {
+					okAt[rec.Offset] = true
+					rep.e2e.Add(time.Unix(0, rec.UnixNano).Sub(t0).Seconds())
+				}
+			} else {
+				rep.failedOutcomes++
+				rep.byCode[rec.Code]++
+				if !okAt[rec.Offset] {
+					failedAt[rec.Offset] = true
+				}
+			}
+		}
+		if len(page.Outcomes) == 0 {
+			// Feed quiet: once every offset is either recovered or known
+			// permanently failed, stop waiting — the repair sweep below
+			// owns the failures (and needs the remaining time budget).
+			if len(okAt)+len(failedAt) >= len(offsets) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	// Repair sweep + quarantine drain. A recovery that ran while its
+	// neighborhood was still corrupt can fail verification permanently and
+	// leave the cell quarantined; once the storm has settled and the
+	// neighbors are repaired, a synchronous re-recovery succeeds. This is
+	// the operator loop: poll /v1/quarantine, POST recover for survivors.
+	for {
+		q, err := c.Quarantine(ctx)
+		if err != nil {
+			return rep, fmt.Errorf("quarantine: %w", err)
+		}
+		rep.quarantined = q.Total
+		if q.Total == 0 || !time.Now().Before(deadline) {
+			break
+		}
+		for _, off := range q.Allocations[allocName] {
+			if okAt[off] {
+				continue // transiently quarantined mid-recovery; leave it
+			}
+			if _, err := c.Recover(ctx, allocName, off); err == nil {
+				okAt[off] = true
+				rep.swept++
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	rep.recoveredOffsets = len(okAt)
+	rep.unresolved = len(offsets) - len(okAt)
+
+	// Verify quality: the recovered field must match the uploaded one.
+	final, err := c.Download(ctx, allocName)
+	if err != nil {
+		return rep, fmt.Errorf("download: %w", err)
+	}
+	for _, off := range offsets {
+		re := bitflip.RelErr(orig[off], final[off])
+		rep.verified++
+		if re <= p.tol {
+			rep.withinTol++
+		}
+		rep.maxRelErr = math.Max(rep.maxRelErr, re)
+	}
+	return rep, nil
+}
+
+// distinctOffsets deals n distinct offsets out of [0, limit), shuffled
+// deterministically by seed.
+func distinctOffsets(n, limit int, seed int64) []int {
+	perm := make([]int, limit)
+	for i := range perm {
+		perm[i] = i
+	}
+	// Fisher-Yates with a tiny LCG keeps the dependency surface zero.
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	for i := limit - 1; i > 0; i-- {
+		state = state*6364136223846793005 + 1442695040888963407
+		j := int(state>>33) % (i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm[:n]
+}
+
+func newLatencyHist() *stats.Histogram {
+	// 10us .. 100s, log-spaced: covers loopback round trips through long
+	// redelivery tails.
+	return stats.NewLogHistogram(10e-6, 100, 35)
+}
+
+func mergeHist(dst, src *stats.Histogram) {
+	for i, c := range src.Counts {
+		dst.Counts[i] += c
+	}
+	dst.Under += src.Under
+	dst.Over += src.Over
+}
+
+// printHist renders the non-empty span of a log histogram with bars.
+func printHist(h *stats.Histogram) {
+	total := h.Total() + h.Under + h.Over
+	if total == 0 {
+		fmt.Println("  (no observations)")
+		return
+	}
+	maxC := 1
+	lo, hi := -1, -1
+	for i, c := range h.Counts {
+		if c > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+			if c > maxC {
+				maxC = c
+			}
+		}
+	}
+	if h.Under > 0 {
+		fmt.Printf("  %12s < %-9s %6d\n", "", fmtDur(h.Edges[0]), h.Under)
+	}
+	for i := lo; i >= 0 && i <= hi; i++ {
+		bar := strings.Repeat("#", int(math.Ceil(40*float64(h.Counts[i])/float64(maxC))))
+		fmt.Printf("  %9s - %-9s %6d %s\n", fmtDur(h.Edges[i]), fmtDur(h.Edges[i+1]), h.Counts[i], bar)
+	}
+	if h.Over > 0 {
+		fmt.Printf("  %12s > %-9s %6d\n", "", fmtDur(h.Edges[len(h.Edges)-1]), h.Over)
+	}
+}
+
+func fmtDur(secs float64) string {
+	return time.Duration(secs * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+type kv struct {
+	k string
+	v int
+}
+
+func sortedCounts(m map[string]int) []kv {
+	out := make([]kv, 0, len(m))
+	for k, v := range m {
+		out = append(out, kv{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].v > out[j].v })
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dueload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -15,12 +15,26 @@
 //
 //	duerecover -serve [-workers 4] [-queue 64] [-deadline 2s]
 //	           [-journal recovery.jsonl] [-events 200] [-rate 100]
+//	           [-metrics-addr :9090]
+//
+// With -serve -listen ADDR it runs the networked recovery server instead:
+// the full HTTP/JSON API (tenant-scoped allocation registration, field
+// upload/download, DUE event ingestion, outcome and quarantine queries,
+// /metrics, /readyz) in front of the same resilient service. The demo
+// dataset is pre-registered in the default tenant. SIGTERM/SIGINT shuts
+// down gracefully: the listener stops accepting, in-flight requests and
+// bank-latched events drain, then the recovery pool drains:
+//
+//	duerecover -serve -listen :8080 [-enable-inject=false] [-journal ...]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -30,7 +44,9 @@ import (
 	"spatialdue"
 	"spatialdue/internal/bitflip"
 	"spatialdue/internal/faultinject"
+	"spatialdue/internal/httpapi"
 	"spatialdue/internal/sdrbench"
+	"spatialdue/internal/service"
 )
 
 func main() {
@@ -48,6 +64,10 @@ func main() {
 		jpath    = flag.String("journal", "", "serve: crash-safe recovery journal path (empty disables)")
 		events   = flag.Int("events", 200, "serve: number of MCA events to stream (0 = until signalled)")
 		rate     = flag.Float64("rate", 100, "serve: event rate per second (0 = as fast as possible)")
+
+		listen       = flag.String("listen", "", "serve: run the networked HTTP recovery API on this address (e.g. :8080) instead of the synthetic storm")
+		metricsAddr  = flag.String("metrics-addr", "", "serve: also serve /metrics and /readyz on this address")
+		enableInject = flag.Bool("enable-inject", true, "listen: expose the fault-injection endpoint (disable for production shapes)")
 	)
 	flag.Parse()
 
@@ -90,12 +110,23 @@ func main() {
 	}
 
 	eng := spatialdue.NewEngine(spatialdue.Options{Seed: *seed})
+
+	if *serve && *listen != "" {
+		runListen(eng, ds, policy, listenOptions{
+			addr: *listen, metricsAddr: *metricsAddr, inject: *enableInject,
+			workers: *workers, queue: *queue, deadline: *deadline,
+			journal: *jpath, seed: *seed,
+		})
+		return
+	}
+
 	alloc := eng.Protect(ds.Name, ds.Array, ds.DType, policy)
 
 	if *serve {
 		runServe(eng, alloc, ds, serveOptions{
 			workers: *workers, queue: *queue, deadline: *deadline,
 			journal: *jpath, events: *events, rate: *rate, seed: *seed,
+			metricsAddr: *metricsAddr,
 		})
 		return
 	}
@@ -142,6 +173,68 @@ type serveOptions struct {
 	events         int
 	rate           float64
 	seed           int64
+	metricsAddr    string
+}
+
+type listenOptions struct {
+	addr, metricsAddr string
+	inject            bool
+	workers, queue    int
+	deadline          time.Duration
+	journal           string
+	seed              int64
+}
+
+// runListen runs the networked recovery server: the full HTTP/JSON API in
+// front of the resilient recovery service, shut down gracefully on
+// SIGTERM/SIGINT. The demo dataset is pre-registered in the default tenant
+// so the curl examples in the README work against a fresh server.
+func runListen(eng *spatialdue.Engine, ds *sdrbench.Dataset, policy spatialdue.Policy, opt listenOptions) {
+	// Register before NewServer: journal replay resolves intents against
+	// already-registered (tenant, name) pairs.
+	if _, err := eng.ProtectTenant(httpapi.DefaultTenant, ds.Name, ds.Array, ds.DType, policy); err != nil {
+		fatalf("%v", err)
+	}
+	srv, err := httpapi.NewServer(eng, httpapi.ServerConfig{
+		Service: service.Config{
+			Workers: opt.workers, QueueDepth: opt.queue, Deadline: opt.deadline,
+			JournalPath: opt.journal, JournalSync: true, Seed: opt.seed,
+		},
+		EnableInject: opt.inject,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if replayed := srv.Service().Stats().Replayed; replayed > 0 {
+		fmt.Printf("journal: replaying %d unfinished recoveries from %s\n", replayed, opt.journal)
+	}
+
+	l, err := net.Listen("tcp", opt.addr)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	if opt.metricsAddr != "" {
+		ml, err := net.Listen("tcp", opt.metricsAddr)
+		if err != nil {
+			fatalf("metrics listen: %v", err)
+		}
+		// Admin port: same handler, typically firewalled separately.
+		go func() { _ = http.Serve(ml, srv) }()
+		defer ml.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ml.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	fmt.Printf("recovery API on http://%s (dataset %s pre-registered as %q in tenant %q, inject=%v)\n",
+		l.Addr(), ds, ds.Name, httpapi.DefaultTenant, opt.inject)
+	if err := srv.Run(ctx, l); err != nil {
+		fatalf("serve: %v", err)
+	}
+
+	st := srv.Service().Stats()
+	fmt.Printf("drained: %d submitted, %d accepted, %d rejected, %d recovered, %d failed, %d retries, %d replayed\n",
+		st.Submitted, st.Accepted, st.Rejected, st.Recovered, st.Failed, st.Retries, st.Replayed)
 }
 
 // runServe is the deployment shape of the resilient recovery service:
@@ -162,6 +255,35 @@ func runServe(eng *spatialdue.Engine, alloc *spatialdue.Allocation, ds *sdrbench
 	svc.Start()
 	machine := spatialdue.NewMCA(4)
 	svc.AttachMCA(machine)
+
+	if opt.metricsAddr != "" {
+		ml, err := net.Listen("tcp", opt.metricsAddr)
+		if err != nil {
+			fatalf("metrics listen: %v", err)
+		}
+		defer ml.Close()
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = eng.WriteMetrics(w)
+			_ = svc.WriteMetrics(w)
+		})
+		mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+			breakers := map[string]string{}
+			for name, state := range svc.BreakerStates() {
+				breakers[name] = state.String()
+			}
+			st := svc.Stats()
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(httpapi.ReadyReport{
+				Ready: true, QueueDepth: svc.QueueLen(),
+				Quarantined: eng.QuarantineCount(), Breakers: breakers,
+				Recovered: st.Recovered, Failed: st.Failed, Replayed: st.Replayed,
+			})
+		})
+		go func() { _ = http.Serve(ml, mux) }()
+		fmt.Printf("metrics on http://%s/metrics\n", ml.Addr())
+	}
 
 	fmt.Printf("serving %s: %d workers, queue %d, deadline %v\n", ds, opt.workers, opt.queue, opt.deadline)
 

@@ -183,6 +183,13 @@ func (e *Engine) Protect(name string, arr *ndarray.Array, dtype bitflip.DType, p
 	return e.table.Register(name, arr, dtype, policy)
 }
 
+// ProtectTenant is Protect scoped to a tenant namespace: the name must be
+// unique within the tenant only (the networked front end registers remote
+// allocations through this path).
+func (e *Engine) ProtectTenant(tenant, name string, arr *ndarray.Array, dtype bitflip.DType, policy registry.Policy) (*registry.Allocation, error) {
+	return e.table.RegisterTenant(tenant, name, arr, dtype, policy)
+}
+
 // AttachMCA registers the engine as a machine-check handler: uncorrectable
 // memory errors with a valid address are recovered in place; anything else
 // is declined so the machine can escalate.
@@ -223,6 +230,18 @@ func (e *Engine) lockFor(arr *ndarray.Array) recLock {
 		e.locks[arr] = l
 	}
 	return l
+}
+
+// WithArrayLock runs f while holding arr's recovery lock, serializing f
+// against every in-flight recovery on the array. External mutators of
+// protected data — a network front end accepting field uploads or injecting
+// test faults — must use it: predictors and verification scan the raw array,
+// so an unsynchronized write races with a concurrent ladder climb.
+func (e *Engine) WithArrayLock(arr *ndarray.Array, f func()) {
+	l := e.lockFor(arr)
+	l.lockBlocking()
+	defer l.unlock()
+	f()
 }
 
 // RecoverAddress relates a faulting physical address to a registered

@@ -313,7 +313,7 @@ func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bo
 	if lastErr == nil {
 		lastErr = fmt.Errorf("no recovery method applies")
 	}
-	return ladderResult{old: old}, fmt.Errorf("%w: ladder exhausted for %s[%d]: %v",
+	return ladderResult{old: old}, fmt.Errorf("%w: ladder exhausted for %s[%d]: %w",
 		ErrCheckpointRestartRequired, alloc, off, lastErr)
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -49,11 +50,22 @@ const (
 	defaultMinNeighbors = 2
 )
 
+// ErrVerifyFailed marks a reconstruction rejected by plausibility
+// verification (non-finite, outside the registered ValueRange, or outside
+// the neighbor envelope). Every verification failure in a ladder climb
+// matches it via errors.Is, including through the final
+// ErrCheckpointRestartRequired wrap, so remote callers can distinguish "the
+// math produced garbage" from "no method applies".
+var ErrVerifyFailed = errors.New("core: reconstruction failed verification")
+
 // errImplausible tags verification failures so the ladder can distinguish
 // them from prediction errors in audit output.
 type errImplausible struct{ msg string }
 
 func (e errImplausible) Error() string { return "implausible reconstruction: " + e.msg }
+
+// Unwrap ties every verification failure to the ErrVerifyFailed sentinel.
+func (e errImplausible) Unwrap() error { return ErrVerifyFailed }
 
 // verifyValue checks a candidate reconstruction v for the element at
 // idx/off. A nil return means the value may be written in place.

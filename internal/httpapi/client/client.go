@@ -1,0 +1,382 @@
+// Package client is the typed Go SDK for the spatialdue recovery server
+// (internal/httpapi). It speaks the /v1 JSON protocol, maps error responses
+// back to the originating Go sentinels (errors.Is(err,
+// service.ErrOverloaded) works across the wire), and retries
+// backpressured idempotent calls honoring the server's Retry-After hint.
+//
+// Event ingestion is deliberately NOT auto-retried: a "latched" rejection
+// means the server kept the event bank-latched and redelivers it itself —
+// resending would duplicate the DUE.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"spatialdue/internal/httpapi"
+)
+
+// Config tunes a Client. The zero value plus a BaseURL is usable.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Tenant is sent as the X-Tenant header ("default" when empty).
+	Tenant string
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries bounds retries of backpressured idempotent calls
+	// (default 3; negative disables).
+	MaxRetries int
+	// Backoff is the base delay between retries when the server sent no
+	// Retry-After hint (default 50ms, doubled per attempt with jitter).
+	Backoff time.Duration
+}
+
+// Client is a typed client for one recovery server.
+type Client struct {
+	cfg Config
+	hc  *http.Client
+}
+
+// New returns a Client for the server at cfg.BaseURL.
+func New(cfg Config) *Client {
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 50 * time.Millisecond
+	}
+	return &Client{cfg: cfg, hc: cfg.HTTPClient}
+}
+
+// retryable marks calls that are safe to repeat after a backpressure
+// response: the server either did not perform them (429 admission) or
+// performing them twice is idempotent.
+type callOpts struct {
+	retryable   bool
+	contentType string
+}
+
+// decodeError turns a non-2xx response into an *httpapi.Error.
+func decodeError(resp *http.Response, body []byte) error {
+	e := &httpapi.Error{Status: resp.StatusCode, Code: httpapi.CodeInternal}
+	var eb httpapi.ErrorBody
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Error.Code != "" {
+		e.Code = eb.Error.Code
+		e.Message = eb.Error.Message
+		e.Latched = eb.Error.Latched
+	} else {
+		e.Message = string(bytes.TrimSpace(body))
+	}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}
+
+// do runs one request, retrying per opts, and decodes a JSON response into
+// out (skipped when out is nil). body is re-readable across retries.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any, opts callOpts) error {
+	attempts := c.cfg.MaxRetries
+	if !opts.retryable || attempts < 0 {
+		attempts = 0
+	}
+	var lastErr error
+	for try := 0; ; try++ {
+		respBody, err := c.once(ctx, method, path, body, out, opts)
+		if err == nil {
+			_ = respBody
+			return nil
+		}
+		lastErr = err
+		apiErr, ok := err.(*httpapi.Error)
+		if !ok || try >= attempts {
+			return lastErr
+		}
+		// Only backpressure responses carry Retry-After; anything else is
+		// deterministic and not worth repeating.
+		if apiErr.RetryAfter <= 0 && apiErr.Status != http.StatusTooManyRequests {
+			return lastErr
+		}
+		delay := apiErr.RetryAfter
+		if delay <= 0 {
+			delay = c.cfg.Backoff << uint(try)
+		}
+		// Full jitter desynchronizes a fleet of clients hammering one
+		// overloaded server.
+		delay = time.Duration(rand.Int63n(int64(delay) + 1))
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}
+
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any, opts callOpts) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.Tenant != "" {
+		req.Header.Set(httpapi.TenantHeader, c.cfg.Tenant)
+	}
+	ct := opts.contentType
+	if ct == "" && body != nil {
+		ct = "application/json"
+	}
+	if ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return respBody, decodeError(resp, respBody)
+	}
+	if out != nil {
+		if raw, ok := out.(*[]byte); ok {
+			*raw = respBody
+		} else if err := json.Unmarshal(respBody, out); err != nil {
+			return respBody, fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+		}
+	}
+	return respBody, nil
+}
+
+func marshal(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err) // wire types are all marshalable
+	}
+	return b
+}
+
+// Register registers an allocation in the client's tenant.
+func (c *Client) Register(ctx context.Context, req httpapi.RegisterRequest) (*httpapi.AllocationInfo, error) {
+	var out httpapi.AllocationInfo
+	err := c.do(ctx, http.MethodPost, "/v1/allocations", marshal(req), &out, callOpts{retryable: true})
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Allocations lists the tenant's allocations.
+func (c *Client) Allocations(ctx context.Context) (*httpapi.AllocationList, error) {
+	var out httpapi.AllocationList
+	if err := c.do(ctx, http.MethodGet, "/v1/allocations", nil, &out, callOpts{retryable: true}); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Allocation fetches one allocation by name.
+func (c *Client) Allocation(ctx context.Context, name string) (*httpapi.AllocationInfo, error) {
+	var out httpapi.AllocationInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/allocations/"+url.PathEscape(name), nil, &out, callOpts{retryable: true}); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Upload replaces the allocation's field data (row-major float64s).
+func (c *Client) Upload(ctx context.Context, name string, vals []float64) error {
+	return c.do(ctx, http.MethodPut, "/v1/allocations/"+url.PathEscape(name)+"/data",
+		httpapi.Float64sToBytes(vals), nil,
+		callOpts{retryable: true, contentType: "application/octet-stream"})
+}
+
+// Download fetches the allocation's current field data.
+func (c *Client) Download(ctx context.Context, name string) ([]float64, error) {
+	var raw []byte
+	if err := c.do(ctx, http.MethodGet, "/v1/allocations/"+url.PathEscape(name)+"/data", nil, &raw, callOpts{retryable: true}); err != nil {
+		return nil, err
+	}
+	return httpapi.BytesToFloat64s(raw)
+}
+
+// Element reads one element's state (valbits, coords, quarantine flag).
+func (c *Client) Element(ctx context.Context, name string, offset int) (*httpapi.ElementState, error) {
+	var out httpapi.ElementState
+	path := fmt.Sprintf("/v1/allocations/%s/element?offset=%d", url.PathEscape(name), offset)
+	if err := c.do(ctx, http.MethodGet, path, nil, &out, callOpts{retryable: true}); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Inject corrupts one element server-side and plants the latent fault
+// (requires the server to run with injection enabled).
+func (c *Client) Inject(ctx context.Context, name string, req httpapi.InjectRequest) (*httpapi.InjectReport, error) {
+	var out httpapi.InjectReport
+	err := c.do(ctx, http.MethodPost, "/v1/allocations/"+url.PathEscape(name)+"/inject",
+		marshal(req), &out, callOpts{retryable: false})
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Recover runs one synchronous recovery and returns its report.
+func (c *Client) Recover(ctx context.Context, name string, offset int) (*httpapi.RecoverReport, error) {
+	var out httpapi.RecoverReport
+	err := c.do(ctx, http.MethodPost, "/v1/allocations/"+url.PathEscape(name)+"/recover",
+		marshal(httpapi.RecoverRequest{Offset: offset}), &out, callOpts{retryable: false})
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ingest reports one DUE/MCE event. NEVER auto-retried: a returned
+// *httpapi.Error with Latched=true means the server kept the event
+// bank-latched and will redeliver it itself — do not resend.
+func (c *Client) Ingest(ctx context.Context, ev httpapi.EventRequest) (*httpapi.EventResult, error) {
+	var out httpapi.EventResult
+	err := c.do(ctx, http.MethodPost, "/v1/events", marshal(ev), &out, callOpts{retryable: false})
+	if err != nil {
+		if apiErr, ok := err.(*httpapi.Error); ok {
+			status := httpapi.StatusRejected
+			if apiErr.Latched {
+				status = httpapi.StatusLatched
+			}
+			return &httpapi.EventResult{Status: status, Error: &httpapi.ErrorDetail{
+				Code: apiErr.Code, Message: apiErr.Message, Latched: apiErr.Latched,
+			}}, err
+		}
+		return nil, err
+	}
+	return &out, nil
+}
+
+// IngestBatch streams events as one NDJSON batch and returns the per-event
+// results, in order. Transport-level success with per-event failures is
+// not an error; inspect each EventResult.
+func (c *Client) IngestBatch(ctx context.Context, evs []httpapi.EventRequest) ([]httpapi.EventResult, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, ev := range evs {
+		if err := enc.Encode(ev); err != nil {
+			return nil, err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/v1/events/stream", &buf)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.Tenant != "" {
+		req.Header.Set(httpapi.TenantHeader, c.cfg.Tenant)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, decodeError(resp, body)
+	}
+	var out []httpapi.EventResult
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var res httpapi.EventResult
+		if err := json.Unmarshal(line, &res); err != nil {
+			return out, fmt.Errorf("client: decode stream result: %w", err)
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// Outcomes polls the recovery-outcome feed from the given cursor.
+func (c *Client) Outcomes(ctx context.Context, since uint64, alloc string, limit int) (*httpapi.OutcomesPage, error) {
+	q := url.Values{}
+	if since > 0 {
+		q.Set("since", strconv.FormatUint(since, 10))
+	}
+	if alloc != "" {
+		q.Set("alloc", alloc)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/v1/outcomes"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out httpapi.OutcomesPage
+	if err := c.do(ctx, http.MethodGet, path, nil, &out, callOpts{retryable: true}); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Quarantine reports the tenant's quarantined elements.
+func (c *Client) Quarantine(ctx context.Context) (*httpapi.QuarantineReport, error) {
+	var out httpapi.QuarantineReport
+	if err := c.do(ctx, http.MethodGet, "/v1/quarantine", nil, &out, callOpts{retryable: true}); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ready fetches /readyz. The report decodes on both 200 and 503 — a
+// draining server still describes itself; err is non-nil on 503.
+func (c *Client) Ready(ctx context.Context) (*httpapi.ReadyReport, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/readyz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var out httpapi.ReadyReport
+	if jsonErr := json.Unmarshal(body, &out); jsonErr != nil {
+		return nil, fmt.Errorf("client: decode /readyz: %w", jsonErr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &out, decodeErrReady(resp.StatusCode, out)
+	}
+	return &out, nil
+}
+
+func decodeErrReady(status int, rep httpapi.ReadyReport) error {
+	return &httpapi.Error{Status: status, Code: httpapi.CodeDraining, Message: rep.Reason}
+}

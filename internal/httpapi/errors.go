@@ -1,0 +1,141 @@
+package httpapi
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"spatialdue/internal/core"
+	"spatialdue/internal/registry"
+	"spatialdue/internal/service"
+)
+
+// Machine-readable error codes. Every error response carries exactly one,
+// and each maps to a fixed HTTP status and back to the originating Go
+// sentinel(s), so a remote caller and an in-process caller see the same
+// errors.Is behavior.
+const (
+	CodeBadRequest        = "bad_request"
+	CodeNotRegistered     = "not_registered"
+	CodeNameTaken         = "name_taken"
+	CodeBadDims           = "bad_dims"
+	CodeOverloaded        = "overloaded"
+	CodeVerifyFailed      = "verify_failed"
+	CodeAbandoned         = "recovery_abandoned"
+	CodeCircuitOpen       = "circuit_open"
+	CodeCheckpointRestart = "checkpoint_restart_required"
+	CodeDraining          = "draining"
+	CodeInternal          = "internal"
+)
+
+// ErrorDetail is the JSON error payload.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Latched marks an event rejection whose record remains bank-latched
+	// for server-side redelivery: backpressure, not loss. Do not resend.
+	Latched bool `json:"latched,omitempty"`
+}
+
+// ErrorBody is the JSON error envelope.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// mapping ties one code to its HTTP status and Go sentinels. Sentinels[0]
+// is the classifying sentinel (CodeFor matches against it, most specific
+// first); the rest preserve wrapped-sentinel fidelity across the wire
+// (ErrCircuitOpen wraps ErrCheckpointRestartRequired in-process, so its
+// decoded client error matches both).
+type mapping struct {
+	code       string
+	status     int
+	retryAfter bool
+	sentinels  []error
+}
+
+// mappings is the error table, ordered most-specific first: CodeFor walks
+// it and the first errors.Is hit wins, so wrappers (circuit_open wraps
+// checkpoint_restart_required, verify_failed reaches the caller inside a
+// ladder-exhausted wrap) classify by their most informative cause.
+var mappings = []mapping{
+	{CodeOverloaded, http.StatusTooManyRequests, true, []error{service.ErrOverloaded}},
+	{CodeDraining, http.StatusServiceUnavailable, false, []error{service.ErrStopped}},
+	{CodeCircuitOpen, http.StatusServiceUnavailable, true, []error{service.ErrCircuitOpen, core.ErrCheckpointRestartRequired}},
+	{CodeNameTaken, http.StatusConflict, false, []error{registry.ErrNameTaken}},
+	{CodeBadDims, http.StatusBadRequest, false, []error{registry.ErrDims}},
+	{CodeNotRegistered, http.StatusNotFound, false, []error{registry.ErrNotRegistered}},
+	{CodeAbandoned, http.StatusGatewayTimeout, false, []error{core.ErrRecoveryAbandoned}},
+	{CodeVerifyFailed, http.StatusUnprocessableEntity, false, []error{core.ErrVerifyFailed, core.ErrCheckpointRestartRequired}},
+	{CodeCheckpointRestart, http.StatusServiceUnavailable, false, []error{core.ErrCheckpointRestartRequired}},
+}
+
+// CodeFor classifies an error into its wire code.
+func CodeFor(err error) string {
+	for _, m := range mappings {
+		if errors.Is(err, m.sentinels[0]) {
+			return m.code
+		}
+	}
+	return CodeInternal
+}
+
+// StatusFor returns the HTTP status for a code, and whether responses
+// should carry a Retry-After header.
+func StatusFor(code string) (status int, retryAfter bool) {
+	for _, m := range mappings {
+		if m.code == code {
+			return m.status, m.retryAfter
+		}
+	}
+	switch code {
+	case CodeBadRequest:
+		return http.StatusBadRequest, false
+	default:
+		return http.StatusInternalServerError, false
+	}
+}
+
+// SentinelsFor returns the Go sentinels a decoded error of this code must
+// match via errors.Is (nil for codes with no sentinel, e.g. bad_request).
+func SentinelsFor(code string) []error {
+	for _, m := range mappings {
+		if m.code == code {
+			return m.sentinels
+		}
+	}
+	return nil
+}
+
+// Error is a server error decoded by the client SDK. errors.Is matches the
+// sentinel(s) the server-side error wrapped, so remote callers branch on
+// service.ErrOverloaded, registry.ErrNotRegistered, etc. exactly as local
+// callers do.
+type Error struct {
+	// Status is the HTTP status the server responded with.
+	Status int
+	// Code is the machine-readable reason (the Code* constants).
+	Code string
+	// Message is the human-readable server message.
+	Message string
+	// Latched marks backpressured-but-bank-latched event rejections.
+	Latched bool
+	// RetryAfter is the server's Retry-After hint (zero when absent).
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("httpapi: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Is reports whether the decoded error corresponds to target's sentinel.
+func (e *Error) Is(target error) bool {
+	for _, s := range SentinelsFor(e.Code) {
+		if target == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,609 @@
+package httpapi
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"regexp"
+	"strconv"
+	"time"
+
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/ndarray"
+	"spatialdue/internal/predict"
+	"spatialdue/internal/registry"
+	"spatialdue/internal/service"
+)
+
+// namePattern bounds allocation names (path-segment and metric-label safe).
+var namePattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,128}$`)
+
+func float64Bits(v float64) uint64 { return math.Float64bits(v) }
+
+// parseDType resolves the wire dtype names.
+func parseDType(s string) (bitflip.DType, error) {
+	switch s {
+	case "float32":
+		return bitflip.Float32, nil
+	case "float64":
+		return bitflip.Float64, nil
+	default:
+		return 0, fmt.Errorf("unknown dtype %q (want float32 or float64)", s)
+	}
+}
+
+func dtypeName(t bitflip.DType) string {
+	if t == bitflip.Float32 {
+		return "float32"
+	}
+	return "float64"
+}
+
+// parsePolicy resolves a wire policy into a registry policy.
+func parsePolicy(p PolicyInfo) (registry.Policy, error) {
+	var pol registry.Policy
+	switch {
+	case p.Any:
+		pol = registry.RecoverAny()
+	case p.Method != "":
+		m, err := predict.ParseMethod(p.Method)
+		if err != nil {
+			return pol, err
+		}
+		pol = registry.RecoverWith(m)
+	default:
+		return pol, fmt.Errorf("policy: set any=true or a method name")
+	}
+	if p.Range != nil {
+		if !(p.Range.Lo <= p.Range.Hi) {
+			return pol, fmt.Errorf("policy range: lo %g > hi %g", p.Range.Lo, p.Range.Hi)
+		}
+		pol = pol.WithRange(p.Range.Lo, p.Range.Hi)
+	}
+	return pol, nil
+}
+
+func policyInfo(p registry.Policy) PolicyInfo {
+	out := PolicyInfo{Any: p.Any}
+	if !p.Any {
+		out.Method = p.Method.String()
+	}
+	if p.Range != nil {
+		out.Range = &RangeInfo{Lo: p.Range.Lo, Hi: p.Range.Hi}
+	}
+	return out
+}
+
+// allocInfo snapshots one allocation for the wire.
+func (s *Server) allocInfo(a *registry.Allocation) AllocationInfo {
+	return AllocationInfo{
+		ID:          a.ID,
+		Name:        a.Name,
+		Tenant:      a.Tenant,
+		Base:        a.Base,
+		Dims:        a.Array.Dims(),
+		DType:       dtypeName(a.DType),
+		Policy:      policyInfo(a.Policy),
+		Elements:    a.Array.Len(),
+		SizeBytes:   a.SizeBytes(),
+		Quarantined: len(s.eng.Quarantined(a)),
+	}
+}
+
+// lookupTenantAlloc resolves {name} inside the request tenant. The error is
+// already wire-mapped (404 not_registered).
+func (s *Server) lookupTenantAlloc(r *http.Request, tenant string) (*registry.Allocation, error) {
+	name := r.PathValue("name")
+	a, ok := s.eng.Table().ByTenantName(tenant, name)
+	if !ok {
+		return nil, fmt.Errorf("%w: allocation %q in tenant %q", registry.ErrNotRegistered, name, tenant)
+	}
+	return a, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	st := s.svc.Stats()
+	breakers := map[string]string{}
+	for name, state := range s.svc.BreakerStates() {
+		breakers[name] = state.String()
+	}
+	rep := ReadyReport{
+		Ready:         !s.draining.Load(),
+		Draining:      s.draining.Load(),
+		QueueDepth:    s.svc.QueueLen(),
+		QueueCapacity: s.queueCapacity(),
+		Quarantined:   s.eng.QuarantineCount(),
+		Breakers:      breakers,
+		Recovered:     st.Recovered,
+		Failed:        st.Failed,
+		Replayed:      st.Replayed,
+	}
+	status := http.StatusOK
+	if !rep.Ready {
+		rep.Reason = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rep)
+}
+
+// queueCapacity reports the configured admission bound (the service
+// applies the same default).
+func (s *Server) queueCapacity() int {
+	if s.cfg.Service.QueueDepth > 0 {
+		return s.cfg.Service.QueueDepth
+	}
+	return 64
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.eng.WriteMetrics(w); err != nil {
+		return
+	}
+	if err := s.svc.WriteMetrics(w); err != nil {
+		return
+	}
+	due, _, overflow := s.machine.Stats()
+	fmt.Fprintf(w,
+		"# HELP spatialdue_http_events_accepted_total Events admitted into the recovery pool.\n"+
+			"# TYPE spatialdue_http_events_accepted_total counter\n"+
+			"spatialdue_http_events_accepted_total %d\n"+
+			"# HELP spatialdue_http_events_latched_total Backpressured events left bank-latched for redelivery.\n"+
+			"# TYPE spatialdue_http_events_latched_total counter\n"+
+			"spatialdue_http_events_latched_total %d\n"+
+			"# HELP spatialdue_http_events_rejected_total Events rejected without latching.\n"+
+			"# TYPE spatialdue_http_events_rejected_total counter\n"+
+			"spatialdue_http_events_rejected_total %d\n"+
+			"# HELP spatialdue_http_allocations Registered allocations.\n"+
+			"# TYPE spatialdue_http_allocations gauge\n"+
+			"spatialdue_http_allocations %d\n"+
+			"# HELP spatialdue_mca_raised_due_total DUEs delivered through the simulated MCA.\n"+
+			"# TYPE spatialdue_mca_raised_due_total counter\n"+
+			"spatialdue_mca_raised_due_total %d\n"+
+			"# HELP spatialdue_mca_bank_overflows_total Bank overflows (events displaced to the redelivery queue).\n"+
+			"# TYPE spatialdue_mca_bank_overflows_total counter\n"+
+			"spatialdue_mca_bank_overflows_total %d\n",
+		s.evAccepted.Load(), s.evLatched.Load(), s.evRejected.Load(),
+		s.eng.Table().Len(), due, overflow)
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	tenant, terr := s.tenant(r)
+	if terr != nil {
+		writeBadRequest(w, "%v", terr)
+		return
+	}
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeBadRequest(w, "decode register request: %v", err)
+		return
+	}
+	if !namePattern.MatchString(req.Name) {
+		writeBadRequest(w, "invalid allocation name %q: want 1-128 chars of [A-Za-z0-9._-]", req.Name)
+		return
+	}
+	if len(req.Dims) == 0 {
+		writeBadRequest(w, "dims required")
+		return
+	}
+	dtype, err := parseDType(req.DType)
+	if err != nil {
+		writeBadRequest(w, "%v", err)
+		return
+	}
+	policy, err := parsePolicy(req.Policy)
+	if err != nil {
+		writeBadRequest(w, "%v", err)
+		return
+	}
+	arr, err := ndarray.TryNew(req.Dims...)
+	if err != nil {
+		writeBadRequest(w, "%v", err)
+		return
+	}
+	if max := int(s.cfg.MaxBodyBytes / 8); arr.Len() > max {
+		writeBadRequest(w, "allocation of %d elements exceeds the %d-element cap", arr.Len(), max)
+		return
+	}
+	a, err := s.eng.ProtectTenant(tenant, req.Name, arr, dtype, policy)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.allocInfo(a))
+}
+
+func (s *Server) handleListAllocations(w http.ResponseWriter, r *http.Request) {
+	tenant, terr := s.tenant(r)
+	if terr != nil {
+		writeBadRequest(w, "%v", terr)
+		return
+	}
+	out := AllocationList{Allocations: []AllocationInfo{}}
+	for _, a := range s.eng.Table().TenantAllocations(tenant) {
+		out.Allocations = append(out.Allocations, s.allocInfo(a))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetAllocation(w http.ResponseWriter, r *http.Request) {
+	tenant, terr := s.tenant(r)
+	if terr != nil {
+		writeBadRequest(w, "%v", terr)
+		return
+	}
+	a, err := s.lookupTenantAlloc(r, tenant)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.allocInfo(a))
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	tenant, terr := s.tenant(r)
+	if terr != nil {
+		writeBadRequest(w, "%v", terr)
+		return
+	}
+	a, err := s.lookupTenantAlloc(r, tenant)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeBadRequest(w, "read body: %v", err)
+		return
+	}
+	vals, err := BytesToFloat64s(body)
+	if err != nil {
+		writeBadRequest(w, "%v", err)
+		return
+	}
+	if len(vals) != a.Array.Len() {
+		writeBadRequest(w, "field has %d elements, allocation %q has %d", len(vals), a.Name, a.Array.Len())
+		return
+	}
+	// Serialize against in-flight recoveries: predictors scan the raw
+	// array, so an unsynchronized bulk write would race a ladder climb.
+	s.eng.WithArrayLock(a.Array, func() {
+		copy(a.Array.Data(), vals)
+	})
+	// The field changed character; cached tuning decisions are stale.
+	s.eng.InvalidateTuneCache(a.Array)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
+	tenant, terr := s.tenant(r)
+	if terr != nil {
+		writeBadRequest(w, "%v", terr)
+		return
+	}
+	a, err := s.lookupTenantAlloc(r, tenant)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var snap []float64
+	s.eng.WithArrayLock(a.Array, func() {
+		snap = append(snap, a.Array.Data()...)
+	})
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(Float64sToBytes(snap))
+}
+
+func (s *Server) handleElement(w http.ResponseWriter, r *http.Request) {
+	tenant, terr := s.tenant(r)
+	if terr != nil {
+		writeBadRequest(w, "%v", terr)
+		return
+	}
+	a, err := s.lookupTenantAlloc(r, tenant)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	off, err := strconv.Atoi(r.URL.Query().Get("offset"))
+	if err != nil || off < 0 || off >= a.Array.Len() {
+		writeBadRequest(w, "offset must be in [0, %d)", a.Array.Len())
+		return
+	}
+	var v float64
+	s.eng.WithArrayLock(a.Array, func() {
+		v = a.Array.AtOffset(off)
+	})
+	st := ElementState{
+		Offset:    off,
+		Coords:    a.Array.Coords(off),
+		ValueBits: float64Bits(v),
+		Addr:      a.AddrOf(off),
+	}
+	if !math.IsNaN(v) && !math.IsInf(v, 0) {
+		st.Value = &v
+	}
+	for _, q := range s.eng.Quarantined(a) {
+		if q == off {
+			st.Quarantined = true
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
+	tenant, terr := s.tenant(r)
+	if terr != nil {
+		writeBadRequest(w, "%v", terr)
+		return
+	}
+	a, err := s.lookupTenantAlloc(r, tenant)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	req := InjectRequest{}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeBadRequest(w, "decode inject request: %v", err)
+			return
+		}
+	}
+	rng := rand.New(rand.NewSource(req.Seed))
+	off := rng.Intn(a.Array.Len())
+	if req.Offset != nil {
+		off = *req.Offset
+	}
+	if off < 0 || off >= a.Array.Len() {
+		writeBadRequest(w, "offset must be in [0, %d)", a.Array.Len())
+		return
+	}
+	bit := rng.Intn(a.DType.Bits())
+	if req.Bit != nil {
+		bit = *req.Bit
+	}
+	if bit < 0 || bit >= a.DType.Bits() {
+		writeBadRequest(w, "bit must be in [0, %d)", a.DType.Bits())
+		return
+	}
+	var orig, corrupted float64
+	s.eng.WithArrayLock(a.Array, func() {
+		orig = a.Array.AtOffset(off)
+		corrupted = bitflip.Flip(orig, a.DType, bit)
+		a.Array.SetOffset(off, corrupted)
+	})
+	addr := a.AddrOf(off)
+	// The corruption is latent until a demand access (an ingested event
+	// for this address) discovers it and raises the MCE.
+	s.machine.Plant(addr, bit)
+	writeJSON(w, http.StatusOK, InjectReport{
+		Offset: off, Bit: bit, Addr: addr,
+		OrigBits: float64Bits(orig), CorruptedBits: float64Bits(corrupted),
+		Orig: orig,
+	})
+}
+
+func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
+	tenant, terr := s.tenant(r)
+	if terr != nil {
+		writeBadRequest(w, "%v", terr)
+		return
+	}
+	a, err := s.lookupTenantAlloc(r, tenant)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req RecoverRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeBadRequest(w, "decode recover request: %v", err)
+		return
+	}
+	if req.Offset < 0 || req.Offset >= a.Array.Len() {
+		writeBadRequest(w, "offset must be in [0, %d)", a.Array.Len())
+		return
+	}
+	start := time.Now()
+	out, err := s.eng.RecoverElementCtx(r.Context(), a, req.Offset)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RecoverReport{
+		Offset:         out.Offset,
+		Method:         out.Method.String(),
+		Stage:          out.Stage.String(),
+		Tuned:          out.Tuned,
+		OldBits:        float64Bits(out.Old),
+		New:            out.New,
+		ElapsedSeconds: time.Since(start).Seconds(),
+	})
+}
+
+// ingestOne admits one event: resolve it inside the tenant, raise the MCE,
+// and classify the delivery outcome. The MCA keeps undeliverable records
+// latched in their banks; the redelivery loop and worker-completion hooks
+// re-run them, so "latched" means delayed, never dropped.
+func (s *Server) ingestOne(tenant string, ev EventRequest) EventResult {
+	reject := func(err error) EventResult {
+		s.evRejected.Add(1)
+		return EventResult{Status: StatusRejected,
+			Error: &ErrorDetail{Code: CodeFor(err), Message: err.Error()}}
+	}
+	badReq := func(format string, args ...any) EventResult {
+		s.evRejected.Add(1)
+		return EventResult{Status: StatusRejected,
+			Error: &ErrorDetail{Code: CodeBadRequest, Message: fmt.Sprintf(format, args...)}}
+	}
+	if s.draining.Load() {
+		return reject(fmt.Errorf("%w: draining", service.ErrStopped))
+	}
+
+	var addr uint64
+	var size int
+	switch {
+	case ev.Alloc != "":
+		a, ok := s.eng.Table().ByTenantName(tenant, ev.Alloc)
+		if !ok {
+			return reject(fmt.Errorf("%w: allocation %q in tenant %q", registry.ErrNotRegistered, ev.Alloc, tenant))
+		}
+		if ev.Offset == nil {
+			return badReq("alloc events need an offset")
+		}
+		if *ev.Offset < 0 || *ev.Offset >= a.Array.Len() {
+			return badReq("offset must be in [0, %d)", a.Array.Len())
+		}
+		addr, size = a.AddrOf(*ev.Offset), a.DType.Size()
+	case ev.Addr != 0:
+		a, _, err := s.eng.Table().Lookup(ev.Addr)
+		if err != nil || a.Tenant != tenant {
+			// An address outside the tenant's allocations reads as
+			// unregistered: tenants cannot probe each other's memory map.
+			return reject(fmt.Errorf("%w: %#x in tenant %q", registry.ErrNotRegistered, ev.Addr, tenant))
+		}
+		addr, size = ev.Addr, a.DType.Size()
+	default:
+		return badReq("event needs addr or alloc+offset")
+	}
+
+	// A planted latent fault at this address is discovered by the access
+	// (Plant + Touch, the injector path); otherwise the event is an
+	// externally reported DUE and is raised directly.
+	faulted, err := s.machine.Touch(addr, size)
+	if !faulted {
+		err = s.machine.RaiseMemoryDUE(addr, ev.Bit)
+	}
+	switch {
+	case err == nil:
+		s.evAccepted.Add(1)
+		return EventResult{Status: StatusAccepted}
+	case errors.Is(err, service.ErrOverloaded), errors.Is(err, service.ErrCircuitOpen):
+		// Delivery failed but the record is latched in its bank; the
+		// server redelivers once capacity frees (or the breaker admits a
+		// probe). The client must not resend.
+		s.evLatched.Add(1)
+		return EventResult{Status: StatusLatched,
+			Error: &ErrorDetail{Code: CodeFor(err), Message: err.Error(), Latched: true}}
+	default:
+		return reject(err)
+	}
+}
+
+func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request) {
+	tenant, terr := s.tenant(r)
+	if terr != nil {
+		writeBadRequest(w, "%v", terr)
+		return
+	}
+	var ev EventRequest
+	if err := json.NewDecoder(r.Body).Decode(&ev); err != nil {
+		writeBadRequest(w, "decode event: %v", err)
+		return
+	}
+	res := s.ingestOne(tenant, ev)
+	if res.Status == StatusAccepted {
+		writeJSON(w, http.StatusAccepted, res)
+		return
+	}
+	writeErrorDetail(w, *res.Error)
+}
+
+// handleEventStream ingests an NDJSON batch: one EventRequest per line in,
+// one EventResult per line out, in order. The whole batch coalesces into
+// the same worker pool as single events; per-event backpressure is
+// reported inline instead of failing the stream.
+func (s *Server) handleEventStream(w http.ResponseWriter, r *http.Request) {
+	tenant, terr := s.tenant(r)
+	if terr != nil {
+		writeBadRequest(w, "%v", terr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	n := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev EventRequest
+		var res EventResult
+		if err := json.Unmarshal(line, &ev); err != nil {
+			s.evRejected.Add(1)
+			res = EventResult{Status: StatusRejected,
+				Error: &ErrorDetail{Code: CodeBadRequest, Message: fmt.Sprintf("line %d: %v", n+1, err)}}
+		} else {
+			res = s.ingestOne(tenant, ev)
+		}
+		_ = enc.Encode(res)
+		n++
+		if flusher != nil && n%64 == 0 {
+			flusher.Flush()
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) handleOutcomes(w http.ResponseWriter, r *http.Request) {
+	tenant, terr := s.tenant(r)
+	if terr != nil {
+		writeBadRequest(w, "%v", terr)
+		return
+	}
+	q := r.URL.Query()
+	var since uint64
+	if v := q.Get("since"); v != "" {
+		var err error
+		since, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeBadRequest(w, "since: %v", err)
+			return
+		}
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		var err error
+		limit, err = strconv.Atoi(v)
+		if err != nil {
+			writeBadRequest(w, "limit: %v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.outcomes.page(since, tenant, q.Get("alloc"), limit))
+}
+
+func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
+	tenant, terr := s.tenant(r)
+	if terr != nil {
+		writeBadRequest(w, "%v", terr)
+		return
+	}
+	rep := QuarantineReport{Allocations: map[string][]int{}}
+	for _, a := range s.eng.Table().TenantAllocations(tenant) {
+		offs := s.eng.Quarantined(a)
+		if len(offs) > 0 {
+			rep.Allocations[a.Name] = offs
+			rep.Total += len(offs)
+		}
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

@@ -1,0 +1,251 @@
+// Package httpapi exposes the recovery pipeline over HTTP/JSON — the
+// fleet-facing front end of the system. Remote nodes register their
+// protected allocations into per-tenant registry namespaces, upload field
+// data, and stream DUE/MCE events at the server; events flow through the
+// simulated machine-check architecture into the resilient recovery service
+// (admission control, write-ahead journal, bounded worker pool, circuit
+// breakers) exactly as local submissions do, and recovery outcomes are
+// queryable per tenant.
+//
+// Backpressure maps onto HTTP semantics:
+//
+//   - service.ErrOverloaded        → 429 Too Many Requests + Retry-After;
+//     the event record stays latched in its MCA bank and is redelivered
+//     server-side once a worker frees capacity — a 429 means "delivered
+//     late", never "dropped";
+//   - service.ErrCircuitOpen       → 503 + code "circuit_open";
+//   - core.ErrCheckpointRestartRequired → 503 + code
+//     "checkpoint_restart_required";
+//   - registry.ErrNotRegistered    → 404 + code "not_registered";
+//   - core.ErrVerifyFailed         → 422 + code "verify_failed";
+//   - core.ErrRecoveryAbandoned    → 504 + code "recovery_abandoned".
+//
+// Every error response carries a machine-readable JSON body that the typed
+// client SDK (internal/httpapi/client) maps back to the originating Go
+// sentinel, so errors.Is works identically in-process and across the wire.
+package httpapi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Tenant scoping: every /v1 request is resolved inside one registry
+// namespace, selected by the TenantHeader request header (DefaultTenant
+// when absent). Allocations registered by one tenant are invisible — by
+// name and by address — to every other tenant.
+const (
+	// TenantHeader is the request header carrying the tenant namespace.
+	TenantHeader = "X-Tenant"
+	// DefaultTenant is used when the header is absent.
+	DefaultTenant = "default"
+)
+
+// RangeInfo is the wire form of a registry.ValueRange.
+type RangeInfo struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// PolicyInfo is the wire form of a recovery policy.
+type PolicyInfo struct {
+	// Any selects RECOVER_ANY (local auto-tuning at recovery time).
+	Any bool `json:"any,omitempty"`
+	// Method is the fixed method's figure name when Any is false
+	// (e.g. "Lorenzo 1-Layer").
+	Method string `json:"method,omitempty"`
+	// Range bounds physically plausible values, when known.
+	Range *RangeInfo `json:"range,omitempty"`
+}
+
+// RegisterRequest registers an allocation into the caller's tenant
+// namespace (POST /v1/allocations).
+type RegisterRequest struct {
+	Name   string     `json:"name"`
+	Dims   []int      `json:"dims"`
+	DType  string     `json:"dtype"` // "float32" | "float64"
+	Policy PolicyInfo `json:"policy"`
+}
+
+// AllocationInfo describes one registered allocation.
+type AllocationInfo struct {
+	ID          int        `json:"id"`
+	Name        string     `json:"name"`
+	Tenant      string     `json:"tenant,omitempty"`
+	Base        uint64     `json:"base"`
+	Dims        []int      `json:"dims"`
+	DType       string     `json:"dtype"`
+	Policy      PolicyInfo `json:"policy"`
+	Elements    int        `json:"elements"`
+	SizeBytes   uint64     `json:"size_bytes"`
+	Quarantined int        `json:"quarantined"`
+}
+
+// AllocationList is the GET /v1/allocations response.
+type AllocationList struct {
+	Allocations []AllocationInfo `json:"allocations"`
+}
+
+// EventRequest reports one DUE/MCE. Either Addr (the faulting simulated
+// physical address, as an MCA bank would report it) or Alloc+Offset (a
+// detector that localized corruption without an address) identifies the
+// lost element.
+type EventRequest struct {
+	Addr   uint64 `json:"addr,omitempty"`
+	Alloc  string `json:"alloc,omitempty"`
+	Offset *int   `json:"offset,omitempty"`
+	// Bit is the flipped bit index when known (forensics only).
+	Bit int `json:"bit,omitempty"`
+}
+
+// Event ingestion statuses.
+const (
+	// StatusAccepted: the event was admitted into the recovery pool.
+	StatusAccepted = "accepted"
+	// StatusLatched: admission was rejected (overload / open breaker) but
+	// the record remains latched in its MCA bank; the server redelivers it
+	// once capacity frees. The caller must NOT resend.
+	StatusLatched = "latched"
+	// StatusRejected: the event was not accepted and will not be retried
+	// server-side (unregistered address, malformed request, draining).
+	StatusRejected = "rejected"
+)
+
+// EventResult reports the admission outcome of one event.
+type EventResult struct {
+	Status string       `json:"status"`
+	Error  *ErrorDetail `json:"error,omitempty"`
+}
+
+// InjectRequest corrupts one element of an allocation in place and plants
+// the fault in the simulated memory (POST /v1/allocations/{name}/inject) —
+// the load-generation and test harness path; a deployment would disable it.
+type InjectRequest struct {
+	// Offset picks the element (nil → random).
+	Offset *int `json:"offset,omitempty"`
+	// Bit picks the flipped bit (nil → random over the dtype's width).
+	Bit *int `json:"bit,omitempty"`
+	// Seed makes random choices deterministic.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// InjectReport describes the planted fault.
+type InjectReport struct {
+	Offset int    `json:"offset"`
+	Bit    int    `json:"bit"`
+	Addr   uint64 `json:"addr"`
+	// OrigBits/CorruptedBits are IEEE-754 bit patterns (a corrupted value
+	// is frequently NaN/Inf, which JSON numbers cannot carry).
+	OrigBits      uint64  `json:"orig_valbits"`
+	CorruptedBits uint64  `json:"corrupted_valbits"`
+	Orig          float64 `json:"orig"`
+}
+
+// RecoverRequest runs one synchronous recovery
+// (POST /v1/allocations/{name}/recover).
+type RecoverRequest struct {
+	Offset int `json:"offset"`
+}
+
+// RecoverReport describes a completed synchronous recovery.
+type RecoverReport struct {
+	Offset         int     `json:"offset"`
+	Method         string  `json:"method"`
+	Stage          string  `json:"stage"`
+	Tuned          bool    `json:"tuned"`
+	OldBits        uint64  `json:"old_valbits"`
+	New            float64 `json:"new"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// ElementState reports one element (GET /v1/allocations/{name}/element).
+type ElementState struct {
+	Offset int   `json:"offset"`
+	Coords []int `json:"coords"`
+	// ValueBits is always present; Value only when the stored value is
+	// finite (JSON cannot represent NaN/Inf).
+	ValueBits   uint64   `json:"valbits"`
+	Value       *float64 `json:"value,omitempty"`
+	Quarantined bool     `json:"quarantined"`
+	Addr        uint64   `json:"addr"`
+}
+
+// OutcomeRecord is one finished recovery, as reported by the outcome feed
+// (GET /v1/outcomes). Seq is a monotone cursor: poll with since=<last
+// Next> to stream.
+type OutcomeRecord struct {
+	Seq      uint64  `json:"seq"`
+	Tenant   string  `json:"tenant,omitempty"`
+	Alloc    string  `json:"alloc"`
+	Offset   int     `json:"offset"`
+	Addr     uint64  `json:"addr,omitempty"`
+	OK       bool    `json:"ok"`
+	Error    string  `json:"error,omitempty"`
+	Code     string  `json:"code,omitempty"` // machine-readable failure reason
+	Method   string  `json:"method,omitempty"`
+	Stage    string  `json:"stage,omitempty"`
+	Tuned    bool    `json:"tuned,omitempty"`
+	OldBits  uint64  `json:"old_valbits"`
+	New      float64 `json:"new"`
+	Attempts int     `json:"attempts"`
+	Replayed bool    `json:"replayed,omitempty"`
+	Probe    bool    `json:"probe,omitempty"`
+	UnixNano int64   `json:"unix_nano"`
+}
+
+// OutcomesPage is one page of the outcome feed.
+type OutcomesPage struct {
+	// Next is the cursor for the following poll (pass as since=).
+	Next uint64 `json:"next"`
+	// Dropped is true when the requested cursor fell off the bounded ring
+	// (the caller polled too slowly and missed records).
+	Dropped  bool            `json:"dropped,omitempty"`
+	Outcomes []OutcomeRecord `json:"outcomes"`
+}
+
+// QuarantineReport lists the tenant's quarantined (corrupt, unrepaired)
+// elements (GET /v1/quarantine).
+type QuarantineReport struct {
+	Total       int              `json:"total"`
+	Allocations map[string][]int `json:"allocations,omitempty"`
+}
+
+// ReadyReport is the /readyz payload: admission capacity, quarantine and
+// breaker state. Served with 200 when ready, 503 when draining.
+type ReadyReport struct {
+	Ready         bool              `json:"ready"`
+	Reason        string            `json:"reason,omitempty"`
+	Draining      bool              `json:"draining"`
+	QueueDepth    int               `json:"queue_depth"`
+	QueueCapacity int               `json:"queue_capacity"`
+	Quarantined   int               `json:"quarantined"`
+	Breakers      map[string]string `json:"breakers,omitempty"`
+	Recovered     uint64            `json:"recovered"`
+	Failed        uint64            `json:"failed"`
+	Replayed      uint64            `json:"replayed,omitempty"`
+}
+
+// Float64sToBytes encodes field data for upload: little-endian IEEE-754,
+// 8 bytes per element, row-major — the PUT /v1/allocations/{name}/data
+// body format.
+func Float64sToBytes(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// BytesToFloat64s decodes a downloaded field (the inverse of
+// Float64sToBytes).
+func BytesToFloat64s(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("httpapi: field data length %d not a multiple of 8", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package httpapi
+
+import "sync"
+
+// outcomeRing is a bounded, seq-stamped buffer of finished recoveries that
+// remote clients poll as a feed. Writers never block: past capacity the
+// oldest records fall off and a slow poller observes Dropped instead of
+// wedging the worker pool.
+type outcomeRing struct {
+	mu    sync.Mutex
+	buf   []OutcomeRecord // ordered by Seq, len <= cap
+	cap   int
+	next  uint64 // seq assigned to the next record
+	first uint64 // seq of buf[0], when len(buf) > 0
+}
+
+func newOutcomeRing(capacity int) *outcomeRing {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &outcomeRing{cap: capacity, next: 1, first: 1}
+}
+
+// add stamps and stores one record.
+func (r *outcomeRing) add(rec OutcomeRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec.Seq = r.next
+	r.next++
+	r.buf = append(r.buf, rec)
+	if over := len(r.buf) - r.cap; over > 0 {
+		r.buf = append(r.buf[:0], r.buf[over:]...)
+	}
+	if len(r.buf) > 0 {
+		r.first = r.buf[0].Seq
+	}
+}
+
+// page returns records with Seq >= since that match the tenant (and alloc,
+// when non-empty), up to limit, plus the next poll cursor and whether
+// records before since already fell off the ring.
+func (r *outcomeRing) page(since uint64, tenant, alloc string, limit int) OutcomesPage {
+	if limit <= 0 || limit > 1000 {
+		limit = 256
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	page := OutcomesPage{Next: since, Outcomes: []OutcomeRecord{}}
+	if since == 0 {
+		since = 1
+	}
+	if since < r.first {
+		page.Dropped = true
+	}
+	for _, rec := range r.buf {
+		if rec.Seq < since {
+			continue
+		}
+		if len(page.Outcomes) >= limit {
+			break
+		}
+		page.Next = rec.Seq + 1
+		if rec.Tenant != tenant || (alloc != "" && rec.Alloc != alloc) {
+			continue
+		}
+		page.Outcomes = append(page.Outcomes, rec)
+	}
+	if page.Next < since {
+		page.Next = since
+	}
+	return page
+}

@@ -1,0 +1,333 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"regexp"
+	"sync/atomic"
+	"time"
+
+	"spatialdue/internal/core"
+	"spatialdue/internal/mca"
+	"spatialdue/internal/service"
+)
+
+// ServerConfig parameterizes a Server. Zero values select the documented
+// defaults.
+type ServerConfig struct {
+	// Service configures the underlying recovery service (worker pool,
+	// admission queue, deadlines, breakers, journal). OnOutcome is chained:
+	// the server's outcome feed sees every result, then the caller's hook.
+	Service service.Config
+	// Banks is the simulated MCA bank count for the ingestion path
+	// (default 8). More banks latch more backpressured events before
+	// overflow spills to the redelivery queue; none are ever dropped.
+	Banks int
+	// OutcomeBuffer bounds the outcome feed ring (default 4096).
+	OutcomeBuffer int
+	// RedeliverEvery is the period of the background loop that redelivers
+	// bank-latched events when the pool has capacity (default 25ms;
+	// negative disables, leaving redelivery to worker-completion hooks).
+	RedeliverEvery time.Duration
+	// DefaultTenant is the namespace for requests without a tenant header
+	// (default "default").
+	DefaultTenant string
+	// MaxBodyBytes caps request bodies, notably field uploads
+	// (default 256 MiB).
+	MaxBodyBytes int64
+	// DrainTimeout bounds each stage of graceful shutdown: HTTP in-flight
+	// drain, latched-event settling, and the service drain (default 30s).
+	DrainTimeout time.Duration
+	// EnableInject exposes POST /v1/allocations/{name}/inject — the fault
+	// injection endpoint the load generator and tests drive. Off by
+	// default: a production deployment must not let clients corrupt state.
+	EnableInject bool
+}
+
+// Server is the networked recovery front end. Create with NewServer, serve
+// with Run (graceful) or mount it as an http.Handler, and stop with Close.
+type Server struct {
+	cfg      ServerConfig
+	eng      *core.Engine
+	svc      *service.Service
+	machine  *mca.Machine
+	outcomes *outcomeRing
+	mux      *http.ServeMux
+
+	draining atomic.Bool
+	stopTick chan struct{}
+	tickDone chan struct{}
+
+	// ingestion counters (Prometheus: spatialdue_http_events_*_total)
+	evAccepted, evLatched, evRejected atomic.Uint64
+}
+
+// NewServer builds the full pipeline behind one HTTP surface: a recovery
+// service over eng (created from cfg.Service and started), a simulated MCA
+// whose banks latch backpressured events, and the background redelivery
+// loop. Register allocations that must replay journal intents before
+// calling (same contract as service.New).
+func NewServer(eng *core.Engine, cfg ServerConfig) (*Server, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("httpapi: nil engine")
+	}
+	if cfg.Banks <= 0 {
+		cfg.Banks = 8
+	}
+	if cfg.RedeliverEvery == 0 {
+		cfg.RedeliverEvery = 25 * time.Millisecond
+	}
+	if cfg.DefaultTenant == "" {
+		cfg.DefaultTenant = DefaultTenant
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 256 << 20
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+
+	s := &Server{
+		cfg:      cfg,
+		eng:      eng,
+		outcomes: newOutcomeRing(cfg.OutcomeBuffer),
+		stopTick: make(chan struct{}),
+		tickDone: make(chan struct{}),
+	}
+	userHook := cfg.Service.OnOutcome
+	cfg.Service.OnOutcome = func(res service.Result) {
+		s.outcomes.add(recordFromResult(res))
+		if userHook != nil {
+			userHook(res)
+		}
+	}
+	svc, err := service.New(eng, cfg.Service)
+	if err != nil {
+		return nil, err
+	}
+	s.svc = svc
+	s.machine = mca.New(cfg.Banks)
+	svc.AttachMCA(s.machine)
+	svc.Start()
+	s.routes()
+
+	go s.redeliverLoop()
+	return s, nil
+}
+
+// Service exposes the underlying recovery service (stats, breaker state).
+func (s *Server) Service() *service.Service { return s.svc }
+
+// Machine exposes the ingestion MCA (latched-bank inspection in tests).
+func (s *Server) Machine() *mca.Machine { return s.machine }
+
+// Engine exposes the recovery engine the server fronts.
+func (s *Server) Engine() *core.Engine { return s.eng }
+
+// redeliverLoop periodically pulls backpressured events out of their
+// latched banks while the pool has capacity. Worker completions also
+// trigger redelivery; this loop covers the pool-went-idle case (e.g. every
+// worker freed up before the next completion hook fired, or a breaker
+// half-opened with no traffic to carry the probe).
+func (s *Server) redeliverLoop() {
+	defer close(s.tickDone)
+	if s.cfg.RedeliverEvery < 0 {
+		return
+	}
+	t := time.NewTicker(s.cfg.RedeliverEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopTick:
+			return
+		case <-t.C:
+			if len(s.machine.LatchedBanks()) > 0 || s.machine.PendingOverflow() > 0 {
+				s.machine.RedeliverLatched()
+			}
+		}
+	}
+}
+
+// routes wires the endpoint table.
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
+	mux.HandleFunc("POST /v1/allocations", s.handleRegister)
+	mux.HandleFunc("GET /v1/allocations", s.handleListAllocations)
+	mux.HandleFunc("GET /v1/allocations/{name}", s.handleGetAllocation)
+	mux.HandleFunc("PUT /v1/allocations/{name}/data", s.handleUpload)
+	mux.HandleFunc("GET /v1/allocations/{name}/data", s.handleDownload)
+	mux.HandleFunc("GET /v1/allocations/{name}/element", s.handleElement)
+	mux.HandleFunc("POST /v1/allocations/{name}/recover", s.handleRecover)
+	if s.cfg.EnableInject {
+		mux.HandleFunc("POST /v1/allocations/{name}/inject", s.handleInject)
+	}
+	mux.HandleFunc("POST /v1/events", s.handleEvent)
+	mux.HandleFunc("POST /v1/events/stream", s.handleEventStream)
+	mux.HandleFunc("GET /v1/outcomes", s.handleOutcomes)
+	mux.HandleFunc("GET /v1/quarantine", s.handleQuarantine)
+	s.mux = mux
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Run serves on l until ctx is cancelled, then shuts down in strict order:
+//
+//  1. the listener stops accepting and in-flight requests drain (bounded
+//     by DrainTimeout); /readyz flips to 503 immediately so load
+//     balancers stop routing here;
+//  2. bank-latched events get a bounded window to redeliver into the pool
+//     (backpressured-at-burst means delivered-late, not lost);
+//  3. the recovery service drains: queued recoveries complete, their
+//     journal outcomes are written, and the journal closes.
+//
+// A journaled intent therefore always reaches its outcome record before
+// Run returns, or — if the process is killed mid-drain — replays on the
+// next start.
+func (s *Server) Run(ctx context.Context, l net.Listener) error {
+	hs := &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener failed on its own; still tear the pipeline down.
+		cerr := s.Close(context.Background())
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return cerr
+	case <-ctx.Done():
+	}
+
+	s.draining.Store(true)
+	shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := hs.Shutdown(shCtx)
+	<-serveErr // Serve has returned ErrServerClosed
+	if cerr := s.Close(shCtx); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close stops the background redelivery loop, lets latched events settle
+// into the pool, and drains the recovery service. Safe to call once, after
+// which submissions fail with service.ErrStopped.
+func (s *Server) Close(ctx context.Context) error {
+	s.draining.Store(true)
+	select {
+	case <-s.stopTick:
+	default:
+		close(s.stopTick)
+	}
+	<-s.tickDone
+	// Settle window: redeliver latched/overflowed events while the pool
+	// still accepts work, so backpressured events become journaled intents
+	// (and then drained recoveries) instead of dying with the banks.
+	for {
+		if len(s.machine.LatchedBanks()) == 0 && s.machine.PendingOverflow() == 0 {
+			break
+		}
+		s.machine.RedeliverLatched()
+		if len(s.machine.LatchedBanks()) == 0 && s.machine.PendingOverflow() == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			// Latched events that never found pool capacity stay behind —
+			// the bounded-drain contract; the client already saw 429/latched.
+			return s.svc.Drain(ctx)
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	return s.svc.Drain(ctx)
+}
+
+// tenantPattern bounds tenant names: short, path/metric-safe labels.
+var tenantPattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// tenant resolves the request's namespace.
+func (s *Server) tenant(r *http.Request) (string, error) {
+	t := r.Header.Get(TenantHeader)
+	if t == "" {
+		return s.cfg.DefaultTenant, nil
+	}
+	if !tenantPattern.MatchString(t) {
+		return "", fmt.Errorf("invalid %s %q: want 1-64 chars of [A-Za-z0-9._-]", TenantHeader, t)
+	}
+	return t, nil
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError maps err onto the wire: status from the error table, JSON
+// body with the machine-readable code, Retry-After where the table says
+// the condition is transient.
+func writeError(w http.ResponseWriter, err error) {
+	writeErrorDetail(w, ErrorDetail{Code: CodeFor(err), Message: err.Error()})
+}
+
+// writeBadRequest reports a malformed request (no sentinel round-trip).
+func writeBadRequest(w http.ResponseWriter, format string, args ...any) {
+	writeErrorDetail(w, ErrorDetail{Code: CodeBadRequest, Message: fmt.Sprintf(format, args...)})
+}
+
+func writeErrorDetail(w http.ResponseWriter, det ErrorDetail) {
+	status, retry := StatusFor(det.Code)
+	if retry {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, ErrorBody{Error: det})
+}
+
+// recordFromResult converts a service result into a feed record.
+func recordFromResult(res service.Result) OutcomeRecord {
+	rec := OutcomeRecord{
+		Tenant:   res.Tenant,
+		Alloc:    res.Alloc,
+		Offset:   res.Offset,
+		Addr:     res.Addr,
+		Attempts: res.Attempts,
+		Replayed: res.Replayed,
+		Probe:    res.Probe,
+		UnixNano: time.Now().UnixNano(),
+	}
+	if res.Err != nil {
+		rec.Error = res.Err.Error()
+		rec.Code = CodeFor(res.Err)
+		return rec
+	}
+	rec.OK = true
+	rec.Method = res.Outcome.Method.String()
+	rec.Stage = res.Outcome.Stage.String()
+	rec.Tuned = res.Outcome.Tuned
+	rec.OldBits = float64Bits(res.Outcome.Old)
+	rec.New = res.Outcome.New
+	return rec
+}

@@ -103,15 +103,15 @@ func TestRecoveryJournalReplay(t *testing.T) {
 	if len(unfinished) != 0 {
 		t.Fatalf("fresh journal has %d unfinished intents", len(unfinished))
 	}
-	id1, err := r.Begin("grid", 0x1000, 7, 3.5)
+	id1, err := r.Begin("", "grid", 0x1000, 7, 3.5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	id2, err := r.Begin("grid", 0x1008, 8, -1.0)
+	id2, err := r.Begin("", "grid", 0x1008, 8, -1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	id3, err := r.Begin("other", 0x2000, 99, 0)
+	id3, err := r.Begin("", "other", 0x2000, 99, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestRecoveryJournalReplay(t *testing.T) {
 	}
 
 	// IDs continue past the highest seen.
-	id4, err := r2.Begin("grid", 0, 1, 0)
+	id4, err := r2.Begin("", "grid", 0, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,10 +181,10 @@ func TestIntentDetectedValueBitExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	payload := math.Float64frombits(0x7ff8dead_beef0001) // NaN with payload
-	if _, err := r.Begin("grid", 0x1000, 3, payload); err != nil {
+	if _, err := r.Begin("", "grid", 0x1000, 3, payload); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Begin("grid", 0x1008, 4, math.Inf(-1)); err != nil {
+	if _, err := r.Begin("", "grid", 0x1008, 4, math.Inf(-1)); err != nil {
 		t.Fatal(err)
 	}
 	if err := r.Close(); err != nil {
@@ -214,7 +214,7 @@ func TestRecoveryJournalTornIntent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Begin("grid", 0x1000, 1, 0); err != nil {
+	if _, err := r.Begin("", "grid", 0x1000, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := r.Close(); err != nil {

@@ -18,6 +18,10 @@ type Intent struct {
 	// Alloc is the allocation name (replay resolves it by name, since
 	// simulated base addresses are reassigned on restart).
 	Alloc string
+	// Tenant is the registry namespace the allocation lives in (empty for
+	// direct library use; pre-tenancy journals decode to empty, which
+	// matches allocations registered without a tenant).
+	Tenant string
 	// Addr is the faulting physical address as originally reported.
 	Addr uint64
 	// Offset is the linear element offset under recovery.
@@ -33,6 +37,7 @@ type Intent struct {
 type intentWire struct {
 	ID           uint64 `json:"id"`
 	Alloc        string `json:"alloc"`
+	Tenant       string `json:"tenant,omitempty"`
 	Addr         uint64 `json:"addr,omitempty"`
 	Offset       int    `json:"off"`
 	DetectedBits uint64 `json:"valbits"`
@@ -41,7 +46,7 @@ type intentWire struct {
 // MarshalJSON implements json.Marshaler.
 func (in Intent) MarshalJSON() ([]byte, error) {
 	return json.Marshal(intentWire{
-		ID: in.ID, Alloc: in.Alloc, Addr: in.Addr, Offset: in.Offset,
+		ID: in.ID, Alloc: in.Alloc, Tenant: in.Tenant, Addr: in.Addr, Offset: in.Offset,
 		DetectedBits: math.Float64bits(in.Detected),
 	})
 }
@@ -52,7 +57,7 @@ func (in *Intent) UnmarshalJSON(b []byte) error {
 	if err := json.Unmarshal(b, &w); err != nil {
 		return err
 	}
-	*in = Intent{ID: w.ID, Alloc: w.Alloc, Addr: w.Addr, Offset: w.Offset,
+	*in = Intent{ID: w.ID, Alloc: w.Alloc, Tenant: w.Tenant, Addr: w.Addr, Offset: w.Offset,
 		Detected: math.Float64frombits(w.DetectedBits)}
 	return nil
 }
@@ -133,13 +138,14 @@ func OpenRecovery(path string, sync bool) (*Recovery, []Intent, error) {
 
 // Begin journals a recovery intent (durably, when the journal is synced)
 // and returns its ID. This must complete before any recovery work starts:
-// it is the write-ahead in write-ahead journal.
-func (r *Recovery) Begin(alloc string, addr uint64, off int, detected float64) (uint64, error) {
+// it is the write-ahead in write-ahead journal. tenant is the registry
+// namespace of the allocation (empty outside the networked front end).
+func (r *Recovery) Begin(tenant, alloc string, addr uint64, off int, detected float64) (uint64, error) {
 	r.mu.Lock()
 	id := r.nextID
 	r.nextID++
 	r.mu.Unlock()
-	in := Intent{ID: id, Alloc: alloc, Addr: addr, Offset: off, Detected: detected}
+	in := Intent{ID: id, Alloc: alloc, Tenant: tenant, Addr: addr, Offset: off, Detected: detected}
 	if err := r.log.Append(record{Kind: "intent", Intent: &in}); err != nil {
 		return 0, err
 	}

@@ -33,6 +33,11 @@ var ErrNotRegistered = errors.New("registry: address not registered")
 // array being protected.
 var ErrDims = errors.New("registry: dimension mismatch")
 
+// ErrNameTaken is returned by RegisterTenant when the tenant already has an
+// allocation registered under the requested name. Tenant-scoped names must
+// be unique so that remote clients can address allocations by name alone.
+var ErrNameTaken = errors.New("registry: allocation name already registered in tenant")
+
 const (
 	// pageSize is the simulated page granularity for base addresses.
 	pageSize = 4096
@@ -103,6 +108,11 @@ type Allocation struct {
 	ID int
 	// Name is a user label (typically the variable name).
 	Name string
+	// Tenant is the namespace the allocation was registered into. Direct
+	// library use leaves it empty; the networked front end scopes every
+	// registration to the reporting client's tenant so fleets sharing one
+	// recovery authority cannot address each other's state.
+	Tenant string
 	// Base is the simulated physical base address.
 	Base uint64
 	// DType is the element representation used for address math and for
@@ -112,6 +122,17 @@ type Allocation struct {
 	Array *ndarray.Array
 	// Policy is the recovery policy recorded at registration.
 	Policy Policy
+}
+
+// QualifiedName returns the tenant-qualified identity of the allocation:
+// "tenant/name" for tenant-scoped registrations, the bare name otherwise.
+// Use it wherever allocations from different tenants must not collide
+// (circuit-breaker keys, metrics labels, log lines).
+func (a *Allocation) QualifiedName() string {
+	if a.Tenant == "" {
+		return a.Name
+	}
+	return a.Tenant + "/" + a.Name
 }
 
 // SizeBytes returns the region size in bytes.
@@ -172,10 +193,34 @@ func NewTable() *Table {
 func (t *Table) Register(name string, arr *ndarray.Array, dtype bitflip.DType, policy Policy) *Allocation {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.registerLocked("", name, arr, dtype, policy)
+}
+
+// RegisterTenant registers an allocation into a tenant namespace. Unlike
+// Register, names are unique within a tenant (ErrNameTaken otherwise), so
+// networked clients can address allocations by (tenant, name) alone. All
+// tenants share one simulated physical address space — an MCE carries a raw
+// address, and tenancy is a property of the reporting path, not of the
+// memory — so Lookup stays global while name resolution is scoped.
+func (t *Table) RegisterTenant(tenant, name string, arr *ndarray.Array, dtype bitflip.DType, policy Policy) (*Allocation, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, a := range t.allocs {
+		if a.Tenant == tenant && a.Name == name {
+			return nil, fmt.Errorf("%w: %q in tenant %q", ErrNameTaken, name, tenant)
+		}
+	}
+	return t.registerLocked(tenant, name, arr, dtype, policy), nil
+}
+
+// registerLocked assigns a base address and appends the allocation; the
+// caller holds t.mu.
+func (t *Table) registerLocked(tenant, name string, arr *ndarray.Array, dtype bitflip.DType, policy Policy) *Allocation {
 	base := (t.nextTop + pageSize - 1) / pageSize * pageSize
 	a := &Allocation{
 		ID:     t.nextID,
 		Name:   name,
+		Tenant: tenant,
 		Base:   base,
 		DType:  dtype,
 		Array:  arr,
@@ -252,6 +297,48 @@ func (t *Table) ByName(name string) (*Allocation, bool) {
 		}
 	}
 	return nil, false
+}
+
+// ByTenantName returns the tenant's allocation registered under name.
+func (t *Table) ByTenantName(tenant, name string) (*Allocation, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, a := range t.allocs {
+		if a.Tenant == tenant && a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// TenantAllocations returns a snapshot of the tenant's allocations in
+// address order.
+func (t *Table) TenantAllocations(tenant string) []*Allocation {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []*Allocation
+	for _, a := range t.allocs {
+		if a.Tenant == tenant {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Tenants returns the distinct tenant namespaces with registered
+// allocations, in first-registration order.
+func (t *Table) Tenants() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range t.allocs {
+		if !seen[a.Tenant] {
+			seen[a.Tenant] = true
+			out = append(out, a.Tenant)
+		}
+	}
+	return out
 }
 
 // Migrate moves an allocation to a fresh base address — what the OS does

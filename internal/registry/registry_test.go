@@ -255,3 +255,74 @@ func TestMigratePreservesAddressOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestRegisterTenantScopesNames(t *testing.T) {
+	tab := NewTable()
+	a1, err := tab.RegisterTenant("alice", "field", ndarray.New(4, 4), bitflip.Float64, RecoverAny())
+	if err != nil {
+		t.Fatalf("RegisterTenant: %v", err)
+	}
+	// The same name in another tenant is a different allocation.
+	a2, err := tab.RegisterTenant("bob", "field", ndarray.New(8, 8), bitflip.Float32, RecoverAny())
+	if err != nil {
+		t.Fatalf("RegisterTenant second tenant: %v", err)
+	}
+	if a1.ID == a2.ID || a1.Base == a2.Base {
+		t.Errorf("tenants share identity: %v vs %v", a1, a2)
+	}
+	// A duplicate inside one tenant is rejected.
+	if _, err := tab.RegisterTenant("alice", "field", ndarray.New(2, 2), bitflip.Float64, RecoverAny()); !errors.Is(err, ErrNameTaken) {
+		t.Errorf("duplicate in tenant: err = %v, want ErrNameTaken", err)
+	}
+
+	got, ok := tab.ByTenantName("alice", "field")
+	if !ok || got != a1 {
+		t.Errorf("ByTenantName(alice) = %v, %v", got, ok)
+	}
+	got, ok = tab.ByTenantName("bob", "field")
+	if !ok || got != a2 {
+		t.Errorf("ByTenantName(bob) = %v, %v", got, ok)
+	}
+	if _, ok := tab.ByTenantName("carol", "field"); ok {
+		t.Error("ByTenantName(carol) found an allocation")
+	}
+}
+
+func TestTenantAllocationsAndTenants(t *testing.T) {
+	tab := NewTable()
+	if _, err := tab.RegisterTenant("alice", "u", ndarray.New(3, 3), bitflip.Float64, RecoverAny()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.RegisterTenant("bob", "u", ndarray.New(3, 3), bitflip.Float64, RecoverAny()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.RegisterTenant("alice", "v", ndarray.New(3, 3), bitflip.Float64, RecoverAny()); err != nil {
+		t.Fatal(err)
+	}
+	// Plain Register lands in the unnamed namespace.
+	tab.Register("w", ndarray.New(2), bitflip.Float64, RecoverAny())
+
+	if got := tab.TenantAllocations("alice"); len(got) != 2 {
+		t.Errorf("alice has %d allocations, want 2", len(got))
+	}
+	if got := tab.TenantAllocations("bob"); len(got) != 1 || got[0].Name != "u" {
+		t.Errorf("bob allocations = %v", got)
+	}
+	tenants := tab.Tenants()
+	want := []string{"alice", "bob", ""}
+	if len(tenants) != len(want) {
+		t.Fatalf("Tenants() = %v, want %v", tenants, want)
+	}
+	for i := range want {
+		if tenants[i] != want[i] {
+			t.Errorf("Tenants()[%d] = %q, want %q", i, tenants[i], want[i])
+		}
+	}
+	// Address lookup stays global: bob's allocation resolves by raw address
+	// regardless of namespace.
+	bobU, _ := tab.ByTenantName("bob", "u")
+	a, off, err := tab.Lookup(bobU.AddrOf(5))
+	if err != nil || a != bobU || off != 5 {
+		t.Errorf("Lookup across tenants = %v, %d, %v", a, off, err)
+	}
+}

@@ -90,8 +90,11 @@ type Config struct {
 // Result reports one finished (or terminally failed) recovery.
 type Result struct {
 	// Alloc and Offset identify the repaired element; Addr is the faulting
-	// address as submitted (0 for direct Submit calls on offset).
+	// address as submitted (0 for direct Submit calls on offset). Tenant is
+	// the registry namespace of the allocation (empty outside the networked
+	// front end).
 	Alloc  string
+	Tenant string
 	Offset int
 	Addr   uint64
 	// Outcome is the engine outcome when Err is nil.
@@ -224,7 +227,7 @@ func New(eng *core.Engine, cfg Config) (*Service, error) {
 
 // replay re-quarantines and resubmits one unfinished journal intent.
 func (s *Service) replay(in journal.Intent) {
-	alloc, ok := s.eng.Table().ByName(in.Alloc)
+	alloc, ok := s.eng.Table().ByTenantName(in.Tenant, in.Alloc)
 	if !ok || in.Offset < 0 || in.Offset >= alloc.Array.Len() {
 		// The allocation vanished across the restart: the intent can never
 		// be replayed. Close it out so the journal converges.
@@ -325,9 +328,11 @@ func (s *Service) submit(alloc *registry.Allocation, addr uint64, off int) error
 	}
 
 	// Circuit breaker: a degraded allocation goes straight to
-	// checkpoint-restart without consuming pool time.
+	// checkpoint-restart without consuming pool time. Breakers are keyed by
+	// tenant-qualified name so same-named allocations of different tenants
+	// trip independently.
 	probe := false
-	if br := s.breakerFor(alloc.Name); br != nil {
+	if br := s.breakerFor(alloc.QualifiedName()); br != nil {
 		var ok bool
 		probe, ok = br.allow()
 		if !ok {
@@ -336,7 +341,7 @@ func (s *Service) submit(alloc *registry.Allocation, addr uint64, off int) error
 			s.stats.BreakerRejected++
 			s.mu.Unlock()
 			return fmt.Errorf("%w: allocation %q degraded to checkpoint-restart: %w",
-				ErrCircuitOpen, alloc.Name, core.ErrCheckpointRestartRequired)
+				ErrCircuitOpen, alloc.QualifiedName(), core.ErrCheckpointRestartRequired)
 		}
 	}
 
@@ -348,7 +353,7 @@ func (s *Service) submit(alloc *registry.Allocation, addr uint64, off int) error
 	// Write-ahead intent: durable before any work begins.
 	t := task{alloc: alloc, addr: addr, off: off, detected: detected, probe: probe}
 	if s.jr != nil {
-		id, err := s.jr.Begin(alloc.Name, addr, off, detected)
+		id, err := s.jr.Begin(alloc.Tenant, alloc.Name, addr, off, detected)
 		if err != nil {
 			release()
 			return fmt.Errorf("service: journal intent: %w", err)
@@ -384,8 +389,8 @@ func (s *Service) breakerFor(name string) *breaker {
 	return b
 }
 
-// BreakerState reports the circuit state of an allocation (BreakerClosed
-// for unknown or disabled breakers).
+// BreakerState reports the circuit state of an allocation by its
+// tenant-qualified name (BreakerClosed for unknown or disabled breakers).
 func (s *Service) BreakerState(name string) BreakerState {
 	s.mu.Lock()
 	b := s.breakers[name]
@@ -394,6 +399,23 @@ func (s *Service) BreakerState(name string) BreakerState {
 		return BreakerClosed
 	}
 	return b.snapshot()
+}
+
+// BreakerStates snapshots every allocation breaker the service has touched,
+// keyed by tenant-qualified allocation name — the readiness endpoint's view
+// of which allocations are degraded.
+func (s *Service) BreakerStates() map[string]BreakerState {
+	s.mu.Lock()
+	bs := make(map[string]*breaker, len(s.breakers))
+	for name, b := range s.breakers {
+		bs[name] = b
+	}
+	s.mu.Unlock()
+	out := make(map[string]BreakerState, len(bs))
+	for name, b := range bs {
+		out[name] = b.snapshot()
+	}
+	return out
 }
 
 func (s *Service) worker() {
@@ -450,7 +472,7 @@ func (s *Service) process(t task) {
 		time.Sleep(s.backoff(attempts))
 	}
 
-	if br := s.breakerFor(t.alloc.Name); br != nil {
+	if br := s.breakerFor(t.alloc.QualifiedName()); br != nil {
 		if err == nil {
 			br.onSuccess()
 		} else if br.onFailure() {
@@ -486,7 +508,7 @@ func (s *Service) process(t task) {
 
 	if s.cfg.OnOutcome != nil {
 		s.cfg.OnOutcome(Result{
-			Alloc: t.alloc.Name, Offset: t.off, Addr: t.addr,
+			Alloc: t.alloc.Name, Tenant: t.alloc.Tenant, Offset: t.off, Addr: t.addr,
 			Outcome: out, Err: err, Attempts: attempts,
 			Replayed: t.replayed, Probe: t.probe,
 		})
