@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: spatialdue/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkRecoveryHotPath/Single-8         	     500	     18633 ns/op	    6226 B/op	      16 allocs/op
+BenchmarkRecoveryHotPath/Batch16-8        	     500	    237584 ns/op	     67346 recoveries/s	  100521 B/op	     137 allocs/op
+PASS
+ok  	spatialdue/internal/core	0.145s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Pkg != "spatialdue/internal/core" {
+		t.Errorf("header: %+v", doc)
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(doc.Results))
+	}
+	r := doc.Results[1]
+	if r.Name != "BenchmarkRecoveryHotPath/Batch16-8" || r.Iterations != 500 {
+		t.Errorf("result: %+v", r)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 237584, "recoveries/s": 67346, "B/op": 100521, "allocs/op": 137,
+	} {
+		if got := r.Metrics[unit]; got != want {
+			t.Errorf("%s = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	doc, err := parse(strings.NewReader("BenchmarkBroken\nBenchmarkAlso bad line\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 0 {
+		t.Errorf("malformed lines produced results: %+v", doc.Results)
+	}
+}

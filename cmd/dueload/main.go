@@ -10,21 +10,31 @@
 // the server keeps the event bank-latched and redelivers it itself; the
 // settle phase proves those events were delivered late, not dropped.
 //
+// With -storm the clients instead share ONE tenant and ONE allocation and
+// hammer disjoint offset partitions of the same field through the NDJSON
+// stream endpoint — the same-array DUE storm that exercises the server's
+// stripe-locked RecoverBatch fast path. The run ends by scraping the
+// server's /metrics for the hot-path counters (stripe lock wait, batch
+// size histogram, coalesced recoveries).
+//
 // Usage:
 //
 //	dueload [-addr http://127.0.0.1:8080] [-clients 8] [-events 96]
 //	        [-burst 16] [-pause 25ms] [-rows 64] [-cols 64]
-//	        [-settle 60s] [-seed 1] [-tol 0.01]
+//	        [-settle 60s] [-seed 1] [-tol 0.01] [-storm]
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -48,6 +58,7 @@ func main() {
 		settle  = flag.Duration("settle", 60*time.Second, "max wait for all recoveries to land and quarantine to clear")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		tol     = flag.Float64("tol", 0.01, "relative-error bound counted as a high-quality recovery")
+		storm   = flag.Bool("storm", false, "same-array storm: all clients share one tenant+allocation, partitioned offsets, NDJSON stream ingest")
 	)
 	flag.Parse()
 	if *clients < 1 || *events < 1 || *rows < 2 || *cols < 2 {
@@ -57,11 +68,61 @@ func main() {
 		*events = *rows * *cols
 	}
 
-	fmt.Printf("dueload: %d clients x %d events against %s (%dx%d fields, burst %d)\n",
-		*clients, *events, *addr, *rows, *cols, *burst)
+	mode := "isolated tenants"
+	if *storm {
+		mode = "same-array storm"
+	}
+	fmt.Printf("dueload: %d clients x %d events against %s (%dx%d fields, burst %d, %s)\n",
+		*clients, *events, *addr, *rows, *cols, *burst, mode)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2**settle+5*time.Minute)
 	defer cancel()
+
+	params := make([]clientParams, *clients)
+	if *storm {
+		// One shared tenant + allocation, registered and uploaded once up
+		// front; each client owns a disjoint partition of one shuffled offset
+		// permutation, so every ingest->outcome mapping stays exact even
+		// though all clients storm the same array.
+		const tenant, allocName = "storm", "field"
+		total := *clients * *events
+		if total > *rows**cols {
+			*events = *rows * *cols / *clients
+			total = *clients * *events
+			fmt.Printf("dueload: capping at %d events/client (field has %d elements)\n", *events, *rows**cols)
+		}
+		setup := client.New(client.Config{BaseURL: *addr, Tenant: tenant})
+		if _, err := setup.Register(ctx, httpapi.RegisterRequest{
+			Name: allocName, Dims: []int{*rows, *cols}, DType: "float32",
+			Policy: httpapi.PolicyInfo{Any: true, Range: &httpapi.RangeInfo{Lo: 50, Hi: 150}},
+		}); err != nil {
+			fatalf("register storm allocation: %v", err)
+		}
+		orig := smoothField(*rows, *cols, *seed)
+		if err := setup.Upload(ctx, allocName, orig); err != nil {
+			fatalf("upload storm field: %v", err)
+		}
+		all := distinctOffsets(total, *rows**cols, *seed)
+		for i := range params {
+			params[i] = clientParams{
+				addr: *addr, tenant: tenant, alloc: allocName,
+				rows: *rows, cols: *cols, orig: orig,
+				offsets: all[i**events : (i+1)**events],
+				burst:   *burst, stream: true,
+				pause: *pause, settle: *settle, seed: *seed + int64(i)*7919, tol: *tol,
+			}
+		}
+	} else {
+		for i := range params {
+			params[i] = clientParams{
+				addr: *addr, tenant: fmt.Sprintf("load-%02d", i), alloc: "field",
+				setup: true, rows: *rows, cols: *cols,
+				offsets: distinctOffsets(*events, *rows**cols, *seed+int64(i)*7919),
+				burst:   *burst,
+				pause:   *pause, settle: *settle, seed: *seed + int64(i)*7919, tol: *tol,
+			}
+		}
+	}
 
 	reports := make([]*report, *clients)
 	errs := make([]error, *clients)
@@ -70,11 +131,7 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			reports[i], errs[i] = runClient(ctx, clientParams{
-				addr: *addr, tenant: fmt.Sprintf("load-%02d", i),
-				rows: *rows, cols: *cols, events: *events, burst: *burst,
-				pause: *pause, settle: *settle, seed: *seed + int64(i)*7919, tol: *tol,
-			})
+			reports[i], errs[i] = runClient(ctx, params[i])
 		}(i)
 	}
 	wg.Wait()
@@ -117,6 +174,8 @@ func main() {
 	fmt.Printf("\n== end-to-end recovery latency (ingest -> outcome) ==\n")
 	printHist(total.e2e)
 
+	scrapeHotPathMetrics(*addr)
+
 	if failedClients > 0 {
 		fatalf("%d client(s) failed", failedClients)
 	}
@@ -131,9 +190,21 @@ func main() {
 }
 
 type clientParams struct {
-	addr, tenant  string
-	rows, cols    int
-	events, burst int
+	addr, tenant, alloc string
+	// setup registers and uploads the allocation (isolated-tenant mode);
+	// storm mode pre-registers the shared allocation once in main.
+	setup      bool
+	rows, cols int
+	// offsets is the partition of elements this client injects and owns:
+	// outcome tracking, the repair sweep, and verification are all filtered
+	// to it, so storm clients never claim each other's recoveries.
+	offsets []int
+	// orig is the uploaded field (storm mode); nil means generate+upload.
+	orig  []float64
+	burst int
+	// stream ingests each burst through the NDJSON stream endpoint instead
+	// of one request per event.
+	stream        bool
 	pause, settle time.Duration
 	seed          int64
 	tol           float64
@@ -185,29 +256,27 @@ func runClient(ctx context.Context, p clientParams) (*report, error) {
 		byCode: map[string]int{}, byMethod: map[string]int{},
 	}
 
-	const allocName = "field"
-	_, err := c.Register(ctx, httpapi.RegisterRequest{
-		Name: allocName, Dims: []int{p.rows, p.cols}, DType: "float32",
-		Policy: httpapi.PolicyInfo{Any: true, Range: &httpapi.RangeInfo{Lo: 50, Hi: 150}},
-	})
-	if err != nil {
-		return rep, fmt.Errorf("register: %w", err)
-	}
-
-	// A smooth field with per-tenant phase: spatial prediction recovers
-	// smooth data accurately, so every injection should repair in-range.
-	orig := make([]float64, p.rows*p.cols)
-	phase := float64(p.seed%17) / 17 * 2 * math.Pi
-	for i := 0; i < p.rows; i++ {
-		for j := 0; j < p.cols; j++ {
-			orig[i*p.cols+j] = 100 +
-				10*math.Sin(2*math.Pi*float64(i)/float64(p.rows)+phase)*
-					math.Cos(2*math.Pi*float64(j)/float64(p.cols)) +
-				5*float64(i+j)/float64(p.rows+p.cols)
+	allocName := p.alloc
+	orig := p.orig
+	if p.setup {
+		_, err := c.Register(ctx, httpapi.RegisterRequest{
+			Name: allocName, Dims: []int{p.rows, p.cols}, DType: "float32",
+			Policy: httpapi.PolicyInfo{Any: true, Range: &httpapi.RangeInfo{Lo: 50, Hi: 150}},
+		})
+		if err != nil {
+			return rep, fmt.Errorf("register: %w", err)
+		}
+		orig = smoothField(p.rows, p.cols, p.seed)
+		if err := c.Upload(ctx, allocName, orig); err != nil {
+			return rep, fmt.Errorf("upload: %w", err)
 		}
 	}
-	if err := c.Upload(ctx, allocName, orig); err != nil {
-		return rep, fmt.Errorf("upload: %w", err)
+
+	// own filters the shared outcome feed, repair sweep, and quarantine
+	// report down to this client's offset partition.
+	own := make(map[int]bool, len(p.offsets))
+	for _, off := range p.offsets {
+		own[off] = true
 	}
 
 	// Storm, one burst at a time: plant the whole burst's latent faults
@@ -215,8 +284,8 @@ func runClient(ctx context.Context, p clientParams) (*report, error) {
 	// array's recovery lock), then blast the DUE events back-to-back so
 	// admission control — not the injector — is what gets exercised.
 	// Distinct offsets keep the ingest->outcome latency map exact.
-	offsets := distinctOffsets(p.events, p.rows*p.cols, p.seed)
-	ingestAt := make(map[int]time.Time, p.events)
+	offsets := p.offsets
+	ingestAt := make(map[int]time.Time, len(offsets))
 	burst := p.burst
 	if burst < 1 {
 		burst = 1
@@ -240,6 +309,35 @@ func runClient(ctx context.Context, p clientParams) (*report, error) {
 			}
 			injected = append(injected, inj)
 		}
+		if p.stream {
+			// Whole burst down the NDJSON stream: the server admits the run
+			// back-to-back, which is what feeds the workers' RecoverBatch
+			// coalescing.
+			evs := make([]httpapi.EventRequest, len(injected))
+			for i, inj := range injected {
+				evs[i] = httpapi.EventRequest{Addr: inj.Addr, Bit: inj.Bit}
+			}
+			t0 := time.Now()
+			results, err := c.IngestBatch(ctx, evs)
+			rtt := time.Since(t0).Seconds() / float64(len(evs))
+			if err != nil {
+				return rep, fmt.Errorf("ingest stream: %w", err)
+			}
+			for i, res := range results {
+				rep.ingest.Add(rtt)
+				ingestAt[injected[i].Offset] = t0
+				switch res.Status {
+				case httpapi.StatusAccepted:
+					rep.accepted++
+				case httpapi.StatusLatched:
+					rep.latched++
+				default:
+					rep.rejected++
+					return rep, fmt.Errorf("ingest offset %d rejected: %v", injected[i].Offset, res.Error)
+				}
+			}
+			continue
+		}
 		for _, inj := range injected {
 			t0 := time.Now()
 			_, err := c.Ingest(ctx, httpapi.EventRequest{Addr: inj.Addr, Bit: inj.Bit})
@@ -261,8 +359,10 @@ func runClient(ctx context.Context, p clientParams) (*report, error) {
 
 	// Settle: follow the outcome feed until every injected offset has a
 	// successful recovery (latched events arrive late — that is the point).
+	// In storm mode the feed is shared by every client of the tenant, so
+	// records for offsets outside this client's partition are skipped.
 	deadline := time.Now().Add(p.settle)
-	okAt := make(map[int]bool, p.events)
+	okAt := make(map[int]bool, len(offsets))
 	failedAt := make(map[int]bool)
 	var cursor uint64
 	for len(okAt) < len(offsets) && time.Now().Before(deadline) {
@@ -272,6 +372,9 @@ func runClient(ctx context.Context, p clientParams) (*report, error) {
 		}
 		cursor = page.Next
 		for _, rec := range page.Outcomes {
+			if !own[rec.Offset] {
+				continue
+			}
 			if rec.OK {
 				rep.recovered++
 				rep.byMethod[rec.Method]++
@@ -311,13 +414,21 @@ func runClient(ctx context.Context, p clientParams) (*report, error) {
 		if err != nil {
 			return rep, fmt.Errorf("quarantine: %w", err)
 		}
-		rep.quarantined = q.Total
-		if q.Total == 0 || !time.Now().Before(deadline) {
+		// Only this client's partition counts (and gets swept): in storm
+		// mode the quarantine report covers every client's cells.
+		ownQ := 0
+		for _, off := range q.Allocations[allocName] {
+			if own[off] {
+				ownQ++
+			}
+		}
+		rep.quarantined = ownQ
+		if ownQ == 0 || !time.Now().Before(deadline) {
 			break
 		}
 		for _, off := range q.Allocations[allocName] {
-			if okAt[off] {
-				continue // transiently quarantined mid-recovery; leave it
+			if !own[off] || okAt[off] {
+				continue // not ours, or transiently quarantined mid-recovery
 			}
 			if _, err := c.Recover(ctx, allocName, off); err == nil {
 				okAt[off] = true
@@ -343,6 +454,67 @@ func runClient(ctx context.Context, p clientParams) (*report, error) {
 		rep.maxRelErr = math.Max(rep.maxRelErr, re)
 	}
 	return rep, nil
+}
+
+// smoothField builds the uploaded test field: smooth with a seed-derived
+// phase, so spatial prediction recovers every injection in-range.
+func smoothField(rows, cols int, seed int64) []float64 {
+	orig := make([]float64, rows*cols)
+	phase := float64(seed%17) / 17 * 2 * math.Pi
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			orig[i*cols+j] = 100 +
+				10*math.Sin(2*math.Pi*float64(i)/float64(rows)+phase)*
+					math.Cos(2*math.Pi*float64(j)/float64(cols)) +
+				5*float64(i+j)/float64(rows+cols)
+		}
+	}
+	return orig
+}
+
+// scrapeHotPathMetrics pulls the server's /metrics and summarizes the
+// recovery hot-path counters: stripe lock contention, batch coalescing,
+// and server-side latching. Best-effort — a server without /metrics (or
+// already gone) just skips the section.
+func scrapeHotPathMetrics(base string) {
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/metrics")
+	if err != nil {
+		fmt.Printf("\n(metrics scrape skipped: %v)\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	vals := map[string]float64{}
+	names := []string{
+		"spatialdue_stripe_wait_seconds",
+		"spatialdue_stripe_acquisitions_total",
+		"spatialdue_batch_size_sum",
+		"spatialdue_batch_size_count",
+		"spatialdue_service_batched_total",
+		"spatialdue_http_events_latched_total",
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, name := range names {
+			if rest, ok := strings.CutPrefix(line, name+" "); ok {
+				if v, perr := strconv.ParseFloat(strings.TrimSpace(rest), 64); perr == nil {
+					vals[name] = v
+				}
+			}
+		}
+	}
+	fmt.Printf("\n== server hot-path metrics ==\n")
+	fmt.Printf("stripe lock wait   %v over %.0f acquisitions\n",
+		time.Duration(vals["spatialdue_stripe_wait_seconds"]*float64(time.Second)).Round(time.Microsecond),
+		vals["spatialdue_stripe_acquisitions_total"])
+	calls, members := vals["spatialdue_batch_size_count"], vals["spatialdue_batch_size_sum"]
+	mean := 0.0
+	if calls > 0 {
+		mean = members / calls
+	}
+	fmt.Printf("batch calls        %.0f (%.0f members, mean size %.1f)\n", calls, members, mean)
+	fmt.Printf("batched recoveries %.0f\n", vals["spatialdue_service_batched_total"])
+	fmt.Printf("latched events     %.0f\n", vals["spatialdue_http_events_latched_total"])
 }
 
 // distinctOffsets deals n distinct offsets out of [0, limit), shuffled

@@ -61,6 +61,7 @@ func main() {
 		workers  = flag.Int("workers", 4, "serve: recovery pool size")
 		queue    = flag.Int("queue", 64, "serve: admission queue depth")
 		deadline = flag.Duration("deadline", 2*time.Second, "serve: per-recovery deadline (negative disables)")
+		batchMax = flag.Int("batch-max", 16, "serve: max queued same-allocation recoveries coalesced per RecoverBatch call (1 disables)")
 		jpath    = flag.String("journal", "", "serve: crash-safe recovery journal path (empty disables)")
 		events   = flag.Int("events", 200, "serve: number of MCA events to stream (0 = until signalled)")
 		rate     = flag.Float64("rate", 100, "serve: event rate per second (0 = as fast as possible)")
@@ -115,7 +116,7 @@ func main() {
 		runListen(eng, ds, policy, listenOptions{
 			addr: *listen, metricsAddr: *metricsAddr, inject: *enableInject,
 			workers: *workers, queue: *queue, deadline: *deadline,
-			journal: *jpath, seed: *seed,
+			batchMax: *batchMax, journal: *jpath, seed: *seed,
 		})
 		return
 	}
@@ -125,8 +126,8 @@ func main() {
 	if *serve {
 		runServe(eng, alloc, ds, serveOptions{
 			workers: *workers, queue: *queue, deadline: *deadline,
-			journal: *jpath, events: *events, rate: *rate, seed: *seed,
-			metricsAddr: *metricsAddr,
+			batchMax: *batchMax, journal: *jpath, events: *events,
+			rate: *rate, seed: *seed, metricsAddr: *metricsAddr,
 		})
 		return
 	}
@@ -169,6 +170,7 @@ func main() {
 type serveOptions struct {
 	workers, queue int
 	deadline       time.Duration
+	batchMax       int
 	journal        string
 	events         int
 	rate           float64
@@ -181,6 +183,7 @@ type listenOptions struct {
 	inject            bool
 	workers, queue    int
 	deadline          time.Duration
+	batchMax          int
 	journal           string
 	seed              int64
 }
@@ -198,7 +201,8 @@ func runListen(eng *spatialdue.Engine, ds *sdrbench.Dataset, policy spatialdue.P
 	srv, err := httpapi.NewServer(eng, httpapi.ServerConfig{
 		Service: service.Config{
 			Workers: opt.workers, QueueDepth: opt.queue, Deadline: opt.deadline,
-			JournalPath: opt.journal, JournalSync: true, Seed: opt.seed,
+			BatchMax: opt.batchMax, JournalPath: opt.journal, JournalSync: true,
+			Seed: opt.seed,
 		},
 		EnableInject: opt.inject,
 	})
@@ -244,7 +248,8 @@ func runListen(eng *spatialdue.Engine, ds *sdrbench.Dataset, policy spatialdue.P
 func runServe(eng *spatialdue.Engine, alloc *spatialdue.Allocation, ds *sdrbench.Dataset, opt serveOptions) {
 	svc, err := spatialdue.NewRecoveryService(eng, spatialdue.ServiceConfig{
 		Workers: opt.workers, QueueDepth: opt.queue, Deadline: opt.deadline,
-		JournalPath: opt.journal, JournalSync: true, Seed: opt.seed,
+		BatchMax: opt.batchMax, JournalPath: opt.journal, JournalSync: true,
+		Seed: opt.seed,
 	})
 	if err != nil {
 		fatalf("%v", err)

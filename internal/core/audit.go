@@ -132,6 +132,33 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 			"spatialdue_quarantined %d\n", e.QuarantineCount()); err != nil {
 		return err
 	}
+	wait, acq := e.StripeWait()
+	if _, err := fmt.Fprintf(w,
+		"# HELP spatialdue_stripe_wait_seconds Cumulative time spent acquiring region-stripe recovery locks.\n"+
+			"# TYPE spatialdue_stripe_wait_seconds counter\n"+
+			"spatialdue_stripe_wait_seconds %g\n"+
+			"# HELP spatialdue_stripe_acquisitions_total Stripe lock-range acquisitions.\n"+
+			"# TYPE spatialdue_stripe_acquisitions_total counter\n"+
+			"spatialdue_stripe_acquisitions_total %d\n", wait.Seconds(), acq); err != nil {
+		return err
+	}
+	calls, members, buckets := e.BatchStats()
+	if _, err := fmt.Fprintf(w,
+		"# HELP spatialdue_batch_size RecoverBatch sizes (members per call).\n"+
+			"# TYPE spatialdue_batch_size histogram\n"); err != nil {
+		return err
+	}
+	for bi, bound := range batchSizeBuckets {
+		if _, err := fmt.Fprintf(w, "spatialdue_batch_size_bucket{le=\"%d\"} %d\n", bound, buckets[bi]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"spatialdue_batch_size_bucket{le=\"+Inf\"} %d\n"+
+			"spatialdue_batch_size_sum %d\n"+
+			"spatialdue_batch_size_count %d\n", calls, members, calls); err != nil {
+		return err
+	}
 	if len(byMethod) > 0 {
 		if _, err := fmt.Fprintf(w,
 			"# HELP spatialdue_recoveries_by_method Recoveries per method (last %d events).\n"+

@@ -4,6 +4,7 @@ import (
 	"bytes"
 
 	"math"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -106,11 +107,8 @@ func TestWriteMetrics(t *testing.T) {
 			t.Errorf("malformed metric line %q", line)
 			continue
 		}
-		for _, c := range line[i+1:] {
-			if c < '0' || c > '9' {
-				t.Errorf("non-numeric metric value in %q", line)
-				break
-			}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Errorf("non-numeric metric value in %q", line)
 		}
 	}
 }

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"spatialdue/internal/registry"
+)
+
+// Batch recovery is the engine's fast path for storms of co-located DUEs on
+// one array (a flaky DIMM, a row-hammered bank): instead of each event
+// paying lock acquisition, environment setup, and shared-statistic access
+// separately, a batch
+//
+//   - quarantines every member in one coalesced pass (one quarantine-set
+//     lock, one shared-statistics exclusion sweep, both in submission
+//     order),
+//   - groups members into stripe clusters — members whose three-stripe lock
+//     ranges overlap — and runs the clusters concurrently (their read/write
+//     sets are provably disjoint; see stripes.go),
+//   - shares one predict.Env (and its allocation-free scratch buffers) per
+//     cluster, reseeding it per member, and
+//   - reuses auto-tune decisions across members in the same tune-cache
+//     block, since clustered members tune sequentially against the same
+//     cache.
+//
+// Equivalence contract. For offsets that are already quarantined when the
+// batch starts — which is how the service uses it: every ingested event is
+// MarkCorrupt'ed at intake — RecoverBatch produces bit-identical array
+// contents, outcomes, and method choices to recovering the same offsets
+// sequentially with RecoverElement in submission order. Within a cluster,
+// members run sequentially in submission order with pre-assigned
+// deterministic seeds; across clusters, no recovery can observe another's
+// writes, mask changes, or tune-cache entries, and the shared statistics
+// are frozen for the duration (exclusions all happen up front; repaired
+// cells are not re-admitted until FieldUpdated). For offsets NOT
+// pre-quarantined the batch is deliberately not order-equivalent: it
+// quarantines all members before recovering any, so early members never
+// read later members' corrupt values — strictly safer than the sequential
+// interleaving.
+//
+// Quarantine release stays per-member (not coalesced): a later member of a
+// cluster must see its earlier neighbors already repaired and released,
+// exactly as the sequential path would, or bit-identity breaks.
+//
+// BatchResult reports one member's outcome, indexed like the offsets slice
+// passed to RecoverBatch.
+type BatchResult struct {
+	// Offset echoes the member's linear element offset.
+	Offset int
+	// Outcome is the completed recovery (zero when Err != nil).
+	Outcome Outcome
+	// Err is the member's failure, if any: the same errors (and error
+	// wrapping) RecoverElementCtx would return for that offset.
+	Err error
+}
+
+// batchSizeBuckets are the spatialdue_batch_size histogram bounds.
+var batchSizeBuckets = [...]int{1, 2, 4, 8, 16, 32}
+
+// observeBatch records one RecoverBatch call for the metrics endpoint.
+func (e *Engine) observeBatch(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.batchCalls++
+	e.batchMembers += int64(n)
+	for bi, bound := range batchSizeBuckets {
+		if n <= bound {
+			e.batchBuckets[bi]++
+		}
+	}
+}
+
+// BatchStats reports lifetime batch accounting: calls, total members, and
+// the cumulative size histogram (indexed like batchSizeBuckets).
+func (e *Engine) BatchStats() (calls, members int64, buckets [len(batchSizeBuckets)]int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.batchCalls, e.batchMembers, e.batchBuckets
+}
+
+// RecoverBatch recovers every element in offsets (all inside alloc's array)
+// and returns one result per member, in input order. Members in
+// non-conflicting stripe clusters recover concurrently. The context governs
+// the whole batch with RecoverElementCtx semantics: when it expires,
+// unfinished members report ErrRecoveryAbandoned immediately while their
+// cluster climbs keep running in the background, abort at the next
+// cooperative checkpoint, and leave those elements quarantined (a climb
+// that completes after abandonment is still counted and audited).
+func (e *Engine) RecoverBatch(ctx context.Context, alloc *registry.Allocation, offsets []int) []BatchResult {
+	results := make([]BatchResult, len(offsets))
+	for i, off := range offsets {
+		results[i].Offset = off
+	}
+	if len(offsets) == 0 {
+		return results
+	}
+	e.observeBatch(len(offsets))
+	arr := alloc.Array
+
+	// Pre-assign deterministic seeds in submission order, exactly as a
+	// sequential loop over RecoverElement would have drawn them.
+	seeds := make([]int64, len(offsets))
+	for i := range offsets {
+		seeds[i] = e.nextSeed()
+	}
+
+	// Resolve out-of-range members immediately (same error and bookkeeping
+	// as the sequential path), and coalesce the quarantine insert for the
+	// rest.
+	valid := make([]int, 0, len(offsets))
+	done := make([]bool, len(offsets))
+	for i, off := range offsets {
+		if off < 0 || off >= arr.Len() {
+			err := fmt.Errorf("%w: offset %d out of range", ErrCheckpointRestartRequired, off)
+			_, results[i].Err = e.finishRecovery(alloc, off, ladderResult{}, err)
+			done[i] = true
+			continue
+		}
+		valid = append(valid, off)
+	}
+	if len(valid) > 0 {
+		e.markQuarantinedAll(arr, valid)
+	}
+
+	// Force the shared-statistics build now, on this goroutine, so the O(N)
+	// snapshot scan is not repeated (or raced for) inside the clusters.
+	shared := e.sharedFor(arr)
+	shared.Prepare()
+
+	// --- Cluster members by stripe-range connectivity. ---
+	ss := e.stripesFor(arr)
+	stripeSeen := map[int]bool{}
+	for i, off := range offsets {
+		if !done[i] {
+			stripeSeen[ss.stripeOf(off)] = true
+		}
+	}
+	stripes := make([]int, 0, len(stripeSeen))
+	for s := range stripeSeen {
+		stripes = append(stripes, s)
+	}
+	sort.Ints(stripes)
+	// Two members conflict iff their three-stripe lock ranges overlap, i.e.
+	// their stripes are within 2 of each other; chain such stripes into one
+	// cluster.
+	clusterOf := map[int]int{} // stripe -> cluster id
+	nclusters := 0
+	for i, s := range stripes {
+		if i == 0 || s-stripes[i-1] > 2 {
+			nclusters++
+		}
+		clusterOf[s] = nclusters - 1
+	}
+	type cluster struct {
+		members []int // indices into offsets, submission order
+		lo, hi  int   // stripe lock range
+	}
+	clusters := make([]cluster, nclusters)
+	for i := range clusters {
+		clusters[i].lo, clusters[i].hi = ss.n, -1
+	}
+	for i, off := range offsets {
+		if done[i] {
+			continue
+		}
+		c := &clusters[clusterOf[ss.stripeOf(off)]]
+		c.members = append(c.members, i)
+		lo, hi := ss.rangeFor(off)
+		if lo < c.lo {
+			c.lo = lo
+		}
+		if hi > c.hi {
+			c.hi = hi
+		}
+	}
+
+	type memberResult struct {
+		i   int
+		out Outcome
+		err error
+	}
+	// Buffered so background clusters finishing after abandonment never
+	// block on a collector that has already returned.
+	resCh := make(chan memberResult, len(offsets))
+	run := func(c cluster) {
+		if err := ss.acquireRange(ctx, c.lo, c.hi); err != nil {
+			for _, i := range c.members {
+				off := offsets[i]
+				lerr := fmt.Errorf("%w: %s[%d]: waiting for recovery lock: %v", ErrRecoveryAbandoned, alloc.Name, off, err)
+				e.mu.Lock()
+				e.stats.Fallbacks++
+				e.mu.Unlock()
+				e.audit.record(AuditEntry{Alloc: alloc.Name, Offset: off, Err: lerr.Error()})
+				resCh <- memberResult{i: i, err: lerr}
+			}
+			return
+		}
+		defer ss.release(c.lo, c.hi)
+		// One Env for the whole cluster: the mask is live, the shared
+		// statistics are frozen, and the scratch buffers amortize across
+		// members. Reseeding restores each member's private random stream.
+		env := e.envFor(arr, 0)
+		for _, i := range c.members {
+			env.Reseed(seeds[i])
+			res, rerr := e.reconstruct(ctx, arr, alloc.Policy.Any, alloc.Policy.Method, offsets[i], alloc.Policy.Range, alloc.Name, env)
+			out, ferr := e.finishRecovery(alloc, offsets[i], res, rerr)
+			resCh <- memberResult{i: i, out: out, err: ferr}
+		}
+	}
+
+	pending := 0
+	for _, c := range clusters {
+		pending += len(c.members)
+	}
+	if len(clusters) == 1 && ctx.Done() == nil {
+		// Single cluster, nothing to abandon: run inline, no goroutine.
+		run(clusters[0])
+	} else {
+		for _, c := range clusters {
+			go run(c)
+		}
+	}
+
+	if ctx.Done() == nil {
+		for ; pending > 0; pending-- {
+			r := <-resCh
+			results[r.i].Outcome, results[r.i].Err = r.out, r.err
+		}
+		return results
+	}
+	received := done // out-of-range members already resolved
+	for pending > 0 {
+		select {
+		case r := <-resCh:
+			results[r.i].Outcome, results[r.i].Err = r.out, r.err
+			received[r.i] = true
+			pending--
+		case <-ctx.Done():
+			for i, off := range offsets {
+				if !received[i] {
+					results[i].Err = fmt.Errorf("%w: %s[%d]: %v", ErrRecoveryAbandoned, alloc.Name, off, ctx.Err())
+				}
+			}
+			return results
+		}
+	}
+	return results
+}

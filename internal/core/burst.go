@@ -62,14 +62,14 @@ const burstTol = 1e-7
 // partial failure the returned outcome is still populated and the error
 // reports how many elements remain quarantined.
 func (e *Engine) RecoverBurst(alloc *registry.Allocation, offsets []int) (BurstOutcome, error) {
-	l := e.lockFor(alloc.Array)
-	l.lockBlocking()
-	defer l.unlock()
+	ss := e.stripesFor(alloc.Array)
+	ss.acquireAllBlocking()
+	defer ss.releaseAll()
 	return e.recoverBurst(alloc.Array, alloc.Policy, offsets)
 }
 
-// recoverBurst runs the burst pipeline. The caller must hold the array's
-// recovery lock.
+// recoverBurst runs the burst pipeline. The caller must hold every stripe
+// of the array (the BFS seed pass and healthy-mean scan read it whole).
 func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offsets []int) (BurstOutcome, error) {
 	if len(offsets) == 0 {
 		return BurstOutcome{}, fmt.Errorf("%w: empty burst", ErrCheckpointRestartRequired)
@@ -91,15 +91,12 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 	out := BurstOutcome{Old: make([]float64, len(offsets)), New: make([]float64, len(offsets))}
 	for i, off := range offsets {
 		out.Old[i] = arr.AtOffset(off)
-		e.quarantine.add(arr, off)
 	}
+	// Coalesced quarantine insert: one pass over the quarantine set, one
+	// over the shared statistics, in submission order.
+	e.markQuarantinedAll(arr, offsets)
 
-	e.mu.Lock()
-	e.seq++
-	seed := e.opts.Seed ^ e.seq
-	e.mu.Unlock()
-	env := predict.NewEnv(arr, seed)
-	env.SetMaskFunc(func(o int) bool { return e.quarantine.contains(arr, o) })
+	env := e.envFor(arr, e.nextSeed())
 
 	// Mean over the healthy cells only — quarantined ones (the burst, plus
 	// anything reported by MarkCorrupt) may hold NaN or garbage. Used as a
@@ -231,7 +228,7 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 			continue
 		}
 		out.Escalated++
-		res, err := e.reconstruct(context.Background(), arr, policy.Any, policy.Method, off, policy.Range, "burst")
+		res, err := e.reconstruct(context.Background(), arr, policy.Any, policy.Method, off, policy.Range, "burst", e.envFor(arr, e.nextSeed()))
 		if err != nil {
 			failed++
 			lastErr = err

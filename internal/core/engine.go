@@ -119,15 +119,21 @@ type Engine struct {
 	stats     Stats
 	escal     [numStages]int64
 	caches    map[*ndarray.Array]*autotune.Cache
-	locks     map[*ndarray.Array]recLock
+	stripes   map[*ndarray.Array]*stripeSet
+	shared    map[*ndarray.Array]*predict.SharedStats
 	ckptWorld *fti.World
 	ckptRank  int
+
+	// Batch accounting (spatialdue_batch_size histogram).
+	batchCalls   int64
+	batchMembers int64
+	batchBuckets [len(batchSizeBuckets)]int64
 }
 
-// recLock is a context-aware mutex (one-slot semaphore) guarding an array's
-// recovery critical section. Unlike sync.Mutex, acquisition can give up when
-// a context expires, so one wedged recovery cannot transitively wedge every
-// worker that touches the same array.
+// recLock is a context-aware mutex (one-slot semaphore) guarding one region
+// stripe of an array (see stripes.go). Unlike sync.Mutex, acquisition can
+// give up when a context expires, so one wedged recovery cannot transitively
+// wedge every worker that touches the same region.
 type recLock chan struct{}
 
 func newRecLock() recLock { return make(recLock, 1) }
@@ -178,16 +184,24 @@ func (e *Engine) Stats() Stats {
 }
 
 // Protect registers an array for localized recovery — the library-level
-// analogue of the paper's FTI_Protect extension.
+// analogue of the paper's FTI_Protect extension. The array's current values
+// are snapshotted into the shared recovery statistics, so register before
+// faults can land (and call FieldUpdated after replacing the contents).
 func (e *Engine) Protect(name string, arr *ndarray.Array, dtype bitflip.DType, policy registry.Policy) *registry.Allocation {
-	return e.table.Register(name, arr, dtype, policy)
+	alloc := e.table.Register(name, arr, dtype, policy)
+	e.sharedFor(arr)
+	return alloc
 }
 
 // ProtectTenant is Protect scoped to a tenant namespace: the name must be
 // unique within the tenant only (the networked front end registers remote
 // allocations through this path).
 func (e *Engine) ProtectTenant(tenant, name string, arr *ndarray.Array, dtype bitflip.DType, policy registry.Policy) (*registry.Allocation, error) {
-	return e.table.RegisterTenant(tenant, name, arr, dtype, policy)
+	alloc, err := e.table.RegisterTenant(tenant, name, arr, dtype, policy)
+	if err == nil {
+		e.sharedFor(arr)
+	}
+	return alloc, err
 }
 
 // AttachMCA registers the engine as a machine-check handler: uncorrectable
@@ -214,33 +228,17 @@ func (e *Engine) AttachCheckpoints(w *fti.World, rank int) {
 	e.ckptRank = rank
 }
 
-// lockFor returns (creating on demand) the recovery lock of an array.
-// Recoveries on the same array are serialized: predictors scan neighbor
-// values in place, so two concurrent repairs of one array would race.
-// Different arrays recover concurrently.
-func (e *Engine) lockFor(arr *ndarray.Array) recLock {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.locks == nil {
-		e.locks = map[*ndarray.Array]recLock{}
-	}
-	l, ok := e.locks[arr]
-	if !ok {
-		l = newRecLock()
-		e.locks[arr] = l
-	}
-	return l
-}
-
-// WithArrayLock runs f while holding arr's recovery lock, serializing f
-// against every in-flight recovery on the array. External mutators of
-// protected data — a network front end accepting field uploads or injecting
-// test faults — must use it: predictors and verification scan the raw array,
-// so an unsynchronized write races with a concurrent ladder climb.
+// WithArrayLock runs f while holding every region stripe of arr,
+// serializing f against every in-flight recovery on the array. External
+// mutators of protected data — a network front end accepting field uploads
+// or injecting test faults — must use it: predictors and verification scan
+// the raw array, so an unsynchronized write races with a concurrent ladder
+// climb. After replacing the array's contents wholesale, follow up with
+// FieldUpdated so the shared recovery statistics are rebuilt.
 func (e *Engine) WithArrayLock(arr *ndarray.Array, f func()) {
-	l := e.lockFor(arr)
-	l.lockBlocking()
-	defer l.unlock()
+	ss := e.stripesFor(arr)
+	ss.acquireAllBlocking()
+	defer ss.releaseAll()
 	f()
 }
 
@@ -307,10 +305,17 @@ func (e *Engine) RecoverElementCtx(ctx context.Context, alloc *registry.Allocati
 }
 
 // recoverElementSync runs one complete element recovery on the calling
-// goroutine: lock, ladder climb, bookkeeping.
+// goroutine: stripe locks, ladder climb, bookkeeping. If off is out of the
+// array's range the stripe span falls back to the whole table (reconstruct
+// rejects the offset under the locks).
 func (e *Engine) recoverElementSync(ctx context.Context, alloc *registry.Allocation, off int) (Outcome, error) {
-	l := e.lockFor(alloc.Array)
-	if err := l.lock(ctx); err != nil {
+	seed := e.nextSeed()
+	ss := e.stripesFor(alloc.Array)
+	lo, hi := 0, ss.n-1
+	if off >= 0 && off < alloc.Array.Len() {
+		lo, hi = ss.rangeFor(off)
+	}
+	if err := ss.acquireRange(ctx, lo, hi); err != nil {
 		err = fmt.Errorf("%w: %s[%d]: waiting for recovery lock: %v", ErrRecoveryAbandoned, alloc.Name, off, err)
 		e.mu.Lock()
 		e.stats.Fallbacks++
@@ -318,8 +323,15 @@ func (e *Engine) recoverElementSync(ctx context.Context, alloc *registry.Allocat
 		e.audit.record(AuditEntry{Alloc: alloc.Name, Offset: off, Err: err.Error()})
 		return Outcome{}, err
 	}
-	res, err := e.reconstruct(ctx, alloc.Array, alloc.Policy.Any, alloc.Policy.Method, off, alloc.Policy.Range, alloc.Name)
-	l.unlock()
+	env := e.envFor(alloc.Array, seed)
+	res, err := e.reconstruct(ctx, alloc.Array, alloc.Policy.Any, alloc.Policy.Method, off, alloc.Policy.Range, alloc.Name, env)
+	ss.release(lo, hi)
+	return e.finishRecovery(alloc, off, res, err)
+}
+
+// finishRecovery applies the post-climb bookkeeping (counters, audit trail)
+// shared by the single-element and batch paths.
+func (e *Engine) finishRecovery(alloc *registry.Allocation, off int, res ladderResult, err error) (Outcome, error) {
 	if err != nil {
 		e.mu.Lock()
 		e.stats.Fallbacks++
@@ -347,10 +359,15 @@ func (e *Engine) recoverElementSync(ctx context.Context, alloc *registry.Allocat
 // repairing via the per-dataset policy recorded by fti.Protect.
 func (e *Engine) FTIRepairer() fti.RepairFunc {
 	return func(ds *fti.Dataset, off int) (float64, error) {
-		l := e.lockFor(ds.Array)
-		l.lockBlocking()
-		res, err := e.reconstruct(context.Background(), ds.Array, ds.Policy.Any, ds.Policy.Method, off, nil, "fti:"+ds.Name)
-		l.unlock()
+		seed := e.nextSeed()
+		ss := e.stripesFor(ds.Array)
+		lo, hi := 0, ss.n-1
+		if off >= 0 && off < ds.Array.Len() {
+			lo, hi = ss.rangeFor(off)
+		}
+		ss.acquireRangeBlocking(lo, hi)
+		res, err := e.reconstruct(context.Background(), ds.Array, ds.Policy.Any, ds.Policy.Method, off, nil, "fti:"+ds.Name, e.envFor(ds.Array, seed))
+		ss.release(lo, hi)
 		if err != nil {
 			e.mu.Lock()
 			e.stats.Fallbacks++
@@ -374,7 +391,12 @@ func (e *Engine) FTIRepairer() fti.RepairFunc {
 
 func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
-// cacheFor returns (creating on demand) the tuning cache of an array.
+// cacheFor returns (creating on demand) the tuning cache of an array. The
+// block edge is clamped to the stripe height: a block spanning non-adjacent
+// stripes would let two concurrent recoveries race for who tunes the shared
+// region first, making cached decisions (and thus recovered bits) depend on
+// scheduling. Clamped, two elements in the same block are always within one
+// stripe of each other, i.e. always serialized.
 func (e *Engine) cacheFor(arr *ndarray.Array) *autotune.Cache {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -383,7 +405,11 @@ func (e *Engine) cacheFor(arr *ndarray.Array) *autotune.Cache {
 	}
 	c, ok := e.caches[arr]
 	if !ok {
-		c = autotune.NewCache(e.opts.TuneCacheBlock)
+		block := e.opts.TuneCacheBlock
+		if rows := stripeRowsFor(e.opts); block > rows {
+			block = rows
+		}
+		c = autotune.NewCache(block)
 		e.caches[arr] = c
 	}
 	return c

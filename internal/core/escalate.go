@@ -128,7 +128,8 @@ func (e *Engine) enterStage(alloc string, off int, st Stage, m predict.Method, c
 
 // reconstruct supervises the recovery of one element: quarantine, masked
 // prediction, plausibility verification, and the escalation ladder. The
-// caller must hold the array's recovery lock. On success the verified value
+// caller must hold the element's stripe range (or every stripe); see
+// stripes.go. On success the verified value
 // has been written in place and the element released from quarantine; on
 // failure the pre-recovery value is back in place and the element remains
 // quarantined.
@@ -138,7 +139,13 @@ func (e *Engine) enterStage(alloc string, off int, st Stage, m predict.Method, c
 // ErrRecoveryAbandoned, restoring the pre-recovery value and keeping the
 // element quarantined (same invariant as ladder exhaustion, minus the
 // exhausted-stage accounting — the recovery was cut short, not beaten).
-func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bool, fixed predict.Method, off int, vr *registry.ValueRange, alloc string) (ladderResult, error) {
+// The caller supplies the prediction environment (see Engine.envFor): a
+// live quarantine mask plus the array's shared statistics, already seeded
+// with this recovery's deterministic seed. Sequential recoveries build a
+// fresh Env per element; batch clusters share one Env (and its scratch
+// buffers) across members, reseeding per member, which is observationally
+// identical.
+func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bool, fixed predict.Method, off int, vr *registry.ValueRange, alloc string, env *predict.Env) (ladderResult, error) {
 	if off < 0 || off >= arr.Len() {
 		return ladderResult{}, fmt.Errorf("%w: offset %d out of range", ErrCheckpointRestartRequired, off)
 	}
@@ -149,25 +156,16 @@ func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bo
 	idx := arr.Coords(off)
 
 	// Quarantine first: from here on no stencil, probe, or verification
-	// neighborhood on this array may read the corrupted cell.
-	e.quarantine.add(arr, off)
+	// neighborhood on this array may read the corrupted cell, and its
+	// snapshot contribution leaves the shared statistics.
+	e.markQuarantined(arr, off)
 
 	e.mu.Lock()
-	e.seq++
-	seed := e.opts.Seed ^ e.seq
 	maxAlt := e.opts.MaxAlternates
 	e.mu.Unlock()
 	if maxAlt == 0 {
 		maxAlt = defaultMaxAlternates
 	}
-
-	// A fresh Env per recovery: no precomputed moments, so each method pays
-	// its honest cost (global regression scans the array, as in the paper's
-	// Figure 10 measurements). The mask is live: cells quarantined mid-climb
-	// (secondary faults reported via MarkCorrupt) disappear from stencils
-	// immediately.
-	env := predict.NewEnv(arr, seed)
-	env.SetMaskFunc(func(o int) bool { return e.quarantine.contains(arr, o) })
 
 	// Patch the cell with a provisional estimate. Predictors never read it
 	// (it is masked), but concurrent readers of the raw array see something

@@ -42,6 +42,23 @@ func (q *quarantineSet) add(arr *ndarray.Array, off int) {
 	set[off] = struct{}{}
 }
 
+// addAll inserts a whole batch under one lock acquisition.
+func (q *quarantineSet) addAll(arr *ndarray.Array, offs []int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.byArray == nil {
+		q.byArray = map[*ndarray.Array]map[int]struct{}{}
+	}
+	set := q.byArray[arr]
+	if set == nil {
+		set = map[int]struct{}{}
+		q.byArray[arr] = set
+	}
+	for _, off := range offs {
+		set[off] = struct{}{}
+	}
+}
+
 func (q *quarantineSet) remove(arr *ndarray.Array, off int) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -90,7 +107,7 @@ func (e *Engine) MarkCorrupt(alloc *registry.Allocation, off int) {
 	if off < 0 || off >= alloc.Array.Len() {
 		return
 	}
-	e.quarantine.add(alloc.Array, off)
+	e.markQuarantined(alloc.Array, off)
 }
 
 // Quarantined returns the offsets of alloc currently quarantined (reported

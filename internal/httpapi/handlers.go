@@ -280,8 +280,9 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	s.eng.WithArrayLock(a.Array, func() {
 		copy(a.Array.Data(), vals)
 	})
-	// The field changed character; cached tuning decisions are stale.
-	s.eng.InvalidateTuneCache(a.Array)
+	// The field changed character: re-snapshot the shared statistics,
+	// re-admit repaired cells, and drop stale cached tuning decisions.
+	s.eng.FieldUpdated(a.Array)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -520,10 +521,20 @@ func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request) {
 	writeErrorDetail(w, *res.Error)
 }
 
+// streamWindow is the NDJSON ingest window: events are parsed and admitted
+// in runs of this many lines before their results are encoded and flushed.
+// Back-to-back admission packs a storm's events into the recovery queue
+// together, which is what lets the service workers drain them into
+// coalesced RecoverBatch calls instead of interleaving one event per
+// worker wakeup.
+const streamWindow = 64
+
 // handleEventStream ingests an NDJSON batch: one EventRequest per line in,
-// one EventResult per line out, in order. The whole batch coalesces into
-// the same worker pool as single events; per-event backpressure is
-// reported inline instead of failing the stream.
+// one EventResult per line out, in order. Lines are admitted in
+// streamWindow-sized windows — all submissions for a window happen before
+// any of its results are written — so a same-array storm lands in the
+// recovery queue as one contiguous run. Per-event backpressure is reported
+// inline instead of failing the stream.
 func (s *Server) handleEventStream(w http.ResponseWriter, r *http.Request) {
 	tenant, terr := s.tenant(r)
 	if terr != nil {
@@ -538,6 +549,16 @@ func (s *Server) handleEventStream(w http.ResponseWriter, r *http.Request) {
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	n := 0
+	window := make([]EventResult, 0, streamWindow)
+	emit := func() {
+		for _, res := range window {
+			_ = enc.Encode(res)
+		}
+		window = window[:0]
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
@@ -552,15 +573,13 @@ func (s *Server) handleEventStream(w http.ResponseWriter, r *http.Request) {
 		} else {
 			res = s.ingestOne(tenant, ev)
 		}
-		_ = enc.Encode(res)
+		window = append(window, res)
 		n++
-		if flusher != nil && n%64 == 0 {
-			flusher.Flush()
+		if len(window) == streamWindow {
+			emit()
 		}
 	}
-	if flusher != nil {
-		flusher.Flush()
-	}
+	emit()
 }
 
 func (s *Server) handleOutcomes(w http.ResponseWriter, r *http.Request) {

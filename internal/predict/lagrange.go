@@ -1,5 +1,11 @@
 package predict
 
+import (
+	"sync"
+
+	"spatialdue/internal/ndarray"
+)
+
 // Lagrange implements Section 3.4.8: Lagrange polynomial interpolation
 // through k data points around the corrupted element along the slowest
 // changing dimension. The paper uses k = 3 points — two preceding values
@@ -13,7 +19,9 @@ package predict
 // sits near a boundary of dimension 0) the node set is mirrored; if neither
 // orientation fits, the nearest k in-bounds offsets are used instead. The
 // Lagrange weights are recomputed from the actual node offsets, so the
-// interpolation remains exact for polynomials of degree < k.
+// interpolation remains exact for polynomials of degree < k. The fallback
+// search is capped at MaxStencilReach so the predictor honours the
+// package-wide stencil bound the lock-striped engine depends on.
 type Lagrange struct {
 	// Offsets are the node positions relative to the corrupted element
 	// along dimension 0. They must be distinct and non-zero. The paper's
@@ -24,8 +32,52 @@ type Lagrange struct {
 // Name implements Predictor.
 func (Lagrange) Name() string { return "Lagrange" }
 
-// weights computes the Lagrange basis values at x=0 for the given nodes.
+// maxLagNodes bounds the memo key width; node sets are tiny (the paper uses
+// k=3) and every offset fits in MaxStencilReach.
+const maxLagNodes = 7
+
+// lagKey identifies a node-offset pattern: the count followed by the
+// offsets themselves (zero-padded; 0 is not a legal node offset).
+type lagKey [1 + maxLagNodes]int
+
+var lagMemo struct {
+	sync.RWMutex
+	m map[lagKey][]float64
+}
+
+// lagrangeWeights returns the Lagrange basis values at x=0 for the given
+// nodes, memoized by node pattern: only a handful of patterns occur (the
+// configured set, its mirror, and near-boundary fallbacks), so after warmup
+// every call is a lock-shielded map hit with zero allocations.
 func lagrangeWeights(nodes []int) []float64 {
+	if len(nodes) <= maxLagNodes {
+		var key lagKey
+		key[0] = len(nodes)
+		copy(key[1:], nodes)
+		lagMemo.RLock()
+		w, ok := lagMemo.m[key]
+		lagMemo.RUnlock()
+		if ok {
+			return w
+		}
+		w = computeLagrangeWeights(nodes)
+		lagMemo.Lock()
+		if lagMemo.m == nil {
+			lagMemo.m = map[lagKey][]float64{}
+		}
+		// Bound the table; beyond this it's cheaper to recompute than to
+		// evict (in practice a few dozen patterns exist per array shape).
+		if len(lagMemo.m) < 4096 {
+			lagMemo.m[key] = w
+		}
+		lagMemo.Unlock()
+		return w
+	}
+	return computeLagrangeWeights(nodes)
+}
+
+// computeLagrangeWeights is the uncached computation.
+func computeLagrangeWeights(nodes []int) []float64 {
 	w := make([]float64, len(nodes))
 	for r, xr := range nodes {
 		num, den := 1.0, 1.0
@@ -41,6 +93,21 @@ func lagrangeWeights(nodes []int) []float64 {
 	return w
 }
 
+// lagUsable reports whether node offset o (along dimension 0, relative to
+// the element at nb with nb[0]=x) is in bounds and not quarantined. nb is
+// scratch: nb[0] is clobbered.
+func lagUsable(env *Env, a *ndarray.Array, nb []int, x, o, dim0 int) bool {
+	p := x + o
+	if p < 0 || p >= dim0 {
+		return false
+	}
+	if !env.HasMask() {
+		return true
+	}
+	nb[0] = p
+	return !env.Masked(a.Offset(nb...))
+}
+
 // Predict implements Predictor.
 func (l Lagrange) Predict(env *Env, idx []int) (float64, error) {
 	a := env.A
@@ -50,23 +117,10 @@ func (l Lagrange) Predict(env *Env, idx []int) (float64, error) {
 	dim0 := a.Dim(0)
 	x := idx[0]
 
-	nb := make([]int, len(idx))
+	nb := intBuf(&env.sc.lagNb, len(idx))
 	copy(nb, idx)
-	// usable reports whether node offset o (along dimension 0) is in bounds
-	// and not quarantined.
-	usable := func(o int) bool {
-		p := x + o
-		if p < 0 || p >= dim0 {
-			return false
-		}
-		if !env.HasMask() {
-			return true
-		}
-		nb[0] = p
-		return !env.Masked(a.Offset(nb...))
-	}
 
-	nodes := l.fitNodes(x, dim0, usable)
+	nodes := l.fitNodes(env, a, nb, x, dim0)
 	if nodes == nil {
 		return 0, ErrUnsupported
 	}
@@ -81,33 +135,47 @@ func (l Lagrange) Predict(env *Env, idx []int) (float64, error) {
 
 // fitNodes returns a node-offset set that is fully usable (in bounds and
 // unmasked) when shifted by x: the configured offsets, their mirror image,
-// or the nearest k usable non-zero offsets. Returns nil if fewer than
-// len(Offsets) candidates exist (dimension too small or too quarantined).
-func (l Lagrange) fitNodes(x, dim0 int, usable func(o int) bool) []int {
-	inBounds := func(offs []int) bool {
-		for _, o := range offs {
-			if !usable(o) {
-				return false
-			}
+// or the nearest k usable non-zero offsets within MaxStencilReach. Returns
+// nil if fewer than len(Offsets) candidates exist (dimension too small or
+// too quarantined). nb is coordinate scratch (nb[0] is clobbered).
+func (l Lagrange) fitNodes(env *Env, a *ndarray.Array, nb []int, x, dim0 int) []int {
+	ok := true
+	for _, o := range l.Offsets {
+		if !lagUsable(env, a, nb, x, o, dim0) {
+			ok = false
+			break
 		}
-		return true
 	}
-	if inBounds(l.Offsets) {
+	if ok {
 		return l.Offsets
 	}
-	mir := make([]int, len(l.Offsets))
+	k := len(l.Offsets)
+	mir := intBuf(&env.sc.lagNodes, k)
 	for i, o := range l.Offsets {
 		mir[i] = -o
 	}
-	if inBounds(mir) {
+	ok = true
+	for _, o := range mir {
+		if !lagUsable(env, a, nb, x, o, dim0) {
+			ok = false
+			break
+		}
+	}
+	if ok {
 		return mir
 	}
-	// Nearest usable non-zero offsets, alternating outward.
-	k := len(l.Offsets)
-	nodes := make([]int, 0, k)
-	for dist := 1; len(nodes) < k && dist < dim0; dist++ {
+	// Nearest usable non-zero offsets, alternating outward. The search is
+	// capped at MaxStencilReach: reaching further would break the stripe
+	// independence invariant, and that far from the corruption the data has
+	// little predictive value anyway.
+	limit := dim0
+	if limit > MaxStencilReach+1 {
+		limit = MaxStencilReach + 1
+	}
+	nodes := mir[:0]
+	for dist := 1; len(nodes) < k && dist < limit; dist++ {
 		for _, o := range [2]int{-dist, +dist} {
-			if usable(o) {
+			if lagUsable(env, a, nb, x, o, dim0) {
 				nodes = append(nodes, o)
 				if len(nodes) == k {
 					break

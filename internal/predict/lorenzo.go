@@ -1,6 +1,10 @@
 package predict
 
-import "math"
+import (
+	"math"
+
+	"spatialdue/internal/ndarray"
+)
 
 // Lorenzo implements Section 3.4.5: the multi-dimensional, multi-layer
 // Lorenzo predictor popularized by the SZ lossy compressor.
@@ -47,14 +51,74 @@ func (l Lorenzo) Name() string {
 	}
 }
 
-// binom returns binomial coefficients C(n, 0..n) for the small n used here.
+// binomRows holds C(n, 0..n) for every layer count the predictor supports
+// (MaxStencilReach bounds L at well under 8), so the hot path never
+// recomputes or allocates a coefficient row.
+var binomRows = [...][]int{
+	{1},
+	{1, 1},
+	{1, 2, 1},
+	{1, 3, 3, 1},
+	{1, 4, 6, 4, 1},
+	{1, 5, 10, 10, 5, 1},
+	{1, 6, 15, 20, 15, 6, 1},
+	{1, 7, 21, 35, 35, 21, 7, 1},
+	{1, 8, 28, 56, 70, 56, 28, 8, 1},
+}
+
+// binom returns binomial coefficients C(n, 0..n).
 func binom(n int) []int {
+	if n < len(binomRows) {
+		return binomRows[n]
+	}
 	row := make([]int, n+1)
 	row[0] = 1
 	for i := 1; i <= n; i++ {
 		row[i] = row[i-1] * (n - i + 1) / i
 	}
 	return row
+}
+
+// lorenzoSweep evaluates the L-layer stencil at idx under orientation dir.
+// With check set it only tests whether every cell read is unmasked,
+// returning (0, ok). s and nb are caller scratch of length d.
+func lorenzoSweep(env *Env, a *ndarray.Array, idx, dir, s, nb, coef []int, L, d int, check bool) (float64, bool) {
+	for t := range s {
+		s[t] = 0
+	}
+	sum := 0.0
+	for {
+		// Enumerate s in {0..L}^d \ {0} with an odometer; the all-zero
+		// vector is skipped by incrementing before the first use.
+		t := d - 1
+		for t >= 0 {
+			s[t]++
+			if s[t] <= L {
+				break
+			}
+			s[t] = 0
+			t--
+		}
+		if t < 0 {
+			return sum, true // wrapped around: enumeration complete
+		}
+		// Coefficient c(s) = -prod_t (-1)^(s_t) C(L, s_t).
+		c := -1
+		for u := 0; u < d; u++ {
+			c *= coef[s[u]]
+			if s[u]%2 == 1 {
+				c = -c
+			}
+			nb[u] = idx[u] + dir[u]*s[u]
+		}
+		off := a.Offset(nb...)
+		if check && env.Masked(off) {
+			return 0, false
+		}
+		if !check {
+			sum += float64(c) * a.AtOffset(off)
+		}
+	}
 }
 
 // Predict implements Predictor.
@@ -68,8 +132,8 @@ func (l Lorenzo) Predict(env *Env, idx []int) (float64, error) {
 
 	// Per-dimension feasibility: which of -1 (preceding) / +1 (succeeding)
 	// keeps L layers in bounds. Preceding is preferred.
-	canNeg := make([]bool, d)
-	canPos := make([]bool, d)
+	canNeg := boolBuf(&env.sc.lorNeg, d)
+	canPos := boolBuf(&env.sc.lorPos, d)
 	for t := 0; t < d; t++ {
 		canNeg[t] = idx[t]-L >= 0
 		canPos[t] = idx[t]+L < a.Dim(t)
@@ -81,51 +145,11 @@ func (l Lorenzo) Predict(env *Env, idx []int) (float64, error) {
 	}
 
 	coef := binom(L)
-	s := make([]int, d)
-	nb := make([]int, d)
-	// sweep evaluates the stencil under dir. With check set it only tests
-	// whether every cell read is unmasked, returning (0, ok).
-	sweep := func(dir []int, check bool) (float64, bool) {
-		for t := range s {
-			s[t] = 0
-		}
-		sum := 0.0
-		for {
-			// Enumerate s in {0..L}^d \ {0} with an odometer; the all-zero
-			// vector is skipped by incrementing before the first use.
-			t := d - 1
-			for t >= 0 {
-				s[t]++
-				if s[t] <= L {
-					break
-				}
-				s[t] = 0
-				t--
-			}
-			if t < 0 {
-				return sum, true // wrapped around: enumeration complete
-			}
-			// Coefficient c(s) = -prod_t (-1)^(s_t) C(L, s_t).
-			c := -1
-			for u := 0; u < d; u++ {
-				c *= coef[s[u]]
-				if s[u]%2 == 1 {
-					c = -c
-				}
-				nb[u] = idx[u] + dir[u]*s[u]
-			}
-			off := a.Offset(nb...)
-			if check && env.Masked(off) {
-				return 0, false
-			}
-			if !check {
-				sum += float64(c) * a.AtOffset(off)
-			}
-		}
-	}
+	s := intBuf(&env.sc.lorS, d)
+	nb := intBuf(&env.sc.lorNb, d)
 
 	// Default orientation: preceding wherever it fits.
-	dir := make([]int, d)
+	dir := intBuf(&env.sc.lorDir, d)
 	for t := 0; t < d; t++ {
 		if canNeg[t] {
 			dir[t] = -1
@@ -134,7 +158,7 @@ func (l Lorenzo) Predict(env *Env, idx []int) (float64, error) {
 		}
 	}
 	if !env.HasMask() {
-		v, _ := sweep(dir, false)
+		v, _ := lorenzoSweep(env, a, idx, dir, s, nb, coef, L, d, false)
 		return v, nil
 	}
 	// With quarantined cells in play, search the 2^d orientations (the
@@ -159,8 +183,8 @@ func (l Lorenzo) Predict(env *Env, idx []int) (float64, error) {
 		if !ok {
 			continue
 		}
-		if _, clean := sweep(dir, true); clean {
-			v, _ := sweep(dir, false)
+		if _, clean := lorenzoSweep(env, a, idx, dir, s, nb, coef, L, d, true); clean {
+			v, _ := lorenzoSweep(env, a, idx, dir, s, nb, coef, L, d, false)
 			return v, nil
 		}
 	}
@@ -202,7 +226,7 @@ func (l LorenzoAuto) Predict(env *Env, idx []int) (float64, error) {
 	skip := a.Offset(idx...)
 
 	bestL, bestScore := 0, math.Inf(1)
-	probeIdx := make([]int, a.NumDims())
+	probeIdx := intBuf(&env.sc.probeIdx, a.NumDims())
 	for L := 1; L <= maxL; L++ {
 		p := Lorenzo{Layers: L}
 		sum, n := 0.0, 0

@@ -25,6 +25,22 @@ import (
 // orientation).
 var ErrUnsupported = errors.New("predict: method unsupported at this location")
 
+// MaxStencilReach is the largest Chebyshev distance, along any single
+// dimension, between a predicted element and any element a predictor may
+// read. It bounds every stencil in the package:
+//
+//	Lorenzo (Layers <= 4)        4
+//	LorenzoAuto (probe 2 + 3)    5
+//	LocalRegression (Radius 3)   3
+//	CurveFit (order 2, linear)   3 linearized elements (<= 1 row)
+//	Lagrange (default +-2)       2; nearest-fit fallback capped here
+//
+// Concurrency control (the lock-striped recovery engine in internal/core)
+// relies on this bound to prove that recoveries in non-adjacent stripes
+// never read each other's neighborhoods, so any new or widened stencil must
+// keep within it (or raise it and let the stripe width grow).
+const MaxStencilReach = 8
+
 // Env bundles a dataset with the per-dataset state the predictors need:
 // the value range (for the Random method), a deterministic random source,
 // and an optional cache of global regression moments.
@@ -50,6 +66,51 @@ type Env struct {
 	allowed  map[int]bool       // overrides masked and maskFn (seeded cells)
 	maskFn   func(off int) bool // live predicate (engine quarantine set)
 	haveMask bool
+
+	// shared, when set, supplies the array-wide statistics (value range,
+	// global-regression moments) from an engine-maintained SharedStats
+	// instead of per-Env O(N) scans.
+	shared *SharedStats
+
+	// Reusable kernel buffers; see scratch.
+	sc scratch
+}
+
+// scratch holds the per-Env buffers that keep the predictor kernels
+// allocation-free on the hot path. An Env is single-goroutine; nested
+// predictor calls (LorenzoAuto probing Lorenzo, autotune probing everything)
+// use disjoint fields so reuse is safe.
+type scratch struct {
+	lorS, lorNb, lorDir []int  // Lorenzo odometer / neighbor / orientation
+	lorNeg, lorPos      []bool // Lorenzo per-dimension feasibility
+	probeIdx            []int  // LorenzoAuto probe coordinates
+	lagNb, lagNodes     []int  // Lagrange neighbor index / fallback nodes
+	avgNb               []int  // Average neighbor index
+	regIdx              []int  // GlobalRegression scan coordinates
+	phi, xtx, xtv       []float64
+	solveM, solveX      []float64
+}
+
+// intBuf returns *buf resized (reallocating only on growth) to n elements.
+func intBuf(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	return (*buf)[:n]
+}
+
+func floatBuf(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+func boolBuf(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	return (*buf)[:n]
 }
 
 // NewEnv wraps a dataset with a deterministic random source. Dataset-wide
@@ -59,10 +120,30 @@ func NewEnv(a *ndarray.Array, seed int64) *Env {
 	return &Env{A: a, Rng: rand.New(rand.NewSource(seed))}
 }
 
+// SetShared attaches engine-maintained array-wide statistics. While set,
+// Range and GlobalRegression read the SharedStats (incrementally maintained,
+// O(1) per query) instead of scanning the array per Env — the fix for every
+// fresh Env paying an O(N) masked rescan. The shared state's exclusion set
+// must cover at least the cells this Env's mask hides (the engine guarantees
+// this: both are fed from the quarantine set).
+func (e *Env) SetShared(s *SharedStats) { e.shared = s }
+
+// Shared returns the attached SharedStats, or nil.
+func (e *Env) Shared() *SharedStats { return e.shared }
+
+// Reseed resets the random source to the same deterministic stream
+// NewEnv(a, seed) would produce. Batch recovery shares one Env across
+// members and reseeds per member so each reconstruction draws exactly the
+// randoms it would have drawn with a private Env.
+func (e *Env) Reseed(seed int64) { e.Rng = rand.New(rand.NewSource(seed)) }
+
 // Range returns the dataset's (min, max), computing and caching it on first
 // use — the Random predictor's bound (Section 3.4.2). Masked (quarantined)
 // cells are excluded so known-garbage values cannot widen the range.
 func (e *Env) Range() (min, max float64) {
+	if e.shared != nil {
+		return e.shared.Range()
+	}
 	if !e.rangeOK {
 		if e.haveMask {
 			e.min, e.max = math.NaN(), math.NaN()

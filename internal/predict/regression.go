@@ -28,10 +28,20 @@ type Moments struct {
 	n      int       // number of rows accumulated
 	center []float64 // per-dimension coordinate offset
 	shape  []int
+
+	idxBuf []int     // scratch for AddElement/SubElement
+	phiBuf []float64 // scratch for AddElement/SubElement
 }
 
 // NewMoments scans the array once and accumulates the full-dataset moments.
 func NewMoments(a *ndarray.Array) *Moments {
+	return NewMomentsExcluding(a, nil)
+}
+
+// NewMomentsExcluding scans the array once, accumulating moments over every
+// element for which skip is nil or returns false. The engine builds its
+// shared moments this way, leaving quarantined cells out from the start.
+func NewMomentsExcluding(a *ndarray.Array, skip func(off int) bool) *Moments {
 	d := a.NumDims()
 	m := &Moments{
 		p:      d + 1,
@@ -39,6 +49,8 @@ func NewMoments(a *ndarray.Array) *Moments {
 		xtv:    make([]float64, d+1),
 		center: make([]float64, d),
 		shape:  a.Dims(),
+		idxBuf: make([]int, d),
+		phiBuf: make([]float64, d+1),
 	}
 	for t := 0; t < d; t++ {
 		m.center[t] = float64(a.Dim(t)-1) / 2
@@ -46,12 +58,46 @@ func NewMoments(a *ndarray.Array) *Moments {
 	idx := make([]int, d)
 	phi := make([]float64, m.p)
 	for off := 0; off < a.Len(); off++ {
+		if skip != nil && skip(off) {
+			continue
+		}
 		a.CoordsInto(idx, off)
 		m.features(idx, phi)
 		m.add(phi, a.AtOffset(off), +1)
+		m.n++
 	}
-	m.n = a.Len()
 	return m
+}
+
+// AddElement folds the element at off (with its currently stored value)
+// into the moments — an O(p^2) update replacing a full rescan.
+func (m *Moments) AddElement(a *ndarray.Array, off int) {
+	m.AddElementValue(a, off, a.AtOffset(off))
+}
+
+// SubElement removes the element at off (with its currently stored value)
+// from the moments. It must run before the stored value changes.
+func (m *Moments) SubElement(a *ndarray.Array, off int) {
+	m.SubElementValue(a, off, a.AtOffset(off))
+}
+
+// AddElementValue folds the element at off with an explicit value v (the
+// value the caller knows was, or should be, accumulated — e.g. a snapshot
+// value when the live cell has since been corrupted).
+func (m *Moments) AddElementValue(a *ndarray.Array, off int, v float64) {
+	m.updateElement(a, off, v, +1)
+}
+
+// SubElementValue removes the element at off with an explicit value v.
+func (m *Moments) SubElementValue(a *ndarray.Array, off int, v float64) {
+	m.updateElement(a, off, v, -1)
+}
+
+func (m *Moments) updateElement(a *ndarray.Array, off int, v, sign float64) {
+	a.CoordsInto(m.idxBuf, off)
+	m.features(m.idxBuf, m.phiBuf)
+	m.add(m.phiBuf, v, sign)
+	m.n += int(sign)
 }
 
 // features writes the feature vector [1, x_0-c_0, ...] for idx into dst.
@@ -111,6 +157,12 @@ func (GlobalRegression) Name() string { return "Linear Regression" }
 // Predict implements Predictor.
 func (GlobalRegression) Predict(env *Env, idx []int) (float64, error) {
 	a := env.A
+	// Engine-shared moments: O(p^2) downdate against incrementally
+	// maintained statistics. The shared exclusion set covers the quarantine
+	// mask, so no rescan is needed even with masked cells in play.
+	if env.shared != nil {
+		return env.shared.PredictExcluding(idx)
+	}
 	// Precomputed moments include every element; with quarantined cells in
 	// play they are no longer trustworthy, so fall back to the honest scan.
 	if env.mom != nil && !env.HasMask() {
@@ -119,15 +171,17 @@ func (GlobalRegression) Predict(env *Env, idx []int) (float64, error) {
 	// Full scan, skipping the corrupted element.
 	d := a.NumDims()
 	p := d + 1
-	xtx := make([]float64, p*p)
-	xtv := make([]float64, p)
-	center := make([]float64, d)
-	for t := 0; t < d; t++ {
-		center[t] = float64(a.Dim(t)-1) / 2
+	xtx := floatBuf(&env.sc.xtx, p*p)
+	xtv := floatBuf(&env.sc.xtv, p)
+	for i := range xtx {
+		xtx[i] = 0
+	}
+	for i := range xtv {
+		xtv[i] = 0
 	}
 	skip := a.Offset(idx...)
-	cur := make([]int, d)
-	phi := make([]float64, p)
+	cur := intBuf(&env.sc.regIdx, d)
+	phi := floatBuf(&env.sc.phi, p)
 	for off := 0; off < a.Len(); off++ {
 		if off == skip || env.Masked(off) {
 			continue
@@ -135,7 +189,7 @@ func (GlobalRegression) Predict(env *Env, idx []int) (float64, error) {
 		a.CoordsInto(cur, off)
 		phi[0] = 1
 		for t := 0; t < d; t++ {
-			phi[t+1] = float64(cur[t]) - center[t]
+			phi[t+1] = float64(cur[t]) - (float64(a.Dim(t)-1) / 2)
 		}
 		v := a.AtOffset(off)
 		for i := 0; i < p; i++ {
@@ -151,13 +205,13 @@ func (GlobalRegression) Predict(env *Env, idx []int) (float64, error) {
 			xtx[i*p+j] = xtx[j*p+i]
 		}
 	}
-	beta, ok := solveSym(xtx, xtv, p)
+	beta, ok := solveSymInto(floatBuf(&env.sc.solveM, p*p), floatBuf(&env.sc.solveX, p), xtx, xtv, p)
 	if !ok {
 		return 0, ErrUnsupported
 	}
 	phi[0] = 1
 	for t := 0; t < d; t++ {
-		phi[t+1] = float64(idx[t]) - center[t]
+		phi[t+1] = float64(idx[t]) - (float64(a.Dim(t)-1) / 2)
 	}
 	return dot(beta, phi), nil
 }
@@ -182,9 +236,15 @@ func (l LocalRegression) Predict(env *Env, idx []int) (float64, error) {
 	if r < 1 {
 		return 0, ErrUnsupported
 	}
-	xtx := make([]float64, p*p)
-	xtv := make([]float64, p)
-	phi := make([]float64, p)
+	xtx := floatBuf(&env.sc.xtx, p*p)
+	xtv := floatBuf(&env.sc.xtv, p)
+	phi := floatBuf(&env.sc.phi, p)
+	for i := range xtx {
+		xtx[i] = 0
+	}
+	for i := range xtv {
+		xtv[i] = 0
+	}
 	skip := a.Offset(idx...)
 	n := 0
 	a.ForEachInPatch(idx, r, func(cur []int, off int) {
@@ -212,7 +272,7 @@ func (l LocalRegression) Predict(env *Env, idx []int) (float64, error) {
 			xtx[i*p+j] = xtx[j*p+i]
 		}
 	}
-	beta, ok := solveSym(xtx, xtv, p)
+	beta, ok := solveSymInto(floatBuf(&env.sc.solveM, p*p), floatBuf(&env.sc.solveX, p), xtx, xtv, p)
 	if !ok {
 		return 0, ErrUnsupported
 	}
@@ -224,9 +284,15 @@ func (l LocalRegression) Predict(env *Env, idx []int) (float64, error) {
 // positive semi-definite normal equations) by Gaussian elimination with
 // partial pivoting. It reports ok=false for singular systems.
 func solveSym(a, b []float64, n int) ([]float64, bool) {
-	// Work on copies so callers can reuse their buffers.
-	m := append([]float64(nil), a...)
-	x := append([]float64(nil), b...)
+	return solveSymInto(make([]float64, n*n), make([]float64, n), a, b, n)
+}
+
+// solveSymInto is solveSym with caller-provided scratch: m (n*n) and x (n)
+// receive working copies of a and b, so a and b are left untouched and no
+// allocation occurs. The solution is returned in x.
+func solveSymInto(m, x, a, b []float64, n int) ([]float64, bool) {
+	copy(m, a)
+	copy(x, b)
 	for col := 0; col < n; col++ {
 		// Partial pivot.
 		piv, pmax := col, math.Abs(m[col*n+col])

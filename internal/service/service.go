@@ -76,6 +76,11 @@ type Config struct {
 	// BreakerCooldown is how long a tripped breaker stays open before
 	// admitting a probe recovery (default 5s).
 	BreakerCooldown time.Duration
+	// BatchMax caps how many queued same-allocation recoveries a worker
+	// coalesces into one core.RecoverBatch call (default 16; 1 disables
+	// batching). Batching only engages when the queue is backed up — a
+	// worker never waits for a batch to fill.
+	BatchMax int
 	// JournalPath, when set, enables the crash-safe recovery journal.
 	JournalPath string
 	// JournalSync fsyncs every journal append (full WAL durability).
@@ -121,6 +126,9 @@ type Stats struct {
 	Recovered, Failed, Abandoned uint64
 	// Retries counts backoff retries across all recoveries.
 	Retries uint64
+	// Batched counts recoveries that went through the coalesced
+	// core.RecoverBatch fast path (a subset of Recovered+Failed).
+	Batched uint64
 	// Replayed counts journal intents resubmitted on restart.
 	Replayed uint64
 	// BreakerTrips counts closed/half-open -> open transitions.
@@ -155,6 +163,7 @@ type Service struct {
 	mu       sync.Mutex
 	breakers map[string]*breaker
 	pendingN int
+	busyN    int
 	stopped  bool
 	started  bool
 	crashed  string // crash point, when a simulated crash killed the service
@@ -198,6 +207,12 @@ func New(eng *core.Engine, cfg Config) (*Service, error) {
 	}
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = 5 * time.Second
+	}
+	if cfg.BatchMax == 0 {
+		cfg.BatchMax = 16
+	}
+	if cfg.BatchMax < 1 {
+		cfg.BatchMax = 1
 	}
 
 	s := &Service{
@@ -420,9 +435,43 @@ func (s *Service) BreakerStates() map[string]BreakerState {
 
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for t := range s.queue {
+	for {
+		t, ok := <-s.queue
+		if !ok {
+			return
+		}
+		// Opportunistic batching: when the queue is backed up (a DUE storm),
+		// drain additional queued tasks without blocking and coalesce
+		// same-allocation runs into one RecoverBatch call. The budget leaves
+		// one queued task behind for every worker that is not currently
+		// mid-recovery: batching must never serialize work an available peer
+		// could run in parallel, and a worker never waits for a batch to
+		// fill.
 		s.mu.Lock()
-		s.pendingN--
+		s.busyN++
+		spare := s.cfg.Workers - s.busyN
+		budget := s.pendingN - 1 - spare // queued beyond t and the spares' share
+		s.mu.Unlock()
+		if budget > s.cfg.BatchMax-1 {
+			budget = s.cfg.BatchMax - 1
+		}
+		ts := []task{t}
+		if s.cfg.BatchMax > 1 {
+		drain:
+			for len(ts) <= budget {
+				select {
+				case t2, ok := <-s.queue:
+					if !ok {
+						break drain
+					}
+					ts = append(ts, t2)
+				default:
+					break drain
+				}
+			}
+		}
+		s.mu.Lock()
+		s.pendingN -= len(ts)
 		dead := s.crashed != ""
 		s.mu.Unlock()
 		if dead {
@@ -430,7 +479,32 @@ func (s *Service) worker() {
 			// process (the journal has its intents).
 			continue
 		}
-		s.process(t)
+		// Group the drained tasks by allocation, preserving submission order
+		// within each group; singleton groups take the sequential path.
+		groups := make([][]task, 0, 1)
+		groupOf := make(map[*registry.Allocation]int, 1)
+		for _, tt := range ts {
+			gi, ok := groupOf[tt.alloc]
+			if !ok {
+				gi = len(groups)
+				groupOf[tt.alloc] = gi
+				groups = append(groups, nil)
+			}
+			groups[gi] = append(groups[gi], tt)
+		}
+		for _, g := range groups {
+			if s.isCrashed() {
+				break
+			}
+			if len(g) == 1 {
+				s.process(g[0])
+			} else {
+				s.processBatch(g)
+			}
+		}
+		s.mu.Lock()
+		s.busyN--
+		s.mu.Unlock()
 		s.maybeRedeliver()
 	}
 }
@@ -472,6 +546,65 @@ func (s *Service) process(t task) {
 		time.Sleep(s.backoff(attempts))
 	}
 
+	s.finishTask(t, out, err, attempts)
+}
+
+// processBatch runs a same-allocation group of queued recoveries through
+// the engine's coalesced fast path. Every member is already quarantined
+// (MarkCorrupt at intake), so RecoverBatch is bit-identical to processing
+// the group sequentially in submission order — see core/batch.go. Members
+// that come back transient (abandoned by the shared batch deadline) are
+// handed whole to the sequential retry path, which re-attempts them with
+// its own deadline and backoff before any journal or breaker bookkeeping
+// happens for them.
+func (s *Service) processBatch(ts []task) {
+	defer func() {
+		if r := recover(); r != nil {
+			if point, ok := faultinject.IsCrash(r); ok {
+				s.die(point)
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	offs := make([]int, len(ts))
+	for i, t := range ts {
+		offs[i] = t.off
+	}
+	ctx := context.Background()
+	cancel := func() {}
+	if s.cfg.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
+	}
+	rs := s.eng.RecoverBatch(ctx, ts[0].alloc, offs)
+	cancel()
+
+	s.mu.Lock()
+	s.stats.Batched += uint64(len(ts))
+	s.mu.Unlock()
+
+	for i, r := range rs {
+		if s.isCrashed() {
+			return
+		}
+		if r.Err != nil && transient(r.Err) && s.cfg.MaxRetries > 0 {
+			// Transient member: the batch attempt does not count against the
+			// retry budget; the sequential path owns all of its bookkeeping.
+			s.mu.Lock()
+			s.stats.Retries++
+			s.mu.Unlock()
+			time.Sleep(s.backoff(1))
+			s.process(ts[i])
+			continue
+		}
+		s.finishTask(ts[i], r.Outcome, r.Err, 1)
+	}
+}
+
+// finishTask applies the terminal bookkeeping for one recovery: breaker
+// update, counters, journal completion, and the outcome callback.
+func (s *Service) finishTask(t task, out core.Outcome, err error, attempts int) {
 	if br := s.breakerFor(t.alloc.QualifiedName()); br != nil {
 		if err == nil {
 			br.onSuccess()
@@ -655,6 +788,9 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 			"# HELP spatialdue_service_retries_total Backoff retries.\n"+
 			"# TYPE spatialdue_service_retries_total counter\n"+
 			"spatialdue_service_retries_total %d\n"+
+			"# HELP spatialdue_service_batched_total Recoveries coalesced through RecoverBatch.\n"+
+			"# TYPE spatialdue_service_batched_total counter\n"+
+			"spatialdue_service_batched_total %d\n"+
 			"# HELP spatialdue_service_replayed_total Journal intents replayed on restart.\n"+
 			"# TYPE spatialdue_service_replayed_total counter\n"+
 			"spatialdue_service_replayed_total %d\n"+
@@ -665,7 +801,7 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 			"# TYPE spatialdue_service_queue_depth gauge\n"+
 			"spatialdue_service_queue_depth %d\n",
 		st.Submitted, st.Rejected, st.BreakerRejected, st.Recovered, st.Failed,
-		st.Abandoned, st.Retries, st.Replayed, st.BreakerTrips, pending); err != nil {
+		st.Abandoned, st.Retries, st.Batched, st.Replayed, st.BreakerTrips, pending); err != nil {
 		return err
 	}
 	for name, state := range states {
