@@ -8,6 +8,11 @@
 //
 //	go test -bench . ./internal/core/ | benchjson -o BENCH_hotpath.json
 //	benchjson -i bench.txt
+//	benchjson -i bench.txt -match 'RecoveryHotPath|TraceSpan'
+//
+// -match keeps only benchmarks whose name matches the regexp, so one
+// bench run can feed several guard files (e.g. a tracing-overhead gate
+// separate from the kernel gate).
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -40,7 +46,17 @@ type Document struct {
 func main() {
 	in := flag.String("i", "", "input file (default stdin)")
 	out := flag.String("o", "", "output file (default stdout)")
+	match := flag.String("match", "", "keep only benchmarks whose name matches this regexp")
 	flag.Parse()
+
+	var matchRe *regexp.Regexp
+	if *match != "" {
+		var err error
+		matchRe, err = regexp.Compile(*match)
+		if err != nil {
+			fatal(fmt.Errorf("-match: %w", err))
+		}
+	}
 
 	r := io.Reader(os.Stdin)
 	if *in != "" {
@@ -55,6 +71,15 @@ func main() {
 	doc, err := parse(r)
 	if err != nil {
 		fatal(err)
+	}
+	if matchRe != nil {
+		kept := doc.Results[:0]
+		for _, res := range doc.Results {
+			if matchRe.MatchString(res.Name) {
+				kept = append(kept, res)
+			}
+		}
+		doc.Results = kept
 	}
 
 	buf, err := json.MarshalIndent(doc, "", "  ")

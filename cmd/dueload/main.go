@@ -175,6 +175,7 @@ func main() {
 	printHist(total.e2e)
 
 	scrapeHotPathMetrics(*addr)
+	scrapeStageLatency(*addr)
 
 	if failedClients > 0 {
 		fatalf("%d client(s) failed", failedClients)
@@ -515,6 +516,107 @@ func scrapeHotPathMetrics(base string) {
 	fmt.Printf("batch calls        %.0f (%.0f members, mean size %.1f)\n", calls, members, mean)
 	fmt.Printf("batched recoveries %.0f\n", vals["spatialdue_service_batched_total"])
 	fmt.Printf("latched events     %.0f\n", vals["spatialdue_http_events_latched_total"])
+}
+
+// scrapedHist is one Prometheus histogram reassembled from /metrics
+// _bucket lines: ascending upper bounds with cumulative counts.
+type scrapedHist struct {
+	les    []float64
+	counts []float64
+	count  float64
+}
+
+// quantile interpolates the q-quantile Prometheus-style: linearly inside
+// the bucket where the cumulative count crosses q*total.
+func (h *scrapedHist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := q * h.count
+	lo, cLo := 0.0, 0.0
+	for i, le := range h.les {
+		if h.counts[i] >= target {
+			in := h.counts[i] - cLo
+			if in <= 0 || math.IsInf(le, 1) {
+				return lo
+			}
+			return lo + (le-lo)*(target-cLo)/in
+		}
+		lo, cLo = le, h.counts[i]
+	}
+	return lo
+}
+
+// scrapeStageLatency pulls the server's stage-duration histograms
+// (spatialdue_stage_duration_seconds{stage=...} and
+// spatialdue_recovery_duration_seconds) and prints a per-stage
+// p50/p95/p99 table — where each recovery's time actually went.
+// Best-effort, like scrapeHotPathMetrics.
+func scrapeStageLatency(base string) {
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/metrics")
+	if err != nil {
+		fmt.Printf("\n(stage latency scrape skipped: %v)\n", err)
+		return
+	}
+	defer resp.Body.Close()
+
+	const stagePrefix = `spatialdue_stage_duration_seconds_bucket{stage="`
+	const e2ePrefix = `spatialdue_recovery_duration_seconds_bucket{le="`
+	hists := map[string]*scrapedHist{}
+	order := []string{}
+	addBucket := func(name, le, count string) {
+		v, verr := strconv.ParseFloat(strings.TrimSpace(count), 64)
+		if verr != nil {
+			return
+		}
+		bound := math.Inf(1)
+		if le != "+Inf" {
+			if bound, verr = strconv.ParseFloat(le, 64); verr != nil {
+				return
+			}
+		}
+		h := hists[name]
+		if h == nil {
+			h = &scrapedHist{}
+			hists[name] = h
+			order = append(order, name)
+		}
+		h.les = append(h.les, bound)
+		h.counts = append(h.counts, v)
+		h.count = v // buckets are cumulative; +Inf arrives last
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, stagePrefix); ok {
+			stage, rest, ok := strings.Cut(rest, `",le="`)
+			if !ok {
+				continue
+			}
+			le, count, ok := strings.Cut(rest, `"} `)
+			if !ok {
+				continue
+			}
+			addBucket(stage, le, count)
+		} else if rest, ok := strings.CutPrefix(line, e2ePrefix); ok {
+			le, count, ok := strings.Cut(rest, `"} `)
+			if !ok {
+				continue
+			}
+			addBucket("end-to-end", le, count)
+		}
+	}
+	if len(order) == 0 {
+		fmt.Printf("\n(no stage-duration histograms on /metrics)\n")
+		return
+	}
+	fmt.Printf("\n== per-stage latency (server histograms) ==\n")
+	fmt.Printf("  %-18s %8s %10s %10s %10s\n", "stage", "count", "p50", "p95", "p99")
+	for _, name := range order {
+		h := hists[name]
+		fmt.Printf("  %-18s %8.0f %10s %10s %10s\n", name, h.count,
+			fmtDur(h.quantile(0.50)), fmtDur(h.quantile(0.95)), fmtDur(h.quantile(0.99)))
+	}
 }
 
 // distinctOffsets deals n distinct offsets out of [0, limit), shuffled

@@ -69,6 +69,7 @@ func main() {
 		listen       = flag.String("listen", "", "serve: run the networked HTTP recovery API on this address (e.g. :8080) instead of the synthetic storm")
 		metricsAddr  = flag.String("metrics-addr", "", "serve: also serve /metrics and /readyz on this address")
 		enableInject = flag.Bool("enable-inject", true, "listen: expose the fault-injection endpoint (disable for production shapes)")
+		traceTop     = flag.Int("trace-top", 0, "dump the N slowest recovery traces (per-stage spans) on exit (0 disables)")
 	)
 	flag.Parse()
 
@@ -118,6 +119,7 @@ func main() {
 			workers: *workers, queue: *queue, deadline: *deadline,
 			batchMax: *batchMax, journal: *jpath, seed: *seed,
 		})
+		dumpTraces(eng, *traceTop)
 		return
 	}
 
@@ -129,6 +131,7 @@ func main() {
 			batchMax: *batchMax, journal: *jpath, events: *events,
 			rate: *rate, seed: *seed, metricsAddr: *metricsAddr,
 		})
+		dumpTraces(eng, *traceTop)
 		return
 	}
 
@@ -165,6 +168,32 @@ func main() {
 	st := eng.Stats()
 	fmt.Printf("\nengine: %d recovered (%d auto-tuned), %d checkpoint-restart fallbacks\n",
 		st.Recovered, st.Tuned, st.Fallbacks)
+	dumpTraces(eng, *traceTop)
+}
+
+// dumpTraces prints the n slowest recovery traces with their per-stage
+// spans — the CLI view of GET /v1/traces.
+func dumpTraces(eng *spatialdue.Engine, n int) {
+	if n <= 0 {
+		return
+	}
+	top := eng.Tracer().Top()
+	if len(top) > n {
+		top = top[:n]
+	}
+	fmt.Printf("\nslowest %d of %d collected traces:\n", len(top), eng.Tracer().Finished())
+	for i, sum := range top {
+		status := "ok"
+		if !sum.OK {
+			status = "FAILED"
+		}
+		fmt.Printf("%2d. %s %s[%d] %s total %.3fms (%s)\n",
+			i+1, sum.ID, sum.Alloc, sum.Offset, status, sum.TotalSeconds*1e3, sum.Detail)
+		for _, sp := range sum.Spans {
+			fmt.Printf("      %-18s +%.3fms %10.3fms\n",
+				sp.Stage, sp.StartSeconds*1e3, sp.DurSeconds*1e3)
+		}
+	}
 }
 
 type serveOptions struct {

@@ -96,12 +96,11 @@ func (e *Engine) Audit() []AuditEntry { return e.audit.snapshot() }
 // WriteMetrics exports the engine counters in the Prometheus text format.
 func (e *Engine) WriteMetrics(w io.Writer) error {
 	st := e.Stats()
-	byMethod := map[predict.Method]int{}
-	for _, entry := range e.Audit() {
-		if entry.OK {
-			byMethod[entry.Method]++
-		}
-	}
+	// Lifetime per-method counters, NOT a recount of the bounded audit ring:
+	// a ring-derived value decreases as old entries rotate out, which breaks
+	// the Prometheus counter contract (rate() over a decreasing series
+	// silently yields garbage).
+	byMethod := e.MethodCounts()
 	if _, err := fmt.Fprintf(w,
 		"# HELP spatialdue_recovered_total Elements recovered in place.\n"+
 			"# TYPE spatialdue_recovered_total counter\n"+
@@ -161,8 +160,8 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 	}
 	if len(byMethod) > 0 {
 		if _, err := fmt.Fprintf(w,
-			"# HELP spatialdue_recoveries_by_method Recoveries per method (last %d events).\n"+
-				"# TYPE spatialdue_recoveries_by_method counter\n", auditCap); err != nil {
+			"# HELP spatialdue_recoveries_by_method Lifetime successful recoveries per method.\n"+
+				"# TYPE spatialdue_recoveries_by_method counter\n"); err != nil {
 			return err
 		}
 		for _, m := range predict.HeadlineMethods() {
@@ -173,5 +172,5 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 			}
 		}
 	}
-	return nil
+	return e.tracer.WriteMetrics(w)
 }

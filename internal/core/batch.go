@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"spatialdue/internal/registry"
+	"spatialdue/internal/trace"
 )
 
 // Batch recovery is the engine's fast path for storms of co-located DUEs on
@@ -89,6 +91,17 @@ func (e *Engine) BatchStats() (calls, members int64, buckets [len(batchSizeBucke
 // cooperative checkpoint, and leave those elements quarantined (a climb
 // that completes after abandonment is still counted and audited).
 func (e *Engine) RecoverBatch(ctx context.Context, alloc *registry.Allocation, offsets []int) []BatchResult {
+	return e.RecoverBatchTraced(ctx, alloc, offsets, nil)
+}
+
+// RecoverBatchTraced is RecoverBatch with caller-supplied traces, indexed
+// like offsets. A nil slice (or nil member) makes the engine mint and finish
+// its own trace for that member; caller-supplied traces are annotated but
+// left unfinished, so the caller can append its own post-recovery spans
+// (journal finish) before handing them to the collector. Members of one
+// stripe cluster share the cluster's single lock acquisition, stamped into
+// every member's trace as a stripe_wait span of identical duration.
+func (e *Engine) RecoverBatchTraced(ctx context.Context, alloc *registry.Allocation, offsets []int, traces []*trace.Trace) []BatchResult {
 	results := make([]BatchResult, len(offsets))
 	for i, off := range offsets {
 		results[i].Offset = off
@@ -98,6 +111,19 @@ func (e *Engine) RecoverBatch(ctx context.Context, alloc *registry.Allocation, o
 	}
 	e.observeBatch(len(offsets))
 	arr := alloc.Array
+
+	trs := make([]*trace.Trace, len(offsets))
+	owned := make([]bool, len(offsets))
+	born := time.Now() // one birth instant shared by every owned member
+	for i := range offsets {
+		if i < len(traces) {
+			trs[i] = traces[i]
+		}
+		if trs[i] == nil {
+			trs[i] = trace.GetPooledAt(born)
+			owned[i] = true
+		}
+	}
 
 	// Pre-assign deterministic seeds in submission order, exactly as a
 	// sequential loop over RecoverElement would have drawn them.
@@ -114,7 +140,11 @@ func (e *Engine) RecoverBatch(ctx context.Context, alloc *registry.Allocation, o
 	for i, off := range offsets {
 		if off < 0 || off >= arr.Len() {
 			err := fmt.Errorf("%w: offset %d out of range", ErrCheckpointRestartRequired, off)
-			_, results[i].Err = e.finishRecovery(alloc, off, ladderResult{}, err)
+			_, results[i].Err = e.finishRecovery(alloc, off, ladderResult{}, err, trs[i])
+			if owned[i] {
+				e.tracer.Finish(trs[i])
+				trace.Recycle(trs[i])
+			}
 			done[i] = true
 			continue
 		}
@@ -185,17 +215,28 @@ func (e *Engine) RecoverBatch(ctx context.Context, alloc *registry.Allocation, o
 	// block on a collector that has already returned.
 	resCh := make(chan memberResult, len(offsets))
 	run := func(c cluster) {
+		// One lock acquisition per cluster: every member's trace carries the
+		// same stripe_wait span, because that is literally the wait they
+		// shared.
+		t0 := time.Now()
 		if err := ss.acquireRange(ctx, c.lo, c.hi); err != nil {
+			wait := time.Since(t0)
 			for _, i := range c.members {
+				trs[i].ObserveDur(trace.StageStripeWait, t0, wait)
 				off := offsets[i]
 				lerr := fmt.Errorf("%w: %s[%d]: waiting for recovery lock: %v", ErrRecoveryAbandoned, alloc.Name, off, err)
-				e.mu.Lock()
-				e.stats.Fallbacks++
-				e.mu.Unlock()
-				e.audit.record(AuditEntry{Alloc: alloc.Name, Offset: off, Err: lerr.Error()})
-				resCh <- memberResult{i: i, err: lerr}
+				_, ferr := e.finishRecovery(alloc, off, ladderResult{}, lerr, trs[i])
+				if owned[i] {
+					e.tracer.Finish(trs[i])
+					trace.Recycle(trs[i])
+				}
+				resCh <- memberResult{i: i, err: ferr}
 			}
 			return
+		}
+		wait := time.Since(t0)
+		for _, i := range c.members {
+			trs[i].ObserveDur(trace.StageStripeWait, t0, wait)
 		}
 		defer ss.release(c.lo, c.hi)
 		// One Env for the whole cluster: the mask is live, the shared
@@ -204,8 +245,12 @@ func (e *Engine) RecoverBatch(ctx context.Context, alloc *registry.Allocation, o
 		env := e.envFor(arr, 0)
 		for _, i := range c.members {
 			env.Reseed(seeds[i])
-			res, rerr := e.reconstruct(ctx, arr, alloc.Policy.Any, alloc.Policy.Method, offsets[i], alloc.Policy.Range, alloc.Name, env)
-			out, ferr := e.finishRecovery(alloc, offsets[i], res, rerr)
+			res, rerr := e.reconstruct(ctx, arr, alloc.Policy.Any, alloc.Policy.Method, offsets[i], alloc.Policy.Range, alloc.Name, env, trs[i], time.Now())
+			out, ferr := e.finishRecovery(alloc, offsets[i], res, rerr, trs[i])
+			if owned[i] {
+				e.tracer.Finish(trs[i])
+				trace.Recycle(trs[i])
+			}
 			resCh <- memberResult{i: i, out: out, err: ferr}
 		}
 	}

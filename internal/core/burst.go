@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"spatialdue/internal/ndarray"
 	"spatialdue/internal/predict"
@@ -228,7 +229,7 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 			continue
 		}
 		out.Escalated++
-		res, err := e.reconstruct(context.Background(), arr, policy.Any, policy.Method, off, policy.Range, "burst", e.envFor(arr, e.nextSeed()))
+		res, err := e.reconstruct(context.Background(), arr, policy.Any, policy.Method, off, policy.Range, "burst", e.envFor(arr, e.nextSeed()), nil, time.Now())
 		if err != nil {
 			failed++
 			lastErr = err

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"spatialdue/internal/autotune"
 	"spatialdue/internal/bitflip"
@@ -28,6 +29,7 @@ import (
 	"spatialdue/internal/ndarray"
 	"spatialdue/internal/predict"
 	"spatialdue/internal/registry"
+	"spatialdue/internal/trace"
 )
 
 // ErrCheckpointRestartRequired is returned when localized recovery is not
@@ -42,6 +44,11 @@ var ErrCheckpointRestartRequired = errors.New("core: checkpoint-restart required
 // recoveries of its neighbors never trust it, and a retry (or checkpoint
 // restart) remains safe.
 var ErrRecoveryAbandoned = errors.New("core: recovery abandoned")
+
+// ErrRecoveriesInFlight is returned by Unprotect while recoveries hold any
+// of the array's region stripes: unregistering under a live ladder climb
+// would yank state the climb is reading.
+var ErrRecoveriesInFlight = errors.New("core: recoveries in flight")
 
 // Options configures an Engine.
 type Options struct {
@@ -113,10 +120,13 @@ type Engine struct {
 	table      *registry.Table
 	audit      auditLog
 	quarantine quarantineSet
+	tracer     *trace.Collector
 
 	mu        sync.Mutex
 	seq       int64
 	stats     Stats
+	byMethod  map[predict.Method]int64 // lifetime successful recoveries per method
+	outcomes  map[outcomeKey]string    // memoized trace-outcome detail strings
 	escal     [numStages]int64
 	caches    map[*ndarray.Array]*autotune.Cache
 	stripes   map[*ndarray.Array]*stripeSet
@@ -170,11 +180,24 @@ func NewEngine(opts Options) *Engine {
 	if !opts.ProvisionalSet && opts.Provisional == predict.MethodZero {
 		opts.Provisional = predict.MethodAverage
 	}
-	return &Engine{opts: opts, table: registry.NewTable()}
+	return &Engine{
+		opts:     opts,
+		table:    registry.NewTable(),
+		tracer:   trace.NewCollector(0),
+		byMethod: map[predict.Method]int64{},
+		outcomes: map[outcomeKey]string{},
+	}
 }
 
 // Table exposes the engine's allocation registry.
 func (e *Engine) Table() *registry.Table { return e.table }
+
+// Tracer exposes the engine's trace collector: stage-duration histograms
+// and the slowest-N trace ring. Recoveries entered without a context trace
+// (direct RecoverElement calls) mint and finish their own trace here;
+// recoveries carrying a service trace are finished by the service after
+// journal completion, so their spans include the journal writes.
+func (e *Engine) Tracer() *trace.Collector { return e.tracer }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
@@ -202,6 +225,38 @@ func (e *Engine) ProtectTenant(tenant, name string, arr *ndarray.Array, dtype bi
 		e.sharedFor(arr)
 	}
 	return alloc, err
+}
+
+// Unprotect tears down a protected allocation: it unregisters the
+// allocation from the table and drops every piece of per-array engine state
+// (tuning cache, stripe locks, shared statistics, quarantine entries), so a
+// long-running multi-tenant server that registers and unregisters
+// allocations does not grow without bound. It refuses with
+// ErrRecoveriesInFlight while any recovery holds one of the array's
+// stripes. The caller must stop submitting recoveries for the allocation
+// before tearing it down: a submission racing Unprotect can recreate
+// transient per-array state after the maps are cleared, which leaks nothing
+// permanent (the recreated state dies with the unreferenced array) but
+// wastes the work.
+func (e *Engine) Unprotect(alloc *registry.Allocation) error {
+	arr := alloc.Array
+	e.mu.Lock()
+	ss := e.stripes[arr]
+	e.mu.Unlock()
+	if ss != nil {
+		if !ss.tryAcquireAll() {
+			return fmt.Errorf("%w: %s", ErrRecoveriesInFlight, alloc.Name)
+		}
+		defer ss.releaseAll()
+	}
+	e.table.Unregister(alloc.ID)
+	e.quarantine.removeArray(arr)
+	e.mu.Lock()
+	delete(e.caches, arr)
+	delete(e.stripes, arr)
+	delete(e.shared, arr)
+	e.mu.Unlock()
+	return nil
 }
 
 // AttachMCA registers the engine as a machine-check handler: uncorrectable
@@ -309,30 +364,47 @@ func (e *Engine) RecoverElementCtx(ctx context.Context, alloc *registry.Allocati
 // array's range the stripe span falls back to the whole table (reconstruct
 // rejects the offset under the locks).
 func (e *Engine) recoverElementSync(ctx context.Context, alloc *registry.Allocation, off int) (Outcome, error) {
+	// A context-carried trace (the service path) is finished by its owner
+	// after journal completion; otherwise the engine mints and finishes one
+	// itself, so direct RecoverElement calls feed the histograms too.
+	tr, external := trace.FromContext(ctx)
+	var t0 time.Time
+	if !external {
+		tr = trace.GetPooled()
+		// The trace was just born; its birth instant doubles as the
+		// stripe-wait origin, saving a clock read on the hot path.
+		t0 = tr.Born()
+		defer func() {
+			e.tracer.Finish(tr)
+			trace.Recycle(tr)
+		}()
+	}
 	seed := e.nextSeed()
 	ss := e.stripesFor(alloc.Array)
 	lo, hi := 0, ss.n-1
 	if off >= 0 && off < alloc.Array.Len() {
 		lo, hi = ss.rangeFor(off)
 	}
-	if err := ss.acquireRange(ctx, lo, hi); err != nil {
-		err = fmt.Errorf("%w: %s[%d]: waiting for recovery lock: %v", ErrRecoveryAbandoned, alloc.Name, off, err)
-		e.mu.Lock()
-		e.stats.Fallbacks++
-		e.mu.Unlock()
-		e.audit.record(AuditEntry{Alloc: alloc.Name, Offset: off, Err: err.Error()})
-		return Outcome{}, err
+	if external {
+		t0 = time.Now()
 	}
+	if err := ss.acquireRange(ctx, lo, hi); err != nil {
+		tr.Observe(trace.StageStripeWait, t0)
+		err = fmt.Errorf("%w: %s[%d]: waiting for recovery lock: %v", ErrRecoveryAbandoned, alloc.Name, off, err)
+		return e.finishRecovery(alloc, off, ladderResult{}, err, tr)
+	}
+	t0 = tr.ObserveSince(trace.StageStripeWait, t0)
 	env := e.envFor(alloc.Array, seed)
-	res, err := e.reconstruct(ctx, alloc.Array, alloc.Policy.Any, alloc.Policy.Method, off, alloc.Policy.Range, alloc.Name, env)
+	res, err := e.reconstruct(ctx, alloc.Array, alloc.Policy.Any, alloc.Policy.Method, off, alloc.Policy.Range, alloc.Name, env, tr, t0)
 	ss.release(lo, hi)
-	return e.finishRecovery(alloc, off, res, err)
+	return e.finishRecovery(alloc, off, res, err, tr)
 }
 
-// finishRecovery applies the post-climb bookkeeping (counters, audit trail)
-// shared by the single-element and batch paths.
-func (e *Engine) finishRecovery(alloc *registry.Allocation, off int, res ladderResult, err error) (Outcome, error) {
+// finishRecovery applies the post-climb bookkeeping (counters, audit trail,
+// trace annotation) shared by the single-element and batch paths.
+func (e *Engine) finishRecovery(alloc *registry.Allocation, off int, res ladderResult, err error, tr *trace.Trace) (Outcome, error) {
 	if err != nil {
+		tr.SetResult(alloc.Name, alloc.Tenant, off, false, err.Error())
 		e.mu.Lock()
 		e.stats.Fallbacks++
 		e.mu.Unlock()
@@ -344,7 +416,16 @@ func (e *Engine) finishRecovery(alloc *registry.Allocation, off int, res ladderR
 	if res.tuned {
 		e.stats.Tuned++
 	}
+	e.byMethod[res.method]++
+	// Outcome details are drawn from a tiny method x stage set; memoizing
+	// them keeps fmt.Sprintf off the recovery hot path.
+	detail, ok := e.outcomes[outcomeKey{res.method, res.stage}]
+	if !ok {
+		detail = fmt.Sprintf("method=%v stage=%v", res.method, res.stage)
+		e.outcomes[outcomeKey{res.method, res.stage}] = detail
+	}
 	e.mu.Unlock()
+	tr.SetResult(alloc.Name, alloc.Tenant, off, true, detail)
 	e.audit.record(AuditEntry{
 		Alloc: alloc.Name, Offset: off, Method: res.method, Tuned: res.tuned,
 		Stage: res.stage, Old: res.old, New: res.value, OK: true,
@@ -355,31 +436,56 @@ func (e *Engine) finishRecovery(alloc *registry.Allocation, off int, res ladderR
 	}, nil
 }
 
+// MethodCounts returns the lifetime count of successful recoveries per
+// reconstruction method. Unlike the bounded audit ring, these counters
+// never decrease, so spatialdue_recoveries_by_method stays a true
+// Prometheus counter under rate().
+func (e *Engine) MethodCounts() map[predict.Method]int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[predict.Method]int64, len(e.byMethod))
+	for m, n := range e.byMethod {
+		out[m] = n
+	}
+	return out
+}
+
 // FTIRepairer adapts the engine to the checkpoint library's SDCCheck hook,
 // repairing via the per-dataset policy recorded by fti.Protect.
 func (e *Engine) FTIRepairer() fti.RepairFunc {
 	return func(ds *fti.Dataset, off int) (float64, error) {
+		tr := trace.GetPooled()
+		defer func() {
+			e.tracer.Finish(tr)
+			trace.Recycle(tr)
+		}()
+		tr.SetTarget("fti:"+ds.Name, "", off)
 		seed := e.nextSeed()
 		ss := e.stripesFor(ds.Array)
 		lo, hi := 0, ss.n-1
 		if off >= 0 && off < ds.Array.Len() {
 			lo, hi = ss.rangeFor(off)
 		}
+		t0 := tr.Born()
 		ss.acquireRangeBlocking(lo, hi)
-		res, err := e.reconstruct(context.Background(), ds.Array, ds.Policy.Any, ds.Policy.Method, off, nil, "fti:"+ds.Name, e.envFor(ds.Array, seed))
+		t0 = tr.ObserveSince(trace.StageStripeWait, t0)
+		res, err := e.reconstruct(context.Background(), ds.Array, ds.Policy.Any, ds.Policy.Method, off, nil, "fti:"+ds.Name, e.envFor(ds.Array, seed), tr, t0)
 		ss.release(lo, hi)
 		if err != nil {
+			tr.SetOutcome(false, err.Error())
 			e.mu.Lock()
 			e.stats.Fallbacks++
 			e.mu.Unlock()
 			e.audit.record(AuditEntry{Alloc: "fti:" + ds.Name, Offset: off, Err: err.Error()})
 			return 0, err
 		}
+		tr.SetOutcome(true, fmt.Sprintf("method=%v stage=%v", res.method, res.stage))
 		e.mu.Lock()
 		e.stats.Recovered++
 		if res.tuned {
 			e.stats.Tuned++
 		}
+		e.byMethod[res.method]++
 		e.mu.Unlock()
 		e.audit.record(AuditEntry{
 			Alloc: "fti:" + ds.Name, Offset: off, Method: res.method, Tuned: res.tuned,
@@ -435,4 +541,10 @@ func autotuneSelect(env *predict.Env, idx []int, cfg autotune.Config) (predict.M
 		return 0, err
 	}
 	return sel.Best, nil
+}
+
+// outcomeKey indexes the memoized trace-outcome detail strings.
+type outcomeKey struct {
+	method predict.Method
+	stage  Stage
 }

@@ -3,11 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"spatialdue/internal/autotune"
 	"spatialdue/internal/ndarray"
 	"spatialdue/internal/predict"
 	"spatialdue/internal/registry"
+	"spatialdue/internal/trace"
 )
 
 // The escalation ladder is the supervisor's answer to "the reconstruction
@@ -145,7 +147,7 @@ func (e *Engine) enterStage(alloc string, off int, st Stage, m predict.Method, c
 // fresh Env per element; batch clusters share one Env (and its scratch
 // buffers) across members, reseeding per member, which is observationally
 // identical.
-func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bool, fixed predict.Method, off int, vr *registry.ValueRange, alloc string, env *predict.Env) (ladderResult, error) {
+func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bool, fixed predict.Method, off int, vr *registry.ValueRange, alloc string, env *predict.Env, tr *trace.Trace, clk time.Time) (ladderResult, error) {
 	if off < 0 || off >= arr.Len() {
 		return ladderResult{}, fmt.Errorf("%w: offset %d out of range", ErrCheckpointRestartRequired, off)
 	}
@@ -170,23 +172,32 @@ func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bo
 	// Patch the cell with a provisional estimate. Predictors never read it
 	// (it is masked), but concurrent readers of the raw array see something
 	// bounded instead of NaN/garbage while the ladder climbs.
+	// clk chains through the ladder: each stage boundary is one clock read,
+	// shared between the ending span and the starting one. The caller seeds
+	// the chain with its last boundary (typically the stripe-wait end).
 	if prov, perr := safePredict(e.opts.Provisional, env, idx); perr == nil && isFinite(prov) {
 		arr.SetOffset(off, prov)
 	} else {
 		arr.SetOffset(off, 0)
 	}
+	clk = tr.ObserveSince(trace.StageProvisional, clk)
 
 	tried := map[predict.Method]bool{}
-	attempt := func(m predict.Method) (float64, error) {
+	// attempt runs one predict+verify try, recording the two halves as
+	// separate spans (predStage/verStage name the ladder rung).
+	attempt := func(predStage, verStage string, m predict.Method) (float64, error) {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
 		tried[m] = true
 		v, err := safePredict(m, env, idx)
+		clk = tr.ObserveSince(predStage, clk)
 		if err != nil {
 			return 0, err
 		}
-		if err := e.verifyValue(env, idx, off, v, vr); err != nil {
+		err = e.verifyValue(env, idx, off, v, vr)
+		clk = tr.ObserveSince(verStage, clk)
+		if err != nil {
 			return 0, err
 		}
 		return v, nil
@@ -221,10 +232,11 @@ func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bo
 		} else {
 			lastErr = fmt.Errorf("auto-tune failed: %w", terr)
 		}
+		clk = tr.ObserveSince(trace.StageTune, clk)
 	}
 	if !tuneAny || tuned {
 		e.enterStage(alloc, off, StagePrimary, method, nil)
-		v, aerr := attempt(method)
+		v, aerr := attempt(trace.StagePredictPrimary, trace.StageVerifyPrimary, method)
 		if aerr == nil {
 			return succeed(StagePrimary, method, tuned, v)
 		}
@@ -241,10 +253,13 @@ func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bo
 		return abort(err)
 	}
 	e.enterStage(alloc, off, StageTune, 0, lastErr)
-	if res, terr := autotune.Select(env, idx, e.opts.Tune); terr == nil {
+	clk = time.Now()
+	res, terr := autotune.Select(env, idx, e.opts.Tune)
+	clk = tr.ObserveSince(trace.StageTune, clk)
+	if terr == nil {
 		ranked = res.Scores
 		if !tried[res.Best] {
-			v, aerr := attempt(res.Best)
+			v, aerr := attempt(trace.StagePredictTune, trace.StageVerifyTune, res.Best)
 			if aerr == nil {
 				return succeed(StageTune, res.Best, true, v)
 			}
@@ -272,7 +287,7 @@ func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bo
 				continue
 			}
 			attempts++
-			v, aerr := attempt(sc.Method)
+			v, aerr := attempt(trace.StagePredictAlternate, trace.StageVerifyAlternate, sc.Method)
 			if aerr == nil {
 				return succeed(StageAlternate, sc.Method, true, v)
 			}
@@ -289,7 +304,10 @@ func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bo
 	e.mu.Unlock()
 	if w != nil {
 		e.enterStage(alloc, off, StageRestore, 0, lastErr)
-		if v, rerr := w.RestoreElement(rank, arr, off); rerr == nil {
+		clk = time.Now()
+		v, rerr := w.RestoreElement(rank, arr, off)
+		clk = tr.ObserveSince(trace.StageRestore, clk)
+		if rerr == nil {
 			// Checkpoint data is from an earlier timestep: require it finite
 			// and inside the registered range, but do not hold it to the
 			// current neighbor envelope.

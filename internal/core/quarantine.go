@@ -69,6 +69,14 @@ func (q *quarantineSet) remove(arr *ndarray.Array, off int) {
 	}
 }
 
+// removeArray drops every quarantine entry for an array (allocation
+// teardown via Engine.Unprotect).
+func (q *quarantineSet) removeArray(arr *ndarray.Array) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	delete(q.byArray, arr)
+}
+
 func (q *quarantineSet) contains(arr *ndarray.Array, off int) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -108,6 +116,27 @@ func (e *Engine) MarkCorrupt(alloc *registry.Allocation, off int) {
 		return
 	}
 	e.markQuarantined(alloc.Array, off)
+}
+
+// IsQuarantined reports whether the element at linear offset off of alloc
+// is currently quarantined.
+func (e *Engine) IsQuarantined(alloc *registry.Allocation, off int) bool {
+	return e.quarantine.contains(alloc.Array, off)
+}
+
+// ClearCorrupt reverses MarkCorrupt for an element whose recovery was never
+// admitted (the service rejects a submission after quarantining it at
+// intake): the offset leaves quarantine and its snapshot contribution
+// re-enters the shared statistics, restoring the pre-MarkCorrupt state so
+// the cell is neither masked forever nor missing from neighborhood
+// statistics. It must not be used for elements an in-flight or failed
+// recovery owns — those stay quarantined until repaired or rebuilt.
+func (e *Engine) ClearCorrupt(alloc *registry.Allocation, off int) {
+	if off < 0 || off >= alloc.Array.Len() {
+		return
+	}
+	e.quarantine.remove(alloc.Array, off)
+	e.sharedFor(alloc.Array).Readmit(off)
 }
 
 // Quarantined returns the offsets of alloc currently quarantined (reported

@@ -147,6 +147,22 @@ func (ss *stripeSet) release(lo, hi int) {
 // acquireAllBlocking takes every stripe (full-array operations).
 func (ss *stripeSet) acquireAllBlocking() { ss.acquireRangeBlocking(0, ss.n-1) }
 
+// tryAcquireAll takes every stripe without blocking, backing out entirely if
+// any stripe is held. Unprotect uses it to refuse teardown while recoveries
+// are in flight instead of stalling the caller behind them.
+func (ss *stripeSet) tryAcquireAll() bool {
+	for i := range ss.locks {
+		select {
+		case ss.locks[i] <- struct{}{}:
+		default:
+			ss.release(0, i-1)
+			return false
+		}
+	}
+	ss.acquisitions.Add(1)
+	return true
+}
+
 func (ss *stripeSet) releaseAll() { ss.release(0, ss.n-1) }
 
 // stripesFor returns (creating on demand) the stripe table of an array.

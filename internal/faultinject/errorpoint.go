@@ -1,0 +1,99 @@
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Error points are the non-fatal sibling of crash points: instead of the
+// process "dying", an armed point makes the instrumented operation fail with
+// an injected error — an fsync returning EIO, a full disk — so tests can
+// exercise graceful error paths (journal append failure rejecting a
+// submission) that a crash point, which unwinds the whole goroutine, cannot
+// reach.
+//
+// The canonical points:
+//
+//	journal/append — a journal record write fails (disk full, I/O error)
+//
+// Hook points are the generic form: a test registers a callback that runs
+// when the pipeline passes a named site, typically to flip state at an
+// otherwise-unreachable interleaving (e.g. "service/pre-enqueue" between the
+// journal intent write and the stopped re-check, to simulate a concurrent
+// Drain). Production builds never arm or hook anything, so both checks are a
+// cheap read of usually-empty maps.
+
+var (
+	errMu   sync.Mutex
+	errAt   map[string]int // point -> remaining trigger count
+	hooksAt map[string]func()
+)
+
+// ArmError arms an error point: the next call to ErrorPoint(point) returns
+// an injected error. Arming the same point again adds another trigger.
+func ArmError(point string) {
+	errMu.Lock()
+	defer errMu.Unlock()
+	if errAt == nil {
+		errAt = map[string]int{}
+	}
+	errAt[point]++
+}
+
+// DisarmErrors clears every armed error point.
+func DisarmErrors() {
+	errMu.Lock()
+	defer errMu.Unlock()
+	errAt = nil
+}
+
+// ErrorPoint declares a named fallible site. If the point is armed it
+// returns an injected error, simulating the operation failing right there;
+// otherwise it returns nil.
+func ErrorPoint(point string) error {
+	errMu.Lock()
+	n := errAt[point]
+	if n > 0 {
+		if n == 1 {
+			delete(errAt, point)
+		} else {
+			errAt[point] = n - 1
+		}
+	}
+	errMu.Unlock()
+	if n > 0 {
+		return fmt.Errorf("faultinject: injected error at %q", point)
+	}
+	return nil
+}
+
+// SetHook registers fn to run every time the pipeline passes
+// HookPoint(point), replacing any previous hook for the point. The hook runs
+// on the calling goroutine; it must not call back into the instrumented
+// component.
+func SetHook(point string, fn func()) {
+	errMu.Lock()
+	defer errMu.Unlock()
+	if hooksAt == nil {
+		hooksAt = map[string]func(){}
+	}
+	hooksAt[point] = fn
+}
+
+// ClearHooks removes every registered hook.
+func ClearHooks() {
+	errMu.Lock()
+	defer errMu.Unlock()
+	hooksAt = nil
+}
+
+// HookPoint declares a named site a test can hook; a no-op unless SetHook
+// registered a callback for point.
+func HookPoint(point string) {
+	errMu.Lock()
+	fn := hooksAt[point]
+	errMu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}

@@ -67,6 +67,9 @@ func New(cfg Config) *Client {
 type callOpts struct {
 	retryable   bool
 	contentType string
+	// traceparent, when non-empty, is sent as the W3C trace-context header
+	// so the server adopts the caller's trace-id for the recovery.
+	traceparent string
 }
 
 // decodeError turns a non-2xx response into an *httpapi.Error.
@@ -79,6 +82,14 @@ func decodeError(resp *http.Response, body []byte) error {
 		e.Latched = eb.Error.Latched
 	} else {
 		e.Message = string(bytes.TrimSpace(body))
+	}
+	// Latched event responses carry the recovery's trace_id alongside the
+	// error envelope; surface it so callers can follow the trace later.
+	var tid struct {
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal(body, &tid); err == nil {
+		e.TraceID = tid.TraceID
 	}
 	if v := resp.Header.Get("Retry-After"); v != "" {
 		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
@@ -145,6 +156,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}
 	if ct != "" {
 		req.Header.Set("Content-Type", ct)
+	}
+	if opts.traceparent != "" {
+		req.Header.Set(httpapi.TraceparentHeader, opts.traceparent)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -257,17 +271,26 @@ func (c *Client) Recover(ctx context.Context, name string, offset int) (*httpapi
 // *httpapi.Error with Latched=true means the server kept the event
 // bank-latched and will redeliver it itself — do not resend.
 func (c *Client) Ingest(ctx context.Context, ev httpapi.EventRequest) (*httpapi.EventResult, error) {
+	return c.IngestTraced(ctx, ev, "")
+}
+
+// IngestTraced is Ingest with a W3C traceparent header: the server adopts
+// the header's trace-id for the recovery's trace, and the EventResult (or
+// the latched error) echoes it. Pass "" to let the server mint an ID.
+func (c *Client) IngestTraced(ctx context.Context, ev httpapi.EventRequest, traceparent string) (*httpapi.EventResult, error) {
 	var out httpapi.EventResult
-	err := c.do(ctx, http.MethodPost, "/v1/events", marshal(ev), &out, callOpts{retryable: false})
+	err := c.do(ctx, http.MethodPost, "/v1/events", marshal(ev), &out,
+		callOpts{retryable: false, traceparent: traceparent})
 	if err != nil {
 		if apiErr, ok := err.(*httpapi.Error); ok {
 			status := httpapi.StatusRejected
 			if apiErr.Latched {
 				status = httpapi.StatusLatched
 			}
-			return &httpapi.EventResult{Status: status, Error: &httpapi.ErrorDetail{
-				Code: apiErr.Code, Message: apiErr.Message, Latched: apiErr.Latched,
-			}}, err
+			return &httpapi.EventResult{Status: status, TraceID: apiErr.TraceID,
+				Error: &httpapi.ErrorDetail{
+					Code: apiErr.Code, Message: apiErr.Message, Latched: apiErr.Latched,
+				}}, err
 		}
 		return nil, err
 	}
@@ -337,6 +360,26 @@ func (c *Client) Outcomes(ctx context.Context, since uint64, alloc string, limit
 	}
 	var out httpapi.OutcomesPage
 	if err := c.do(ctx, http.MethodGet, path, nil, &out, callOpts{retryable: true}); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Unregister deletes an allocation: the registry entry and the engine's
+// per-array state (caches, stripe locks, shared statistics) are dropped.
+// Returns core.ErrRecoveriesInFlight (via errors.Is, HTTP 409) while
+// recoveries hold the array's stripes; the call is retried automatically
+// since deletion is idempotent.
+func (c *Client) Unregister(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/allocations/"+url.PathEscape(name), nil, nil,
+		callOpts{retryable: true})
+}
+
+// Traces fetches the slowest retained recovery traces for the tenant,
+// slowest first, with per-stage spans.
+func (c *Client) Traces(ctx context.Context) (*httpapi.TracesReport, error) {
+	var out httpapi.TracesReport
+	if err := c.do(ctx, http.MethodGet, "/v1/traces", nil, &out, callOpts{retryable: true}); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -26,6 +26,7 @@ const (
 	CodeCircuitOpen       = "circuit_open"
 	CodeCheckpointRestart = "checkpoint_restart_required"
 	CodeDraining          = "draining"
+	CodeRecoveriesBusy    = "recoveries_in_flight"
 	CodeInternal          = "internal"
 )
 
@@ -64,6 +65,7 @@ var mappings = []mapping{
 	{CodeDraining, http.StatusServiceUnavailable, false, []error{service.ErrStopped}},
 	{CodeCircuitOpen, http.StatusServiceUnavailable, true, []error{service.ErrCircuitOpen, core.ErrCheckpointRestartRequired}},
 	{CodeNameTaken, http.StatusConflict, false, []error{registry.ErrNameTaken}},
+	{CodeRecoveriesBusy, http.StatusConflict, true, []error{core.ErrRecoveriesInFlight}},
 	{CodeBadDims, http.StatusBadRequest, false, []error{registry.ErrDims}},
 	{CodeNotRegistered, http.StatusNotFound, false, []error{registry.ErrNotRegistered}},
 	{CodeAbandoned, http.StatusGatewayTimeout, false, []error{core.ErrRecoveryAbandoned}},
@@ -123,6 +125,9 @@ type Error struct {
 	Latched bool
 	// RetryAfter is the server's Retry-After hint (zero when absent).
 	RetryAfter time.Duration
+	// TraceID is the recovery's trace ID when the error response carried
+	// one (latched event rejections do: the recovery proceeds server-side).
+	TraceID string
 }
 
 // Error implements the error interface.

@@ -19,6 +19,7 @@ import (
 	"spatialdue/internal/predict"
 	"spatialdue/internal/registry"
 	"spatialdue/internal/service"
+	"spatialdue/internal/trace"
 )
 
 // namePattern bounds allocation names (path-segment and metric-label safe).
@@ -416,8 +417,16 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, "offset must be in [0, %d)", a.Array.Len())
 		return
 	}
+	// Synchronous recoveries are traced too: the handler owns the trace
+	// (the engine sees it in the context and leaves finishing to us), so the
+	// spans cover exactly the in-engine work this endpoint times.
+	tr := trace.New()
+	if id, ok := trace.ParseTraceparent(r.Header.Get(TraceparentHeader)); ok {
+		tr = trace.WithID(id)
+	}
 	start := time.Now()
-	out, err := s.eng.RecoverElementCtx(r.Context(), a, req.Offset)
+	out, err := s.eng.RecoverElementCtx(trace.NewContext(r.Context(), tr), a, req.Offset)
+	s.eng.Tracer().Finish(tr)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -430,6 +439,7 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 		OldBits:        float64Bits(out.Old),
 		New:            out.New,
 		ElapsedSeconds: time.Since(start).Seconds(),
+		TraceID:        tr.ID(),
 	})
 }
 
@@ -437,7 +447,14 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 // and classify the delivery outcome. The MCA keeps undeliverable records
 // latched in their banks; the redelivery loop and worker-completion hooks
 // re-run them, so "latched" means delayed, never dropped.
-func (s *Server) ingestOne(tenant string, ev EventRequest) EventResult {
+//
+// traceID, when non-empty (a validated traceparent trace-id), names the
+// recovery's trace; otherwise one is minted. The trace is staged on the
+// service keyed by faulting address before the MCE is raised, so the
+// submission path picks it up even when the event latches and is redelivered
+// later — the trace then spans the latched wait too. Terminal rejections
+// unstage it.
+func (s *Server) ingestOne(tenant string, ev EventRequest, traceID string) EventResult {
 	reject := func(err error) EventResult {
 		s.evRejected.Add(1)
 		return EventResult{Status: StatusRejected,
@@ -479,6 +496,11 @@ func (s *Server) ingestOne(tenant string, ev EventRequest) EventResult {
 		return badReq("event needs addr or alloc+offset")
 	}
 
+	// Stage the trace before raising: the MCA delivery path cannot carry
+	// it, so the service claims it by address at submission time.
+	tr := trace.WithID(traceID)
+	s.svc.StageTrace(addr, tr)
+
 	// A planted latent fault at this address is discovered by the access
 	// (Plant + Touch, the injector path); otherwise the event is an
 	// externally reported DUE and is raised directly.
@@ -489,15 +511,18 @@ func (s *Server) ingestOne(tenant string, ev EventRequest) EventResult {
 	switch {
 	case err == nil:
 		s.evAccepted.Add(1)
-		return EventResult{Status: StatusAccepted}
+		return EventResult{Status: StatusAccepted, TraceID: tr.ID()}
 	case errors.Is(err, service.ErrOverloaded), errors.Is(err, service.ErrCircuitOpen):
 		// Delivery failed but the record is latched in its bank; the
 		// server redelivers once capacity frees (or the breaker admits a
-		// probe). The client must not resend.
+		// probe). The client must not resend. The trace stays staged so the
+		// redelivered submission claims it — its queue span covers the
+		// latched wait.
 		s.evLatched.Add(1)
-		return EventResult{Status: StatusLatched,
+		return EventResult{Status: StatusLatched, TraceID: tr.ID(),
 			Error: &ErrorDetail{Code: CodeFor(err), Message: err.Error(), Latched: true}}
 	default:
+		s.svc.UnstageTrace(addr)
 		return reject(err)
 	}
 }
@@ -513,12 +538,20 @@ func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, "decode event: %v", err)
 		return
 	}
-	res := s.ingestOne(tenant, ev)
+	tid, _ := trace.ParseTraceparent(r.Header.Get(TraceparentHeader))
+	res := s.ingestOne(tenant, ev, tid)
 	if res.Status == StatusAccepted {
 		writeJSON(w, http.StatusAccepted, res)
 		return
 	}
-	writeErrorDetail(w, *res.Error)
+	// EventResult serializes its ErrorDetail under the same "error" key as
+	// ErrorBody, so clients decoding the error envelope still work while
+	// latched responses additionally carry status and trace_id.
+	status, retry := StatusFor(res.Error.Code)
+	if retry {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, res)
 }
 
 // streamWindow is the NDJSON ingest window: events are parsed and admitted
@@ -571,7 +604,8 @@ func (s *Server) handleEventStream(w http.ResponseWriter, r *http.Request) {
 			res = EventResult{Status: StatusRejected,
 				Error: &ErrorDetail{Code: CodeBadRequest, Message: fmt.Sprintf("line %d: %v", n+1, err)}}
 		} else {
-			res = s.ingestOne(tenant, ev)
+			// Stream lines carry no per-event traceparent; IDs are minted.
+			res = s.ingestOne(tenant, ev, "")
 		}
 		window = append(window, res)
 		n++
@@ -625,4 +659,55 @@ func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleTraces serves the slowest retained recovery traces, filtered to the
+// requesting tenant. Synchronous recoveries (POST .../recover) are stamped
+// with the allocation's tenant, so they appear here too; engine-internal
+// traces with no tenant (FTI repair sweeps) are only visible to the default
+// tenant.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	tenant, terr := s.tenant(r)
+	if terr != nil {
+		writeBadRequest(w, "%v", terr)
+		return
+	}
+	col := s.eng.Tracer()
+	rep := TracesReport{TotalCollected: col.Finished(), Traces: []trace.Summary{}}
+	for _, sum := range col.Top() {
+		owner := sum.Tenant
+		if owner == "" {
+			owner = s.cfg.DefaultTenant
+		}
+		if owner == tenant {
+			rep.Traces = append(rep.Traces, sum)
+		}
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleUnregister deletes an allocation: unregisters it from the tenant
+// namespace and drops the engine's per-array caches, stripe locks, and
+// shared statistics (the state-leak fix — before Unprotect existed these
+// grew forever). Refused with 409 while recoveries hold the array's
+// stripes; the client retries after in-flight work drains.
+func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	tenant, terr := s.tenant(r)
+	if terr != nil {
+		writeBadRequest(w, "%v", terr)
+		return
+	}
+	a, err := s.lookupTenantAlloc(r, tenant)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.eng.Unprotect(a); err != nil {
+		writeError(w, err)
+		return
+	}
+	// Drop the allocation's breaker so a future allocation reusing the name
+	// starts with a closed circuit.
+	s.svc.ForgetBreaker(a.QualifiedName())
+	w.WriteHeader(http.StatusNoContent)
 }

@@ -29,7 +29,15 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"spatialdue/internal/trace"
 )
+
+// TraceparentHeader is the W3C trace-context request header. When an event
+// ingest (POST /v1/events) or synchronous recovery carries one, the recovery
+// adopts its 32-hex trace-id; otherwise the server mints an ID. Either way
+// the ID is echoed in EventResult, the outcome feed, and GET /v1/traces.
+const TraceparentHeader = "traceparent"
 
 // Tenant scoping: every /v1 request is resolved inside one registry
 // namespace, selected by the TenantHeader request header (DefaultTenant
@@ -116,6 +124,10 @@ const (
 type EventResult struct {
 	Status string       `json:"status"`
 	Error  *ErrorDetail `json:"error,omitempty"`
+	// TraceID identifies the recovery's trace (from the request's
+	// traceparent header, or server-minted). Empty on rejections that never
+	// reached admission.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // InjectRequest corrupts one element of an allocation in place and plants
@@ -157,6 +169,7 @@ type RecoverReport struct {
 	OldBits        uint64  `json:"old_valbits"`
 	New            float64 `json:"new"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	TraceID        string  `json:"trace_id,omitempty"`
 }
 
 // ElementState reports one element (GET /v1/allocations/{name}/element).
@@ -191,6 +204,7 @@ type OutcomeRecord struct {
 	Attempts int     `json:"attempts"`
 	Replayed bool    `json:"replayed,omitempty"`
 	Probe    bool    `json:"probe,omitempty"`
+	TraceID  string  `json:"trace_id,omitempty"`
 	UnixNano int64   `json:"unix_nano"`
 }
 
@@ -209,6 +223,15 @@ type OutcomesPage struct {
 type QuarantineReport struct {
 	Total       int              `json:"total"`
 	Allocations map[string][]int `json:"allocations,omitempty"`
+}
+
+// TracesReport is the GET /v1/traces payload: the slowest retained traces
+// visible to the requesting tenant, slowest first, plus how many traces
+// have been collected in total (across all tenants — a collector-wide
+// counter, useful to spot sampling).
+type TracesReport struct {
+	TotalCollected uint64          `json:"total_collected"`
+	Traces         []trace.Summary `json:"traces"`
 }
 
 // ReadyReport is the /readyz payload: admission capacity, quarantine and

@@ -169,6 +169,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("POST /v1/allocations", s.handleRegister)
 	mux.HandleFunc("GET /v1/allocations", s.handleListAllocations)
 	mux.HandleFunc("GET /v1/allocations/{name}", s.handleGetAllocation)
+	mux.HandleFunc("DELETE /v1/allocations/{name}", s.handleUnregister)
 	mux.HandleFunc("PUT /v1/allocations/{name}/data", s.handleUpload)
 	mux.HandleFunc("GET /v1/allocations/{name}/data", s.handleDownload)
 	mux.HandleFunc("GET /v1/allocations/{name}/element", s.handleElement)
@@ -180,6 +181,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("POST /v1/events/stream", s.handleEventStream)
 	mux.HandleFunc("GET /v1/outcomes", s.handleOutcomes)
 	mux.HandleFunc("GET /v1/quarantine", s.handleQuarantine)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux = mux
 }
 
@@ -316,6 +318,7 @@ func recordFromResult(res service.Result) OutcomeRecord {
 		Attempts: res.Attempts,
 		Replayed: res.Replayed,
 		Probe:    res.Probe,
+		TraceID:  res.TraceID,
 		UnixNano: time.Now().UnixNano(),
 	}
 	if res.Err != nil {

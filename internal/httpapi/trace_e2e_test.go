@@ -1,0 +1,254 @@
+package httpapi_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"spatialdue/internal/core"
+	"spatialdue/internal/httpapi"
+	"spatialdue/internal/httpapi/client"
+	"spatialdue/internal/registry"
+	"spatialdue/internal/service"
+	"spatialdue/internal/trace"
+)
+
+// TestTraceparentRoundTrip is the acceptance path for the tracing tentpole:
+// an event ingested with a W3C traceparent header must carry that trace ID
+// through the EventResult, the outcome feed, and GET /v1/traces, and the
+// retained trace must expose the per-stage span breakdown.
+func TestTraceparentRoundTrip(t *testing.T) {
+	const rows, cols = 16, 16
+	eng := core.NewEngine(core.Options{Seed: 11})
+	_, base, shutdown := startServer(t, eng, httpapi.ServerConfig{
+		EnableInject: true,
+		Service:      service.Config{Workers: 2, QueueDepth: 16},
+	})
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	ctx := context.Background()
+	c := client.New(client.Config{BaseURL: base, Tenant: "traced"})
+	if _, err := c.Register(ctx, httpapi.RegisterRequest{
+		Name: "field", Dims: []int{rows, cols}, DType: "float32",
+		Policy: httpapi.PolicyInfo{Any: true},
+	}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := c.Upload(ctx, "field", smoothField(rows, cols)); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+
+	off := 37
+	inj, err := c.Inject(ctx, "field", httpapi.InjectRequest{Offset: &off})
+	if err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+
+	const wantID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	res, err := c.IngestTraced(ctx, httpapi.EventRequest{Addr: inj.Addr, Bit: inj.Bit},
+		"00-"+wantID+"-00f067aa0ba902b7-01")
+	if err != nil {
+		t.Fatalf("ingest with traceparent: %v", err)
+	}
+	if res.TraceID != wantID {
+		t.Fatalf("EventResult trace ID = %q, want %q", res.TraceID, wantID)
+	}
+
+	// The trace ID follows the recovery to its terminal outcome.
+	deadline := time.Now().Add(20 * time.Second)
+	var outcome *httpapi.OutcomeRecord
+	var cursor uint64
+	for outcome == nil && time.Now().Before(deadline) {
+		page, err := c.Outcomes(ctx, cursor, "field", 100)
+		if err != nil {
+			t.Fatalf("outcomes: %v", err)
+		}
+		cursor = page.Next
+		for i := range page.Outcomes {
+			if page.Outcomes[i].Offset == off {
+				outcome = &page.Outcomes[i]
+			}
+		}
+		if outcome == nil {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if outcome == nil {
+		t.Fatal("no outcome for the traced event")
+	}
+	if !outcome.OK || outcome.TraceID != wantID {
+		t.Fatalf("outcome = %+v, want OK with trace %s", outcome, wantID)
+	}
+
+	// GET /v1/traces retains the trace with its span breakdown, and the
+	// spans account for the end-to-end duration (within slack for the
+	// uninstrumented seams between stages).
+	rep, err := c.Traces(ctx)
+	if err != nil {
+		t.Fatalf("traces: %v", err)
+	}
+	if rep.TotalCollected == 0 || len(rep.Traces) == 0 {
+		t.Fatalf("traces report = %+v, want at least one retained trace", rep)
+	}
+	var sum *trace.Summary
+	for i := range rep.Traces {
+		if rep.Traces[i].ID == wantID {
+			sum = &rep.Traces[i]
+		}
+	}
+	if sum == nil {
+		t.Fatalf("trace %s not retained; got %+v", wantID, rep.Traces)
+	}
+	if sum.Alloc != "field" || sum.Tenant != "traced" || sum.Offset != off || !sum.OK {
+		t.Fatalf("trace summary = %+v", sum)
+	}
+	stages := map[string]bool{}
+	spanSum := 0.0
+	for _, sp := range sum.Spans {
+		stages[sp.Stage] = true
+		spanSum += sp.DurSeconds
+	}
+	for _, want := range []string{trace.StageQueueWait, trace.StageStripeWait} {
+		if !stages[want] {
+			t.Errorf("retained trace missing %s span; has %v", want, stages)
+		}
+	}
+	if spanSum > sum.TotalSeconds*1.05 {
+		t.Errorf("spans sum to %.9fs, exceeding total %.9fs", spanSum, sum.TotalSeconds)
+	}
+
+	// Stage histograms are exported on /metrics.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`spatialdue_stage_duration_seconds_bucket{stage="queue_wait"`,
+		`spatialdue_stage_duration_seconds_bucket{stage="stripe_wait"`,
+		"spatialdue_recovery_duration_seconds_count",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestTenantTraceVisibility: a tenant only sees its own traces.
+func TestTenantTraceVisibility(t *testing.T) {
+	eng := core.NewEngine(core.Options{Seed: 13})
+	_, base, shutdown := startServer(t, eng, httpapi.ServerConfig{
+		EnableInject: true,
+		Service:      service.Config{Workers: 1, QueueDepth: 8},
+	})
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	ctx := context.Background()
+	alpha := client.New(client.Config{BaseURL: base, Tenant: "alpha"})
+	beta := client.New(client.Config{BaseURL: base, Tenant: "beta"})
+	if _, err := alpha.Register(ctx, httpapi.RegisterRequest{
+		Name: "field", Dims: []int{8, 8}, DType: "float64",
+		Policy: httpapi.PolicyInfo{Any: true},
+	}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := alpha.Upload(ctx, "field", smoothField(8, 8)); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	off := 27
+	inj, err := alpha.Inject(ctx, "field", httpapi.InjectRequest{Offset: &off})
+	if err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	if _, err := alpha.Recover(ctx, "field", off); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	_ = inj
+
+	arep, err := alpha.Traces(ctx)
+	if err != nil {
+		t.Fatalf("alpha traces: %v", err)
+	}
+	if len(arep.Traces) == 0 {
+		t.Fatal("alpha sees none of its own traces")
+	}
+	brep, err := beta.Traces(ctx)
+	if err != nil {
+		t.Fatalf("beta traces: %v", err)
+	}
+	if len(brep.Traces) != 0 {
+		t.Fatalf("beta sees alpha's traces: %+v", brep.Traces)
+	}
+}
+
+// TestUnregisterTearsDownAllocation drives the DELETE endpoint end to end:
+// the allocation disappears, its engine-side state is dropped, and the name
+// becomes reusable.
+func TestUnregisterTearsDownAllocation(t *testing.T) {
+	eng := core.NewEngine(core.Options{Seed: 17})
+	_, base, shutdown := startServer(t, eng, httpapi.ServerConfig{
+		EnableInject: true,
+		Service:      service.Config{Workers: 1, QueueDepth: 8},
+	})
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	ctx := context.Background()
+	c := client.New(client.Config{BaseURL: base, Tenant: "t1"})
+	if _, err := c.Register(ctx, httpapi.RegisterRequest{
+		Name: "doomed", Dims: []int{8, 8}, DType: "float32",
+		Policy: httpapi.PolicyInfo{Any: true},
+	}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := c.Upload(ctx, "doomed", smoothField(8, 8)); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	// Exercise the array once so per-array engine state exists.
+	off := 19
+	if _, err := c.Inject(ctx, "doomed", httpapi.InjectRequest{Offset: &off}); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	if _, err := c.Recover(ctx, "doomed", off); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+
+	if err := c.Unregister(ctx, "doomed"); err != nil {
+		t.Fatalf("unregister: %v", err)
+	}
+	if _, err := c.Element(ctx, "doomed", 0); !errors.Is(err, registry.ErrNotRegistered) {
+		t.Fatalf("element after unregister = %v, want ErrNotRegistered", err)
+	}
+	if err := c.Unregister(ctx, "doomed"); !errors.Is(err, registry.ErrNotRegistered) {
+		t.Fatalf("second unregister = %v, want ErrNotRegistered", err)
+	}
+	// The name is free again.
+	if _, err := c.Register(ctx, httpapi.RegisterRequest{
+		Name: "doomed", Dims: []int{4, 4}, DType: "float64",
+		Policy: httpapi.PolicyInfo{Any: true},
+	}); err != nil {
+		t.Fatalf("re-register freed name: %v", err)
+	}
+
+	// Another tenant cannot delete across the namespace boundary.
+	other := client.New(client.Config{BaseURL: base, Tenant: "t2"})
+	if err := other.Unregister(ctx, "doomed"); !errors.Is(err, registry.ErrNotRegistered) {
+		t.Fatalf("cross-tenant unregister = %v, want ErrNotRegistered", err)
+	}
+}

@@ -25,6 +25,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"spatialdue/internal/faultinject"
 )
 
 // Log is a crash-safe append-only record log: one JSON document per line,
@@ -89,6 +91,9 @@ func (l *Log) Path() string { return l.path }
 // never interleave bytes; with sync enabled the line is fsynced before
 // Append returns.
 func (l *Log) Append(v any) error {
+	if err := faultinject.ErrorPoint("journal/append"); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
 	data, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("journal: marshal: %w", err)

@@ -112,6 +112,48 @@ func (s *SharedStats) Exclude(offs ...int) {
 	}
 }
 
+// Readmit reverses Exclude for a cell whose recovery was never admitted
+// (the service un-quarantines an element after a rejected submission): the
+// cell's snapshot contribution is added back, restoring the pre-Exclude
+// statistics. This is the one exception to the "no incremental re-admission"
+// rule above — it runs only on the rejection path, before any recovery that
+// could observe the statistics has been admitted for the cell, so the
+// determinism argument is unaffected. Offsets that are not currently
+// excluded are ignored.
+//
+// Bit-exactness caveat: subtract-then-add of the same snapshot value leaves
+// each moment within one rounding step of its original value, not
+// necessarily bit-identical; the fit difference is far below verification
+// tolerances.
+func (s *SharedStats) Readmit(off int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off < 0 || off >= len(s.snap) {
+		return
+	}
+	if _, ok := s.excluded[off]; !ok {
+		return
+	}
+	delete(s.excluded, off)
+	if !s.built {
+		return // the lazy build will include it
+	}
+	v := s.snap[off]
+	s.mom.AddElementValue(s.a, off, v)
+	if s.rangeOK && !s.rangeDirty && !math.IsNaN(v) {
+		if math.IsNaN(s.min) {
+			s.min, s.max = v, v
+		} else {
+			if v < s.min {
+				s.min = v
+			}
+			if v > s.max {
+				s.max = v
+			}
+		}
+	}
+}
+
 // Excluded reports whether off is currently excluded from the statistics.
 func (s *SharedStats) Excluded(off int) bool {
 	s.mu.Lock()

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 	"spatialdue/internal/journal"
 	"spatialdue/internal/mca"
 	"spatialdue/internal/registry"
+	"spatialdue/internal/trace"
 )
 
 // ErrOverloaded is returned by Submit/SubmitAddress when the admission
@@ -112,6 +114,9 @@ type Result struct {
 	Replayed bool
 	// Probe marks a circuit breaker's half-open probe recovery.
 	Probe bool
+	// TraceID identifies the recovery's trace (see internal/trace); query
+	// the slowest-trace ring or grep logs by it.
+	TraceID string
 }
 
 // Stats are the service's lifetime counters.
@@ -145,6 +150,8 @@ type task struct {
 	journaled bool
 	replayed  bool
 	probe     bool
+	tr        *trace.Trace
+	enqueued  time.Time // when the task entered the queue (queue_wait span)
 }
 
 // Service is the resilient recovery front end. Create with New, launch
@@ -169,6 +176,58 @@ type Service struct {
 	crashed  string // crash point, when a simulated crash killed the service
 	stats    Stats
 	machine  *mca.Machine
+
+	// Traces staged by faulting address before the event enters the MCA
+	// delivery path (the HTTP front end parses traceparent headers there).
+	// Staging by address — rather than threading tokens through the MCA
+	// simulator — lets a trace survive bank latching: an overloaded or
+	// circuit-open event stays staged, and the redelivered submission claims
+	// it, so the trace spans the latched wait.
+	stagedMu sync.Mutex
+	staged   map[uint64]*trace.Trace
+}
+
+// stagedTraceCap bounds the staged-trace map: past it new stagings are
+// dropped (those recoveries run untraced-by-ingest and mint their own IDs),
+// so a storm of latched events cannot grow memory without bound.
+const stagedTraceCap = 4096
+
+// StageTrace associates tr with a faulting address about to be raised
+// through the MCA machine. The next submission for addr claims it.
+func (s *Service) StageTrace(addr uint64, tr *trace.Trace) {
+	if tr == nil {
+		return
+	}
+	s.stagedMu.Lock()
+	if s.staged == nil {
+		s.staged = map[uint64]*trace.Trace{}
+	}
+	if len(s.staged) < stagedTraceCap {
+		s.staged[addr] = tr
+	}
+	s.stagedMu.Unlock()
+}
+
+// UnstageTrace removes and returns the trace staged for addr (nil if none).
+// The HTTP front end calls it when an event is terminally rejected, so the
+// staged map does not accumulate traces for recoveries that will never run.
+func (s *Service) UnstageTrace(addr uint64) *trace.Trace {
+	s.stagedMu.Lock()
+	tr := s.staged[addr]
+	delete(s.staged, addr)
+	s.stagedMu.Unlock()
+	return tr
+}
+
+// claimTrace hands the staged trace for addr to an admitted submission.
+func (s *Service) claimTrace(addr uint64) *trace.Trace {
+	s.stagedMu.Lock()
+	tr := s.staged[addr]
+	if tr != nil {
+		delete(s.staged, addr)
+	}
+	s.stagedMu.Unlock()
+	return tr
 }
 
 // New creates a service over eng. When cfg.JournalPath is set, the journal
@@ -252,12 +311,15 @@ func (s *Service) replay(in journal.Intent) {
 	// Re-quarantine first: even before the pool touches the task, no
 	// stencil may trust the possibly-corrupt cell the crash left behind.
 	s.eng.MarkCorrupt(alloc, in.Offset)
+	tr := trace.New()
+	tr.SetReplayed()
 	s.mu.Lock()
 	s.pendingN++
 	s.stats.Replayed++
 	s.queue <- task{
 		alloc: alloc, addr: in.Addr, off: in.Offset, detected: in.Detected,
 		id: in.ID, journaled: true, replayed: true,
+		tr: tr, enqueued: time.Now(),
 	}
 	s.mu.Unlock()
 }
@@ -360,28 +422,63 @@ func (s *Service) submit(alloc *registry.Allocation, addr uint64, off int) error
 		}
 	}
 
+	// Claim the ingest-staged trace (HTTP traceparent), or mint one. This
+	// happens only after the overloaded/breaker rejections above, so a
+	// latched event's trace stays staged for redelivery.
+	tr := s.claimTrace(addr)
+	if tr == nil {
+		tr = trace.New()
+	}
+
 	// Quarantine at intake: from this moment the corrupt cell is masked
-	// out of every stencil, even while the task waits in the queue.
+	// out of every stencil, even while the task waits in the queue. Record
+	// whether the cell was already quarantined (a redelivered or duplicate
+	// report): the rejection paths below must restore the pre-submit state,
+	// not clear a quarantine some earlier submission still owns.
+	wasQuarantined := s.eng.IsQuarantined(alloc, off)
 	s.eng.MarkCorrupt(alloc, off)
 	detected := alloc.Array.AtOffset(off)
+	unquarantine := func() {
+		if !wasQuarantined {
+			s.eng.ClearCorrupt(alloc, off)
+		}
+	}
 
 	// Write-ahead intent: durable before any work begins.
-	t := task{alloc: alloc, addr: addr, off: off, detected: detected, probe: probe}
+	t := task{alloc: alloc, addr: addr, off: off, detected: detected, probe: probe, tr: tr}
 	if s.jr != nil {
+		t0 := time.Now()
 		id, err := s.jr.Begin(alloc.Tenant, alloc.Name, addr, off, detected)
+		tr.Observe(trace.StageJournalBegin, t0)
 		if err != nil {
+			// Rejected submission: no task will ever be enqueued, so leaving
+			// the element quarantined would mask it forever with nothing
+			// scheduled to repair it.
+			unquarantine()
 			release()
 			return fmt.Errorf("service: journal intent: %w", err)
 		}
 		t.id, t.journaled = id, true
 	}
 
+	faultinject.HookPoint("service/pre-enqueue")
+
 	s.mu.Lock()
 	if s.stopped {
 		s.pendingN--
 		s.mu.Unlock()
+		// Same leak as the journal-error path: the submission is rejected, so
+		// restore the pre-submit quarantine state and close out the dangling
+		// intent (otherwise a restart would replay a recovery that was never
+		// admitted). The close-out is best-effort: a concurrent Drain may
+		// have closed the log already, and replay converges the orphan anyway.
+		unquarantine()
+		if t.journaled {
+			_ = s.jr.Finish(t.id, false, "rejected: service stopped")
+		}
 		return ErrStopped
 	}
+	t.enqueued = time.Now()
 	s.stats.Accepted++
 	s.queue <- t // cannot block: slot reserved above
 	s.mu.Unlock()
@@ -402,6 +499,16 @@ func (s *Service) breakerFor(name string) *breaker {
 		s.breakers[name] = b
 	}
 	return b
+}
+
+// ForgetBreaker drops the circuit breaker of an allocation by its
+// tenant-qualified name. The HTTP front end calls it when an allocation is
+// unregistered, so the breaker map does not grow without bound as
+// allocations come and go.
+func (s *Service) ForgetBreaker(name string) {
+	s.mu.Lock()
+	delete(s.breakers, name)
+	s.mu.Unlock()
 }
 
 // BreakerState reports the circuit state of an allocation by its
@@ -474,6 +581,14 @@ func (s *Service) worker() {
 		s.pendingN -= len(ts)
 		dead := s.crashed != ""
 		s.mu.Unlock()
+		// Queue wait ends here, for the whole drained set at once. Recorded
+		// exactly once per task: transient members a batch later hands to the
+		// sequential retry path must not observe it again.
+		for i := range ts {
+			if !ts[i].enqueued.IsZero() {
+				ts[i].tr.Observe(trace.StageQueueWait, ts[i].enqueued)
+			}
+		}
 		if dead {
 			// Simulated process death: queued work is lost with the
 			// process (the journal has its intents).
@@ -528,23 +643,32 @@ func (s *Service) process(t task) {
 		err      error
 		attempts int
 	)
-	for {
-		attempts++
-		ctx := context.Background()
-		cancel := func() {}
-		if s.cfg.Deadline > 0 {
-			ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
+	// Goroutine labels make CPU profiles attributable: samples inside the
+	// ladder show up under their allocation and pipeline stage. The context
+	// carries the task's trace so the engine records spans into it (and
+	// leaves finishing it to finishTask, after the journal write).
+	base := trace.NewContext(context.Background(), t.tr)
+	pprof.Do(base, pprof.Labels(
+		"alloc", t.alloc.QualifiedName(), "stage", "single", "trace", t.tr.ID(),
+	), func(base context.Context) {
+		for {
+			attempts++
+			ctx := base
+			cancel := func() {}
+			if s.cfg.Deadline > 0 {
+				ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
+			}
+			out, err = s.eng.RecoverElementCtx(ctx, t.alloc, t.off)
+			cancel()
+			if err == nil || !transient(err) || attempts > s.cfg.MaxRetries {
+				return
+			}
+			s.mu.Lock()
+			s.stats.Retries++
+			s.mu.Unlock()
+			time.Sleep(s.backoff(attempts))
 		}
-		out, err = s.eng.RecoverElementCtx(ctx, t.alloc, t.off)
-		cancel()
-		if err == nil || !transient(err) || attempts > s.cfg.MaxRetries {
-			break
-		}
-		s.mu.Lock()
-		s.stats.Retries++
-		s.mu.Unlock()
-		time.Sleep(s.backoff(attempts))
-	}
+	})
 
 	s.finishTask(t, out, err, attempts)
 }
@@ -569,16 +693,25 @@ func (s *Service) processBatch(ts []task) {
 	}()
 
 	offs := make([]int, len(ts))
+	traces := make([]*trace.Trace, len(ts))
 	for i, t := range ts {
 		offs[i] = t.off
+		traces[i] = t.tr
 	}
-	ctx := context.Background()
-	cancel := func() {}
-	if s.cfg.Deadline > 0 {
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
-	}
-	rs := s.eng.RecoverBatch(ctx, ts[0].alloc, offs)
-	cancel()
+	var rs []core.BatchResult
+	pprof.Do(context.Background(), pprof.Labels(
+		// One label set per batch; the lead member's trace ID names the
+		// cluster in profiles (member IDs are in the outcome feed).
+		"alloc", ts[0].alloc.QualifiedName(), "stage", "batch", "trace", ts[0].tr.ID(),
+	), func(base context.Context) {
+		ctx := base
+		cancel := func() {}
+		if s.cfg.Deadline > 0 {
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
+		}
+		rs = s.eng.RecoverBatchTraced(ctx, ts[0].alloc, offs, traces)
+		cancel()
+	})
 
 	s.mu.Lock()
 	s.stats.Batched += uint64(len(ts))
@@ -634,16 +767,29 @@ func (s *Service) finishTask(t task, out core.Outcome, err error, attempts int) 
 		} else {
 			detail = fmt.Sprintf("method=%v stage=%v attempts=%d", out.Method, out.Stage, attempts)
 		}
+		t0 := time.Now()
 		if jerr := s.jr.Finish(t.id, err == nil, detail); jerr != nil && err == nil {
 			err = jerr
 		}
+		t.tr.Observe(trace.StageJournalFinish, t0)
 	}
+
+	// Terminal: annotate and hand the trace to the collector. The engine
+	// already stamped target and outcome, but the journal write above can
+	// flip the final error, so re-stamp here with the authoritative result.
+	t.tr.SetTarget(t.alloc.Name, t.alloc.Tenant, t.off)
+	if err != nil {
+		t.tr.SetOutcome(false, err.Error())
+	} else {
+		t.tr.SetOutcome(true, fmt.Sprintf("method=%v stage=%v attempts=%d", out.Method, out.Stage, attempts))
+	}
+	s.eng.Tracer().Finish(t.tr)
 
 	if s.cfg.OnOutcome != nil {
 		s.cfg.OnOutcome(Result{
 			Alloc: t.alloc.Name, Tenant: t.alloc.Tenant, Offset: t.off, Addr: t.addr,
 			Outcome: out, Err: err, Attempts: attempts,
-			Replayed: t.replayed, Probe: t.probe,
+			Replayed: t.replayed, Probe: t.probe, TraceID: t.tr.ID(),
 		})
 	}
 }
