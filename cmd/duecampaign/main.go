@@ -4,6 +4,7 @@
 // Usage:
 //
 //	duecampaign [-fig all|2,5,8] [-trials N] [-autotrials N] [-scale tiny|small|medium]
+//	            [-fault bit|burst|row|column] [-fault-span N]
 //	            [-seed S] [-workers W] [-csvdir DIR] [-v]
 //
 // The paper runs >= 6000 trials per dataset; the default here is smaller so
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"spatialdue/internal/campaign"
+	"spatialdue/internal/faultinject"
 	"spatialdue/internal/sdrbench"
 )
 
@@ -38,6 +40,8 @@ func main() {
 		smoothness = flag.Bool("smoothness", false, "also print the smoothness-vs-accuracy analysis (paper contribution #2)")
 		dataDir    = flag.String("data", "", "run on real SDRBench dumps from this directory (needs manifest.json; overrides -scale)")
 		svgDir     = flag.String("svgdir", "", "also write each rendered figure as an SVG into this directory")
+		faultFlag  = flag.String("fault", "bit", "fault class per trial: bit, burst, row, or column (structured classes score every wiped cell against degraded stencils)")
+		faultSpan  = flag.Int("fault-span", 0, "fault-class span: burst bit-width or row cells-per-wipe (0 = class default)")
 	)
 	flag.Parse()
 
@@ -57,6 +61,15 @@ func main() {
 		fatalf("unknown -scale %q (want tiny, small, or medium)", *scaleFlag)
 	}
 	cfg.DataDir = *dataDir
+	fclass, err := faultinject.ParseFaultClass(*faultFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if fclass == faultinject.ClassMetadata {
+		fatalf("-fault metadata corrupts descriptors, not data; campaigns need a data class")
+	}
+	cfg.FaultClass = fclass
+	cfg.FaultSpan = *faultSpan
 	if *verbose {
 		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}

@@ -19,9 +19,21 @@
 //
 // Usage:
 //
+// With -storm-profile {bit,burst,row,column,metadata} it runs a
+// structured-fault storm instead: one tenant, one allocation, N fault
+// events of the selected physical shape (multi-bit bursts, row wipes,
+// column failures, or descriptor corruption paired with a data DUE), every
+// corrupted cell ingested as a DUE. The run exits nonzero unless every
+// corrupted cell was recovered in place or checkpoint-restored — zero lost
+// recoveries — and, for the metadata profile, unless the server's parity
+// actually repaired descriptors without a single refusal.
+//
+// Usage:
+//
 //	dueload [-addr http://127.0.0.1:8080] [-clients 8] [-events 96]
 //	        [-burst 16] [-pause 25ms] [-rows 64] [-cols 64]
 //	        [-settle 60s] [-seed 1] [-tol 0.01] [-storm]
+//	        [-storm-profile bit|burst|row|column|metadata] [-span N]
 package main
 
 import (
@@ -59,6 +71,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base random seed")
 		tol     = flag.Float64("tol", 0.01, "relative-error bound counted as a high-quality recovery")
 		storm   = flag.Bool("storm", false, "same-array storm: all clients share one tenant+allocation, partitioned offsets, NDJSON stream ingest")
+		profile = flag.String("storm-profile", "", "structured-fault storm: bit, burst, row, column, or metadata (single tenant; zero-lost-recoveries exit assertions)")
+		span    = flag.Int("span", 0, "storm-profile fault span: burst bit-width or row cells-per-wipe (0 = class default)")
 	)
 	flag.Parse()
 	if *clients < 1 || *events < 1 || *rows < 2 || *cols < 2 {
@@ -66,6 +80,11 @@ func main() {
 	}
 	if *events > *rows**cols {
 		*events = *rows * *cols
+	}
+
+	if *profile != "" {
+		runStormProfile(*addr, *profile, *events, *rows, *cols, *span, *settle, *seed, *tol)
+		return
 	}
 
 	mode := "isolated tenants"

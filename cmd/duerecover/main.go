@@ -66,6 +66,8 @@ func main() {
 		events   = flag.Int("events", 200, "serve: number of MCA events to stream (0 = until signalled)")
 		rate     = flag.Float64("rate", 100, "serve: event rate per second (0 = as fast as possible)")
 
+		frontier = flag.Bool("frontier-batch", false, "order batched cluster recoveries frontier-inward (survives row/block wipes; trades bit-identical batch/sequential equivalence)")
+
 		listen       = flag.String("listen", "", "serve: run the networked HTTP recovery API on this address (e.g. :8080) instead of the synthetic storm")
 		metricsAddr  = flag.String("metrics-addr", "", "serve: also serve /metrics and /readyz on this address")
 		enableInject = flag.Bool("enable-inject", true, "listen: expose the fault-injection endpoint (disable for production shapes)")
@@ -111,7 +113,7 @@ func main() {
 		policy = spatialdue.RecoverWith(m)
 	}
 
-	eng := spatialdue.NewEngine(spatialdue.Options{Seed: *seed})
+	eng := spatialdue.NewEngine(spatialdue.Options{Seed: *seed, FrontierBatch: *frontier})
 
 	if *serve && *listen != "" {
 		runListen(eng, ds, policy, listenOptions{

@@ -81,6 +81,39 @@ func Flip(v float64, t DType, bit int) float64 {
 	}
 }
 
+// FlipBurst returns v with width adjacent bits inverted, starting at bit
+// (toward the most significant end), in the representation selected by t —
+// the multi-bit within-a-word corruption real DRAM bursts produce. The span
+// is clamped to the word width; width < 1 is treated as 1, so FlipBurst with
+// width 1 is exactly Flip. Like Flip, it is an involution.
+func FlipBurst(v float64, t DType, bit, width int) float64 {
+	if width < 1 {
+		width = 1
+	}
+	bits := t.Bits()
+	if bit < 0 || bit >= bits {
+		panic(fmt.Sprintf("bitflip: bit %d out of range for %v", bit, t))
+	}
+	if bit+width > bits {
+		width = bits - bit
+	}
+	switch t {
+	case Float32:
+		mask := uint32(1)<<uint(width) - 1
+		return float64(math.Float32frombits(math.Float32bits(float32(v)) ^ mask<<uint(bit)))
+	case Float64:
+		var mask uint64
+		if width >= 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = uint64(1)<<uint(width) - 1
+		}
+		return math.Float64frombits(math.Float64bits(v) ^ mask<<uint(bit))
+	default:
+		panic(fmt.Sprintf("bitflip: unknown dtype %v", t))
+	}
+}
+
 // Kind classifies what a bit-flip did to a value, which the experiment
 // reports use to characterize the corruption spectrum.
 type Kind uint8

@@ -72,6 +72,17 @@ type Config struct {
 	// ReservoirCap bounds the per-(method, app) quantile sample (0 selects
 	// the default 4096). Lower it to bound memory on very large campaigns.
 	ReservoirCap int
+	// FaultClass selects the injected fault shape (default ClassBit, the
+	// paper's one-element one-bit model). Structured data classes plan one
+	// physical event per trial — a multi-bit burst, a row wipe, or a column
+	// failure — and every corrupted cell is masked while its neighbors'
+	// predictions are scored, so multi-cell wipes exercise the degraded
+	// stencils instead of silently reading doomed neighbors. ClassMetadata
+	// corrupts descriptors, not data, and is rejected here.
+	FaultClass faultinject.FaultClass
+	// FaultSpan parameterizes FaultClass: adjacent-bit width for ClassBurst,
+	// cells-per-wipe for ClassRow (0 selects the class defaults).
+	FaultSpan int
 	// ResumeJournal, when set, is a crash-safe campaign checkpoint
 	// (internal/journal): every completed dataset's results are appended to
 	// it, and a rerun with an identical configuration skips those datasets
@@ -302,6 +313,9 @@ func (r *Results) AppRate(mi, ai, ti int) float64 { return r.PerMethodApp[mi][ai
 func Run(cfg Config) (*Results, error) {
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("campaign: Trials must be positive, got %d", cfg.Trials)
+	}
+	if cfg.FaultClass == faultinject.ClassMetadata {
+		return nil, fmt.Errorf("campaign: fault class %v corrupts descriptors, not data; campaigns need a data class", cfg.FaultClass)
 	}
 	if len(cfg.Thresholds) == 0 {
 		cfg.Thresholds = []float64{0.01, 0.05, 0.10}
@@ -550,8 +564,6 @@ func runDataset(cfg Config, app sdrbench.App, name string, load func() (*sdrbenc
 	env.Precompute() // O(1) global regression per trial; array stays pristine
 
 	inj := faultinject.New(seed+1, ds.DType)
-	trials := inj.Plan(arr, cfg.Trials)
-
 	preds := make([]predict.Predictor, len(cfg.Methods))
 	for i, m := range cfg.Methods {
 		preds[i] = predict.New(m)
@@ -585,46 +597,78 @@ func runDataset(cfg Config, app sdrbench.App, name string, load func() (*sdrbenc
 	rng := &splitmix{state: uint64(seed) ^ 0x9E3779B97F4A7C15}
 	idx := make([]int, arr.NumDims())
 	relerrs := make([]float64, len(cfg.Methods))
-	for ti, t := range trials {
-		arr.CoordsInto(idx, t.Offset)
+	// evalCell scores every method's prediction at one corrupted cell
+	// (leaving relerrs populated for the tuner); tuneCell runs the
+	// auto-tuner against the cell evalCell just scored.
+	evalCell := func(offset int, orig float64) {
+		arr.CoordsInto(idx, offset)
 		for mi, p := range preds {
 			got, err := p.Predict(env, idx)
 			var re float64
 			if err != nil {
 				re = math.Inf(1)
 			} else {
-				re = bitflip.RelErr(t.Orig, got)
+				re = bitflip.RelErr(orig, got)
 			}
 			relerrs[mi] = re
 			dr.cells[mi].add(re, cfg.Thresholds, rng)
 		}
-		if dr.autotune != nil && ti < cfg.AutotuneTrials {
-			sel, err := autotune.Select(env, idx, tuneCfg)
-			if err != nil {
-				continue
-			}
-			ci, ok := methodIdx[sel.Best]
-			if !ok {
-				continue
-			}
-			dr.autotune.Trials++
-			dr.autotune.Chosen[ci]++
-			if relerrs[ci] <= cfg.Tolerance {
-				dr.autotune.WithinTol++
-			}
-			best := math.Inf(1)
-			for _, re := range relerrs {
-				if re < best {
-					best = re
-				}
-			}
-			// The tuner "found the oracle method" if its choice achieved
-			// the minimum error (ties count: several methods often
-			// reconstruct exactly).
-			if relerrs[ci] <= best*(1+1e-12)+1e-300 {
-				dr.autotune.OracleBest++
+	}
+	tuneCell := func() {
+		sel, err := autotune.Select(env, idx, tuneCfg)
+		if err != nil {
+			return
+		}
+		ci, ok := methodIdx[sel.Best]
+		if !ok {
+			return
+		}
+		dr.autotune.Trials++
+		dr.autotune.Chosen[ci]++
+		if relerrs[ci] <= cfg.Tolerance {
+			dr.autotune.WithinTol++
+		}
+		best := math.Inf(1)
+		for _, re := range relerrs {
+			if re < best {
+				best = re
 			}
 		}
+		// The tuner "found the oracle method" if its choice achieved
+		// the minimum error (ties count: several methods often
+		// reconstruct exactly).
+		if relerrs[ci] <= best*(1+1e-12)+1e-300 {
+			dr.autotune.OracleBest++
+		}
+	}
+
+	if cfg.FaultClass == faultinject.ClassBit {
+		// The paper's model, byte-for-byte: Plan keeps the injector's draw
+		// sequence identical to historical campaigns.
+		for ti, t := range inj.Plan(arr, cfg.Trials) {
+			evalCell(t.Offset, t.Orig)
+			if dr.autotune != nil && ti < cfg.AutotuneTrials {
+				tuneCell()
+			}
+		}
+		return dr, nil
+	}
+	// Structured classes: one physical event per trial, possibly many cells.
+	// Every cell of the event is masked for the event's whole evaluation, so
+	// a wiped cell's prediction can only draw on survivors — the degraded
+	// stencils, not the doomed neighbors, carry the score.
+	for ti, st := range inj.PlanStructured(arr, cfg.FaultClass, cfg.Trials, cfg.FaultSpan) {
+		offs := st.Offsets()
+		env.Mask(offs...)
+		for ci, cell := range st.Cells {
+			evalCell(cell.Offset, cell.Orig)
+			// Tune once per event (its first cell), mirroring the per-trial
+			// cadence of the bit campaign.
+			if ci == 0 && dr.autotune != nil && ti < cfg.AutotuneTrials {
+				tuneCell()
+			}
+		}
+		env.Allow(offs...)
 	}
 	return dr, nil
 }

@@ -56,6 +56,7 @@ func fingerprint(cfg Config) uint64 {
 		cfg.Scale, cfg.Trials, cfg.AutotuneTrials, cfg.AutotuneK, cfg.AutotuneMaxProbes,
 		cfg.Tolerance, cfg.Seed, cfg.RelErrClamp, cfg.ReservoirCap, cfg.DataDir)
 	fmt.Fprintf(h, "|thresh=%v|methods=%v|apps=%v", cfg.Thresholds, cfg.Methods, cfg.Apps)
+	fmt.Fprintf(h, "|fault=%v|span=%d", cfg.FaultClass, cfg.FaultSpan)
 	return h.Sum64()
 }
 

@@ -1,0 +1,92 @@
+package campaign
+
+import (
+	"testing"
+
+	"spatialdue/internal/faultinject"
+	"spatialdue/internal/sdrbench"
+)
+
+// Structured-fault campaigns: the fault-class axis must reject metadata,
+// stay deterministic, and score every cell of multi-cell events.
+
+func structuredConfig(class faultinject.FaultClass, span int) Config {
+	cfg := DefaultConfig()
+	cfg.Scale = sdrbench.ScaleTiny
+	cfg.Trials = 25
+	cfg.AutotuneTrials = 5
+	cfg.AutotuneMaxProbes = 24
+	cfg.Apps = []sdrbench.App{sdrbench.HACC}
+	cfg.FaultClass = class
+	cfg.FaultSpan = span
+	return cfg
+}
+
+func TestRunRejectsMetadataClass(t *testing.T) {
+	cfg := structuredConfig(faultinject.ClassMetadata, 0)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("metadata fault class accepted by a data campaign")
+	}
+}
+
+func TestRowCampaignScoresEveryWipedCell(t *testing.T) {
+	// A row wipe corrupts span cells per event, so each (method, app) cell
+	// must accumulate span trials per injection event — not one.
+	const span = 4
+	cfg := structuredConfig(faultinject.ClassRow, span)
+	cfg.AutotuneTrials = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nDatasets := sdrbench.DatasetCount(sdrbench.HACC)
+	want := nDatasets * cfg.Trials * span
+	for mi := range res.Methods {
+		c := res.PerMethodApp[mi][0]
+		if c.Trials != want {
+			t.Errorf("method %v scored %d cells, want %d (%d events x %d cells)",
+				res.Methods[mi], c.Trials, want, nDatasets*cfg.Trials, span)
+		}
+	}
+}
+
+func TestStructuredCampaignDeterministic(t *testing.T) {
+	for _, class := range []faultinject.FaultClass{faultinject.ClassBurst, faultinject.ClassRow} {
+		a, err := Run(structuredConfig(class, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(structuredConfig(class, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mi := range a.Methods {
+			ca, cb := a.PerMethodApp[mi][0], b.PerMethodApp[mi][0]
+			if ca.Trials != cb.Trials || ca.SumRelErr != cb.SumRelErr {
+				t.Errorf("class %v method %v: reruns diverged (%d/%v vs %d/%v)",
+					class, a.Methods[mi], ca.Trials, ca.SumRelErr, cb.Trials, cb.SumRelErr)
+			}
+		}
+	}
+}
+
+func TestStructuredCampaignStillRecovers(t *testing.T) {
+	// Degraded stencils must keep structured campaigns productive: a burst
+	// (single-cell) campaign behaves like the bit campaign, and even a row
+	// wipe must leave at least one method with a nonzero success rate at the
+	// loosest threshold (survivor-side neighbors carry the prediction).
+	res, err := Run(structuredConfig(faultinject.ClassRow, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loosest := len(res.Thresholds) - 1
+	best := 0.0
+	for mi := range res.Methods {
+		if r := res.OverallRate(mi, loosest); r > best {
+			best = r
+		}
+	}
+	if best == 0 {
+		t.Error("no method recovered any cell of any row wipe")
+	}
+}

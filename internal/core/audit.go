@@ -158,6 +158,19 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 			"spatialdue_batch_size_count %d\n", calls, members, calls); err != nil {
 		return err
 	}
+	verifies, repairs, refusals := e.table.DescriptorStats()
+	if _, err := fmt.Fprintf(w,
+		"# HELP spatialdue_descriptor_verifies_total Allocation-descriptor parity verifications.\n"+
+			"# TYPE spatialdue_descriptor_verifies_total counter\n"+
+			"spatialdue_descriptor_verifies_total %d\n"+
+			"# HELP spatialdue_descriptor_repairs_total Descriptors reconstructed from parity after corruption.\n"+
+			"# TYPE spatialdue_descriptor_repairs_total counter\n"+
+			"spatialdue_descriptor_repairs_total %d\n"+
+			"# HELP spatialdue_descriptor_refusals_total Descriptor lookups refused as corrupt beyond parity.\n"+
+			"# TYPE spatialdue_descriptor_refusals_total counter\n"+
+			"spatialdue_descriptor_refusals_total %d\n", verifies, repairs, refusals); err != nil {
+		return err
+	}
 	if len(byMethod) > 0 {
 		if _, err := fmt.Fprintf(w,
 			"# HELP spatialdue_recoveries_by_method Lifetime successful recoveries per method.\n"+

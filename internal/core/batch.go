@@ -6,6 +6,8 @@ import (
 	"sort"
 	"time"
 
+	"spatialdue/internal/ndarray"
+	"spatialdue/internal/predict"
 	"spatialdue/internal/registry"
 	"spatialdue/internal/trace"
 )
@@ -243,7 +245,32 @@ func (e *Engine) RecoverBatchTraced(ctx context.Context, alloc *registry.Allocat
 		// statistics are frozen, and the scratch buffers amortize across
 		// members. Reseeding restores each member's private random stream.
 		env := e.envFor(arr, 0)
-		for _, i := range c.members {
+		members := c.members
+		if e.opts.FrontierBatch {
+			// Copy so the frontier reordering below never mutates the
+			// cluster built from submission order.
+			members = append([]int(nil), members...)
+		}
+		for n := 0; n < len(members); n++ {
+			if e.opts.FrontierBatch {
+				// Frontier-inward: of the still-pending members, recover the
+				// one with the most healthy face neighbors next. Earlier
+				// repairs release quarantine, so interior cells gain healthy
+				// neighbors as the frontier advances; ties keep submission
+				// order. Each member keeps its own pre-assigned seed.
+				best, bestN := n, frontierHealthy(env, arr, offsets[members[n]])
+				for j := n + 1; j < len(members); j++ {
+					if hn := frontierHealthy(env, arr, offsets[members[j]]); hn > bestN {
+						best, bestN = j, hn
+					}
+				}
+				if best != n {
+					picked := members[best]
+					copy(members[n+1:best+1], members[n:best])
+					members[n] = picked
+				}
+			}
+			i := members[n]
 			env.Reseed(seeds[i])
 			res, rerr := e.reconstruct(ctx, arr, alloc.Policy.Any, alloc.Policy.Method, offsets[i], alloc.Policy.Range, alloc.Name, env, trs[i], time.Now())
 			out, ferr := e.finishRecovery(alloc, offsets[i], res, rerr, trs[i])
@@ -292,4 +319,26 @@ func (e *Engine) RecoverBatchTraced(ctx context.Context, alloc *registry.Allocat
 		}
 	}
 	return results
+}
+
+// frontierHealthy counts the healthy (in-bounds, unquarantined) face
+// neighbors of the element at off — the FrontierBatch ordering key. Called
+// only on the opt-in frontier path, so the per-call coordinate scratch is
+// off the default batch hot path.
+func frontierHealthy(env *predict.Env, arr *ndarray.Array, off int) int {
+	idx := make([]int, arr.NumDims())
+	nb := make([]int, arr.NumDims())
+	arr.CoordsInto(idx, off)
+	copy(nb, idx)
+	n := 0
+	for d := 0; d < arr.NumDims(); d++ {
+		for _, delta := range [2]int{-1, 1} {
+			nb[d] = idx[d] + delta
+			if nb[d] >= 0 && nb[d] < arr.Dim(d) && !env.Masked(arr.Offset(nb...)) {
+				n++
+			}
+		}
+		nb[d] = idx[d]
+	}
+	return n
 }

@@ -59,9 +59,14 @@ const burstMaxSweeps = 12
 const burstTol = 1e-7
 
 // RecoverBurst reconstructs every element in offsets (all inside alloc's
-// array) in place. Offsets must be distinct; order does not matter. On
-// partial failure the returned outcome is still populated and the error
-// reports how many elements remain quarantined.
+// array) in place. Offsets may arrive unsorted and may contain duplicates —
+// merged fault reports (a row wipe spanning two cache lines, or two
+// detectors flagging the same line) overlap routinely, and refusing them
+// would turn a survivable burst into a checkpoint restart. The set is
+// deduplicated and sorted internally; Old/New in the outcome stay indexed
+// like the offsets passed in (duplicates see the same values). On partial
+// failure the returned outcome is still populated and the error reports how
+// many elements remain quarantined.
 func (e *Engine) RecoverBurst(alloc *registry.Allocation, offsets []int) (BurstOutcome, error) {
 	ss := e.stripesFor(alloc.Array)
 	ss.acquireAllBlocking()
@@ -80,22 +85,28 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 		if off < 0 || off >= arr.Len() {
 			return BurstOutcome{}, fmt.Errorf("%w: offset %d out of range", ErrCheckpointRestartRequired, off)
 		}
-		if seen[off] {
-			return BurstOutcome{}, fmt.Errorf("%w: duplicate offset %d", ErrCheckpointRestartRequired, off)
-		}
 		seen[off] = true
 	}
-	if len(offsets) == arr.Len() {
+	// Canonicalize: dedupe and sort. Everything below operates on work;
+	// Old/New remain indexed like the caller's offsets slice.
+	work := make([]int, 0, len(seen))
+	for off := range seen {
+		work = append(work, off)
+	}
+	sort.Ints(work)
+	if len(work) == arr.Len() {
 		return BurstOutcome{}, fmt.Errorf("%w: every element corrupted", ErrCheckpointRestartRequired)
 	}
 
 	out := BurstOutcome{Old: make([]float64, len(offsets)), New: make([]float64, len(offsets))}
+	oldOf := make(map[int]float64, len(work))
 	for i, off := range offsets {
 		out.Old[i] = arr.AtOffset(off)
+		oldOf[off] = out.Old[i]
 	}
 	// Coalesced quarantine insert: one pass over the quarantine set, one
-	// over the shared statistics, in submission order.
-	e.markQuarantinedAll(arr, offsets)
+	// over the shared statistics.
+	e.markQuarantinedAll(arr, work)
 
 	env := e.envFor(arr, e.nextSeed())
 
@@ -116,7 +127,7 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 	}
 
 	// --- Seed pass: BFS by healthy-neighbor count. ---
-	pending := append([]int(nil), offsets...)
+	pending := append([]int(nil), work...)
 	idx := make([]int, arr.NumDims())
 	nb := make([]int, arr.NumDims())
 	healthyAvg := func(off int) (float64, int) {
@@ -166,7 +177,7 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 	if policy.Any {
 		// Tune once at the burst's first element; the whole burst shares
 		// locality.
-		arr.CoordsInto(idx, offsets[0])
+		arr.CoordsInto(idx, work[0])
 		sel, err := selectTuned(e, env, idx)
 		if err == nil {
 			method, tuned = sel, true
@@ -179,7 +190,7 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 	sweeps := 0
 	for ; sweeps < burstMaxSweeps; sweeps++ {
 		maxRel := 0.0
-		for _, off := range offsets {
+		for _, off := range work {
 			arr.CoordsInto(idx, off)
 			v, err := safePredict(method, env, idx)
 			if err != nil || !isFinite(v) {
@@ -202,12 +213,12 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 	}
 
 	// --- Verification: release verified cells, escalate the rest. ---
-	verified := make([]bool, len(offsets))
-	for i, off := range offsets {
+	verified := make([]bool, len(work))
+	for i, off := range work {
 		arr.CoordsInto(idx, off)
 		verified[i] = e.verifyValue(env, idx, off, arr.AtOffset(off), policy.Range) == nil
 	}
-	for i, off := range offsets {
+	for i, off := range work {
 		if verified[i] {
 			// Released before escalation so ladder climbs for the failures
 			// can trust these neighbors.
@@ -218,13 +229,12 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 	recovered, tunedExtra := 0, 0
 	var lastErr error
 	failed := 0
-	for i, off := range offsets {
+	for i, off := range work {
 		if verified[i] {
-			out.New[i] = arr.AtOffset(off)
 			recovered++
 			e.audit.record(AuditEntry{
 				Alloc: "burst", Offset: off, Method: method, Tuned: tuned,
-				Old: out.Old[i], New: out.New[i], OK: true,
+				Old: oldOf[off], New: arr.AtOffset(off), OK: true,
 			})
 			continue
 		}
@@ -233,19 +243,20 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 		if err != nil {
 			failed++
 			lastErr = err
-			out.New[i] = arr.AtOffset(off)
 			e.audit.record(AuditEntry{Alloc: "burst", Offset: off, Err: err.Error()})
 			continue
 		}
-		out.New[i] = res.value
 		recovered++
 		if res.tuned {
 			tunedExtra++
 		}
 		e.audit.record(AuditEntry{
 			Alloc: "burst", Offset: off, Method: res.method, Tuned: res.tuned,
-			Stage: res.stage, Old: out.Old[i], New: res.value, OK: true,
+			Stage: res.stage, Old: oldOf[off], New: res.value, OK: true,
 		})
+	}
+	for i, off := range offsets {
+		out.New[i] = arr.AtOffset(off)
 	}
 
 	out.Method, out.Tuned, out.Sweeps = method, tuned, sweeps
@@ -259,7 +270,7 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 	e.mu.Unlock()
 	if failed > 0 {
 		return out, fmt.Errorf("%w: %d of %d burst elements unrecovered (last: %v)",
-			ErrCheckpointRestartRequired, failed, len(offsets), lastErr)
+			ErrCheckpointRestartRequired, failed, len(work), lastErr)
 	}
 	return out, nil
 }

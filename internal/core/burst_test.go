@@ -136,9 +136,6 @@ func TestRecoverBurstValidation(t *testing.T) {
 	if _, err := eng.RecoverBurst(alloc, nil); !errors.Is(err, ErrCheckpointRestartRequired) {
 		t.Error("empty burst accepted")
 	}
-	if _, err := eng.RecoverBurst(alloc, []int{1, 1}); !errors.Is(err, ErrCheckpointRestartRequired) {
-		t.Error("duplicate offsets accepted")
-	}
 	if _, err := eng.RecoverBurst(alloc, []int{-1}); !errors.Is(err, ErrCheckpointRestartRequired) {
 		t.Error("negative offset accepted")
 	}
@@ -148,6 +145,56 @@ func TestRecoverBurstValidation(t *testing.T) {
 	}
 	if _, err := eng.RecoverBurst(alloc, all); !errors.Is(err, ErrCheckpointRestartRequired) {
 		t.Error("fully corrupted array accepted")
+	}
+}
+
+func TestRecoverBurstNormalizesUnsortedDuplicates(t *testing.T) {
+	// Merged fault reports arrive unsorted and overlapping; the pipeline
+	// must canonicalize them and produce bit-identical array contents to
+	// the same burst submitted sorted and deduplicated.
+	mk := func() (*Engine, *registry.Allocation) {
+		eng := NewEngine(Options{Seed: 6})
+		a := smoothArray(32, 32)
+		alloc := eng.Protect("g", a, bitflip.Float32, registry.RecoverWith(predict.MethodLorenzo1))
+		for i := 0; i < 8; i++ {
+			a.SetOffset(a.Offset(16, 8+i), math.NaN())
+		}
+		return eng, alloc
+	}
+
+	eng1, alloc1 := mk()
+	canonical := make([]int, 8)
+	for i := range canonical {
+		canonical[i] = alloc1.Array.Offset(16, 8+i)
+	}
+	if _, err := eng1.RecoverBurst(alloc1, canonical); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, alloc2 := mk()
+	messy := []int{canonical[5], canonical[0], canonical[3], canonical[0],
+		canonical[7], canonical[1], canonical[6], canonical[2], canonical[4], canonical[5]}
+	out, err := eng2.RecoverBurst(alloc2, messy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range canonical {
+		got, want := alloc2.Array.AtOffset(off), alloc1.Array.AtOffset(off)
+		if got != want {
+			t.Errorf("offset %d: messy submission recovered %v, canonical %v", off, got, want)
+		}
+	}
+	if len(out.New) != len(messy) || len(out.Old) != len(messy) {
+		t.Fatalf("outcome not indexed like the input: %d/%d values for %d offsets",
+			len(out.Old), len(out.New), len(messy))
+	}
+	for i, off := range messy {
+		if out.New[i] != alloc2.Array.AtOffset(off) {
+			t.Errorf("New[%d] = %v, want array value %v", i, out.New[i], alloc2.Array.AtOffset(off))
+		}
+		if !math.IsNaN(out.Old[i]) {
+			t.Errorf("Old[%d] = %v, want the corrupted NaN", i, out.Old[i])
+		}
 	}
 }
 

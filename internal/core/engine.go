@@ -83,6 +83,15 @@ type Options struct {
 	// TuneCacheBlock^d region of the same array. Zero disables caching
 	// (every corruption re-tunes, as in the paper).
 	TuneCacheBlock int
+	// FrontierBatch orders the members of each batch-recovery stripe
+	// cluster frontier-inward: at every step the pending member with the
+	// most healthy (unquarantined) face neighbors recovers next, so cells
+	// on the edge of a structured wipe repair first and re-enter the
+	// stencils of the interior cells that follow. Off by default because it
+	// deliberately trades away the batch/sequential bit-identity contract
+	// (members no longer run in submission order) for survival of row- and
+	// column-shaped faults.
+	FrontierBatch bool
 	// Seed makes the Random method and tuning deterministic.
 	Seed int64
 }
@@ -314,7 +323,10 @@ func (e *Engine) RecoverAddressCtx(ctx context.Context, addr uint64) (Outcome, e
 		e.stats.Fallbacks++
 		e.mu.Unlock()
 		e.audit.record(AuditEntry{Alloc: fmt.Sprintf("addr %#x", addr), Offset: -1, Err: err.Error()})
-		return Outcome{}, fmt.Errorf("%w: %v", ErrCheckpointRestartRequired, err)
+		// Double-wrap so callers can match both the escalation sentinel and
+		// the cause — a registry.ErrMetadataCorrupt must stay distinguishable
+		// (the HTTP layer maps it to 422, not 404).
+		return Outcome{}, fmt.Errorf("%w: %w", ErrCheckpointRestartRequired, err)
 	}
 	return e.RecoverElementCtx(ctx, alloc, off)
 }

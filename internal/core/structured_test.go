@@ -1,0 +1,138 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/predict"
+	"spatialdue/internal/registry"
+)
+
+// Structured-fault survival at the engine level: frontier-inward batch
+// ordering over block wipes, and the interaction between mass quarantine
+// (a whole stripe dead) and the shared-statistics rebuild of FieldUpdated.
+
+func TestRecoverBatchFrontierOrdersWipeInward(t *testing.T) {
+	// A 3x3 block wipe. The center cell has zero healthy face neighbors at
+	// submission time; under FrontierBatch the corners (2 healthy
+	// neighbors) and edges recover first, releasing quarantine, so by the
+	// time the center runs its whole neighborhood is trustworthy again.
+	eng := NewEngine(Options{Seed: 11, FrontierBatch: true})
+	a := smoothArray(32, 32)
+	alloc := eng.Protect("g", a, bitflip.Float32, registry.RecoverWith(predict.MethodLorenzo1))
+
+	var offsets []int
+	orig := map[int]float64{}
+	for di := -1; di <= 1; di++ {
+		for dj := -1; dj <= 1; dj++ {
+			off := a.Offset(15+di, 15+dj)
+			orig[off] = a.AtOffset(off)
+			a.SetOffset(off, 1e30)
+			eng.MarkCorrupt(alloc, off)
+		}
+	}
+	// Submit center first — the worst possible order — so the test fails
+	// if the frontier reordering ever regresses to submission order while
+	// the option is set.
+	center := a.Offset(15, 15)
+	offsets = append(offsets, center)
+	for off := range orig {
+		if off != center {
+			offsets = append(offsets, off)
+		}
+	}
+
+	results := eng.RecoverBatch(context.Background(), alloc, offsets)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("offset %d: %v", r.Offset, r.Err)
+		}
+	}
+	for off, want := range orig {
+		if re := bitflip.RelErr(want, a.AtOffset(off)); re > 0.05 {
+			t.Errorf("offset %d: rel err %v after frontier batch", off, re)
+		}
+	}
+	if n := len(eng.Quarantined(alloc)); n != 0 {
+		t.Errorf("%d cells still quarantined", n)
+	}
+}
+
+func TestFieldUpdatedReadmitsMassQuarantinedStripe(t *testing.T) {
+	// A row failure takes out an entire stripe (with default options a
+	// stripe is Tune.K + MaxStencilReach = 11 rows tall). Every cell is
+	// quarantined and excluded from the shared statistics. A field upload
+	// plus FieldUpdated must keep the still-quarantined cells excluded from
+	// the rebuilt snapshot; only once they leave quarantine (the service's
+	// rejection/readmission path) may their values re-enter the statistics.
+	eng := NewEngine(Options{Seed: 12})
+	a := smoothArray(33, 16)
+	alloc := eng.Protect("g", a, bitflip.Float32, registry.RecoverWith(predict.MethodAverage))
+	shared := eng.sharedFor(a)
+
+	ss := eng.stripesFor(a)
+	if ss.rows != 11 {
+		t.Fatalf("stripe height = %d rows, test assumes 11", ss.rows)
+	}
+	var wiped []int
+	for r := 11; r < 22; r++ { // exactly stripe 1
+		for c := 0; c < 16; c++ {
+			wiped = append(wiped, a.Offset(r, c))
+		}
+	}
+	for _, off := range wiped {
+		eng.MarkCorrupt(alloc, off)
+	}
+	for _, off := range wiped {
+		if !shared.Excluded(off) {
+			t.Fatalf("offset %d quarantined but not excluded", off)
+		}
+	}
+
+	// Field upload: fresh contents everywhere, with a sentinel maximum
+	// inside the wiped stripe that must stay invisible to the statistics
+	// while the stripe is quarantined.
+	const sentinel = 1e6
+	eng.WithArrayLock(a, func() {
+		for off := 0; off < a.Len(); off++ {
+			a.SetOffset(off, float64(off%7))
+		}
+		a.Set(sentinel, 15, 5)
+	})
+	eng.FieldUpdated(a)
+
+	for _, off := range wiped {
+		if !shared.Excluded(off) {
+			t.Fatalf("offset %d readmitted by FieldUpdated while still quarantined", off)
+		}
+	}
+	if _, max := shared.Range(); max >= sentinel {
+		t.Fatalf("range max %v includes a quarantined cell's value", max)
+	}
+
+	// The upload repaired the data, so the service clears the quarantine;
+	// deferred readmission must restore every cell's (post-upload) snapshot
+	// contribution, sentinel included.
+	for _, off := range wiped {
+		eng.ClearCorrupt(alloc, off)
+	}
+	if n := shared.ExcludedCount(); n != 0 {
+		t.Fatalf("%d cells still excluded after readmission", n)
+	}
+	if _, max := shared.Range(); max != sentinel {
+		t.Errorf("range max = %v after readmission, want %v", max, sentinel)
+	}
+
+	// And the stripe is fully usable again: a recovery inside it succeeds.
+	target := a.Offset(16, 8)
+	orig := a.AtOffset(target)
+	a.SetOffset(target, 1e30)
+	out, err := eng.RecoverElement(alloc, target)
+	if err != nil {
+		t.Fatalf("recovery inside readmitted stripe: %v", err)
+	}
+	if re := bitflip.RelErr(orig, out.New); re > 0.5 {
+		t.Errorf("rel err %v recovering inside readmitted stripe", re)
+	}
+}

@@ -20,8 +20,13 @@ import (
 type Trial struct {
 	// Offset is the linear element offset of the corrupted datum.
 	Offset int
-	// Bit is the flipped bit within the element's DType representation.
+	// Bit is the flipped bit within the element's DType representation (the
+	// lowest bit of the span for multi-bit bursts).
 	Bit int
+	// Width is the number of adjacent bits flipped starting at Bit. Zero or
+	// one both mean the paper's single-bit model; ClassBurst trials set it
+	// larger (see structured.go).
+	Width int
 	// Orig is the element's value before corruption.
 	Orig float64
 	// Corrupted is the value after the bit flip (in the DType's

@@ -22,6 +22,7 @@ const (
 	CodeBadDims           = "bad_dims"
 	CodeOverloaded        = "overloaded"
 	CodeVerifyFailed      = "verify_failed"
+	CodeMetadataCorrupt   = "metadata_corrupt"
 	CodeAbandoned         = "recovery_abandoned"
 	CodeCircuitOpen       = "circuit_open"
 	CodeCheckpointRestart = "checkpoint_restart_required"
@@ -67,6 +68,11 @@ var mappings = []mapping{
 	{CodeNameTaken, http.StatusConflict, false, []error{registry.ErrNameTaken}},
 	{CodeRecoveriesBusy, http.StatusConflict, true, []error{core.ErrRecoveriesInFlight}},
 	{CodeBadDims, http.StatusBadRequest, false, []error{registry.ErrDims}},
+	// Before not_registered and checkpoint_restart: a corrupt-beyond-parity
+	// descriptor refusal wraps ErrCheckpointRestartRequired on the recovery
+	// path, but the caller must see that the metadata — not the data — is
+	// the problem (422, escalate to checkpoint-restore; retrying is useless).
+	{CodeMetadataCorrupt, http.StatusUnprocessableEntity, false, []error{registry.ErrMetadataCorrupt, core.ErrCheckpointRestartRequired}},
 	{CodeNotRegistered, http.StatusNotFound, false, []error{registry.ErrNotRegistered}},
 	{CodeAbandoned, http.StatusGatewayTimeout, false, []error{core.ErrRecoveryAbandoned}},
 	{CodeVerifyFailed, http.StatusUnprocessableEntity, false, []error{core.ErrVerifyFailed, core.ErrCheckpointRestartRequired}},

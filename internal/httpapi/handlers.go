@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"spatialdue/internal/bitflip"
+	"spatialdue/internal/faultinject"
 	"spatialdue/internal/ndarray"
 	"spatialdue/internal/predict"
 	"spatialdue/internal/registry"
@@ -363,7 +364,61 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	class := faultinject.ClassBit
+	if req.Class != "" {
+		c, err := faultinject.ParseFaultClass(req.Class)
+		if err != nil {
+			writeBadRequest(w, "%v", err)
+			return
+		}
+		class = c
+	}
 	rng := rand.New(rand.NewSource(req.Seed))
+	switch class {
+	case faultinject.ClassMetadata:
+		// Descriptor corruption touches no array cell and plants no MCE:
+		// the damage is silent until the next verified lookup detects it
+		// and reconstructs the descriptor from parity (or refuses).
+		bit := rng.Intn(registry.DescriptorBits)
+		if req.Bit != nil {
+			bit = *req.Bit
+		}
+		if err := s.eng.Table().CorruptDescriptor(a.ID, bit); err != nil {
+			writeBadRequest(w, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, InjectReport{
+			Offset: -1, Bit: bit, Class: class.String(),
+		})
+		return
+	case faultinject.ClassBurst, faultinject.ClassRow, faultinject.ClassColumn:
+		// Structured data faults draw their geometry from the seed; Offset
+		// and Bit are ignored (the planner owns cell placement).
+		inj := faultinject.New(req.Seed, a.DType)
+		var trial faultinject.StructuredTrial
+		s.eng.WithArrayLock(a.Array, func() {
+			trial = inj.PlanOneStructured(a.Array, class, req.Span)
+			faultinject.ApplyStructured(a.Array, trial)
+		})
+		cells := make([]InjectCell, len(trial.Cells))
+		for i, c := range trial.Cells {
+			addr := a.AddrOf(c.Offset)
+			// Each corrupted cell is latent until a demand access for its
+			// address discovers it and raises the MCE.
+			s.machine.Plant(addr, c.Bit)
+			cells[i] = InjectCell{
+				Offset: c.Offset, Bit: c.Bit, Addr: addr,
+				OrigBits: float64Bits(c.Orig), CorruptedBits: float64Bits(c.Corrupted),
+				Orig: c.Orig,
+			}
+		}
+		writeJSON(w, http.StatusOK, InjectReport{
+			Offset: cells[0].Offset, Bit: cells[0].Bit, Addr: cells[0].Addr,
+			OrigBits: cells[0].OrigBits, CorruptedBits: cells[0].CorruptedBits,
+			Orig: cells[0].Orig, Class: class.String(), Cells: cells,
+		})
+		return
+	}
 	off := rng.Intn(a.Array.Len())
 	if req.Offset != nil {
 		off = *req.Offset
@@ -393,7 +448,7 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, InjectReport{
 		Offset: off, Bit: bit, Addr: addr,
 		OrigBits: float64Bits(orig), CorruptedBits: float64Bits(corrupted),
-		Orig: orig,
+		Orig: orig, Class: class.String(),
 	})
 }
 
@@ -405,6 +460,14 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 	}
 	a, err := s.lookupTenantAlloc(r, tenant)
 	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Name-addressed recoveries repair through the descriptor's geometry, so
+	// parity-verify it first: a silently corrupted Base or DType would
+	// misdirect the repair to the wrong physical cell. Reconstructable damage
+	// is healed in place; anything worse is refused (422 metadata_corrupt).
+	if err := s.eng.Table().VerifyDescriptor(a); err != nil {
 		writeError(w, err)
 		return
 	}

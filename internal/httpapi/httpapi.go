@@ -134,15 +134,42 @@ type EventResult struct {
 // the fault in the simulated memory (POST /v1/allocations/{name}/inject) —
 // the load-generation and test harness path; a deployment would disable it.
 type InjectRequest struct {
-	// Offset picks the element (nil → random).
+	// Offset picks the element (nil → random). Only class "" / "bit" honors
+	// it; burst/row/column draw their geometry from Seed and metadata has no
+	// array cell.
 	Offset *int `json:"offset,omitempty"`
-	// Bit picks the flipped bit (nil → random over the dtype's width).
+	// Bit picks the flipped bit for class "bit" (nil → random over the
+	// dtype's width) or the descriptor bit for class "metadata"; ignored by
+	// the other classes.
 	Bit *int `json:"bit,omitempty"`
 	// Seed makes random choices deterministic.
 	Seed int64 `json:"seed,omitempty"`
+	// Class selects the fault shape: "" or "bit" (one flipped bit, the
+	// default), "burst" (adjacent bits within one word), "row" (a contiguous
+	// stride-aligned span of elements), "column" (one offset in every
+	// dim-0 row), or "metadata" (the allocation's descriptor, not its data).
+	Class string `json:"class,omitempty"`
+	// Span shapes structured classes: burst width in bits, or row span in
+	// elements (0 → the class default).
+	Span int `json:"span,omitempty"`
 }
 
-// InjectReport describes the planted fault.
+// InjectCell is one corrupted element of a structured fault.
+type InjectCell struct {
+	Offset int    `json:"offset"`
+	Bit    int    `json:"bit"`
+	Addr   uint64 `json:"addr"`
+	// OrigBits/CorruptedBits are IEEE-754 bit patterns (a corrupted value
+	// is frequently NaN/Inf, which JSON numbers cannot carry).
+	OrigBits      uint64  `json:"orig_valbits"`
+	CorruptedBits uint64  `json:"corrupted_valbits"`
+	Orig          float64 `json:"orig"`
+}
+
+// InjectReport describes the planted fault. The flat fields mirror the
+// first (or only) corrupted cell; Cells carries every cell of a structured
+// fault. Metadata faults corrupt the allocation descriptor instead of array
+// data: Cells is empty and Bit is the descriptor bit flipped.
 type InjectReport struct {
 	Offset int    `json:"offset"`
 	Bit    int    `json:"bit"`
@@ -152,6 +179,10 @@ type InjectReport struct {
 	OrigBits      uint64  `json:"orig_valbits"`
 	CorruptedBits uint64  `json:"corrupted_valbits"`
 	Orig          float64 `json:"orig"`
+	// Class echoes the fault shape ("bit" when the request left it empty).
+	Class string `json:"class,omitempty"`
+	// Cells lists every corrupted element (len > 1 for row/column faults).
+	Cells []InjectCell `json:"cells,omitempty"`
 }
 
 // RecoverRequest runs one synchronous recovery

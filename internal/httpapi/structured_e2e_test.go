@@ -1,0 +1,186 @@
+package httpapi_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"spatialdue/internal/core"
+	"spatialdue/internal/httpapi"
+	"spatialdue/internal/httpapi/client"
+	"spatialdue/internal/registry"
+	"spatialdue/internal/service"
+)
+
+// TestStructuredInjectOverHTTP drives a row-wipe fault through the inject
+// endpoint and recovers every cell: the structured classes must be reachable
+// over the wire, deterministic under a pinned seed, and fully repairable.
+func TestStructuredInjectOverHTTP(t *testing.T) {
+	const rows, cols = 32, 32
+	eng := core.NewEngine(core.Options{Seed: 7})
+	_, base, shutdown := startServer(t, eng, httpapi.ServerConfig{
+		EnableInject: true,
+		Service:      service.Config{Workers: 2, QueueDepth: 16},
+	})
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	ctx := context.Background()
+	c := client.New(client.Config{BaseURL: base, Tenant: "t1"})
+	if _, err := c.Register(ctx, httpapi.RegisterRequest{
+		Name: "field", Dims: []int{rows, cols}, DType: "float32",
+		Policy: httpapi.PolicyInfo{Any: true, Range: &httpapi.RangeInfo{Lo: 50, Hi: 150}},
+	}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	vals := smoothField(rows, cols)
+	if err := c.Upload(ctx, "field", vals); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+
+	inj, err := c.Inject(ctx, "field", httpapi.InjectRequest{Seed: 3, Class: "row", Span: 8})
+	if err != nil {
+		t.Fatalf("inject row: %v", err)
+	}
+	if inj.Class != "row" || len(inj.Cells) != 8 {
+		t.Fatalf("inject = class %q with %d cells, want row/8", inj.Class, len(inj.Cells))
+	}
+	if inj.Offset != inj.Cells[0].Offset {
+		t.Fatalf("flat offset %d does not mirror first cell %d", inj.Offset, inj.Cells[0].Offset)
+	}
+	for i := 1; i < len(inj.Cells); i++ {
+		if inj.Cells[i].Offset != inj.Cells[0].Offset+i {
+			t.Fatalf("row wipe not contiguous: cells %v", inj.Cells)
+		}
+	}
+	for _, cell := range inj.Cells {
+		rep, err := c.Recover(ctx, "field", cell.Offset)
+		if err != nil {
+			t.Fatalf("recover offset %d: %v", cell.Offset, err)
+		}
+		orig := math.Float64frombits(cell.OrigBits)
+		if rel := math.Abs(rep.New-orig) / math.Max(math.Abs(orig), 1); rel > 0.05 {
+			t.Errorf("offset %d: recovered %v, orig %v (rel err %v)", cell.Offset, rep.New, orig, rel)
+		}
+	}
+}
+
+// TestMetadataCorruptionOverHTTP exercises both arms of the descriptor
+// contract through the wire. A single flipped descriptor bit must be
+// detected and reconstructed from parity transparently (the recovery
+// succeeds and the repair counter ticks); damage beyond the parity's reach
+// must be refused with 422/metadata_corrupt — matching
+// registry.ErrMetadataCorrupt via errors.Is across the wire — never applied
+// as a misdirected repair.
+func TestMetadataCorruptionOverHTTP(t *testing.T) {
+	const rows, cols = 32, 32
+	eng := core.NewEngine(core.Options{Seed: 9})
+	_, base, shutdown := startServer(t, eng, httpapi.ServerConfig{
+		EnableInject: true,
+		Service:      service.Config{Workers: 2, QueueDepth: 16},
+	})
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	ctx := context.Background()
+	c := client.New(client.Config{BaseURL: base, Tenant: "t1"})
+	if _, err := c.Register(ctx, httpapi.RegisterRequest{
+		Name: "field", Dims: []int{rows, cols}, DType: "float32",
+		Policy: httpapi.PolicyInfo{Any: true, Range: &httpapi.RangeInfo{Lo: 50, Hi: 150}},
+	}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	vals := smoothField(rows, cols)
+	if err := c.Upload(ctx, "field", vals); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+
+	// Corrupt one data cell, then one descriptor bit. The recovery must
+	// first heal the descriptor from parity, then repair the data cell.
+	off, bit := 117, 30
+	if _, err := c.Inject(ctx, "field", httpapi.InjectRequest{Offset: &off, Bit: &bit}); err != nil {
+		t.Fatalf("inject data bit: %v", err)
+	}
+	descBit := 5
+	mrep, err := c.Inject(ctx, "field", httpapi.InjectRequest{Class: "metadata", Bit: &descBit})
+	if err != nil {
+		t.Fatalf("inject metadata: %v", err)
+	}
+	if mrep.Class != "metadata" || mrep.Bit != descBit || len(mrep.Cells) != 0 {
+		t.Fatalf("metadata inject report = %+v", mrep)
+	}
+	rep, err := c.Recover(ctx, "field", off)
+	if err != nil {
+		t.Fatalf("recover with repairable descriptor corruption: %v", err)
+	}
+	if rel := math.Abs(rep.New-vals[off]) / math.Abs(vals[off]); rel > 0.05 {
+		t.Errorf("recovered %v, want ~%v", rep.New, vals[off])
+	}
+	metrics := fetchMetrics(t, base)
+	if !strings.Contains(metrics, "spatialdue_descriptor_repairs_total 1") {
+		t.Errorf("metrics do not record the descriptor repair:\n%s", grepMetrics(metrics, "descriptor"))
+	}
+
+	// Three flipped bits in three distinct parity shards (descriptor bytes
+	// 0, 1, 2) exceed what the two parity shards can reconstruct.
+	for _, b := range []int{0, 8, 16} {
+		db := b
+		if _, err := c.Inject(ctx, "field", httpapi.InjectRequest{Class: "metadata", Bit: &db}); err != nil {
+			t.Fatalf("inject metadata bit %d: %v", b, err)
+		}
+	}
+	_, err = c.Recover(ctx, "field", off)
+	if err == nil {
+		t.Fatal("recovery through an unreconstructable descriptor succeeded")
+	}
+	if !errors.Is(err, registry.ErrMetadataCorrupt) {
+		t.Fatalf("error %v does not match registry.ErrMetadataCorrupt across the wire", err)
+	}
+	var apiErr *httpapi.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %T is not an *httpapi.Error", err)
+	}
+	if apiErr.Status != http.StatusUnprocessableEntity || apiErr.Code != httpapi.CodeMetadataCorrupt {
+		t.Fatalf("refusal mapped to %d/%s, want 422/%s", apiErr.Status, apiErr.Code, httpapi.CodeMetadataCorrupt)
+	}
+	metrics = fetchMetrics(t, base)
+	if !strings.Contains(metrics, "spatialdue_descriptor_refusals_total 1") {
+		t.Errorf("metrics do not record the descriptor refusal:\n%s", grepMetrics(metrics, "descriptor"))
+	}
+}
+
+// fetchMetrics GETs /metrics and returns the exposition text.
+func fetchMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	return string(body)
+}
+
+// grepMetrics filters exposition lines containing substr, for error output.
+func grepMetrics(metrics, substr string) string {
+	var out []string
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -93,19 +93,21 @@ func computeLagrangeWeights(nodes []int) []float64 {
 	return w
 }
 
-// lagUsable reports whether node offset o (along dimension 0, relative to
-// the element at nb with nb[0]=x) is in bounds and not quarantined. nb is
-// scratch: nb[0] is clobbered.
-func lagUsable(env *Env, a *ndarray.Array, nb []int, x, o, dim0 int) bool {
-	p := x + o
-	if p < 0 || p >= dim0 {
+// lagUsable reports whether node offset o along the given axis (relative to
+// coordinate base = idx[axis]) is in bounds and not quarantined. nb is
+// coordinate scratch equal to idx; nb[axis] is restored before returning.
+func lagUsable(env *Env, a *ndarray.Array, nb []int, base, o, dimSz, axis int) bool {
+	p := base + o
+	if p < 0 || p >= dimSz {
 		return false
 	}
 	if !env.HasMask() {
 		return true
 	}
-	nb[0] = p
-	return !env.Masked(a.Offset(nb...))
+	nb[axis] = p
+	masked := env.Masked(a.Offset(nb...))
+	nb[axis] = base
+	return !masked
 }
 
 // Predict implements Predictor.
@@ -114,68 +116,79 @@ func (l Lagrange) Predict(env *Env, idx []int) (float64, error) {
 	if len(l.Offsets) == 0 {
 		return 0, ErrUnsupported
 	}
-	dim0 := a.Dim(0)
-	x := idx[0]
-
 	nb := intBuf(&env.sc.lagNb, len(idx))
 	copy(nb, idx)
 
-	nodes := l.fitNodes(env, a, nb, x, dim0)
-	if nodes == nil {
-		return 0, ErrUnsupported
+	// Structured-fault degradation ladder: the paper's interpolation along
+	// dimension 0 first (the primary path, bit-identical to the original
+	// behavior whenever it fits), then the same k-point fit rotated onto
+	// each other dimension — a wiped row leaves the column through the
+	// corruption fully healthy — and only then progressively fewer nodes
+	// (k-1 down to 1, a nearest-neighbor copy) across all dimensions.
+	for k := len(l.Offsets); k >= 1; k-- {
+		for axis := 0; axis < a.NumDims(); axis++ {
+			nodes := l.fitNodes(env, a, nb, idx[axis], a.Dim(axis), axis, k)
+			if nodes == nil {
+				continue
+			}
+			w := lagrangeWeights(nodes)
+			sum := 0.0
+			for r, off := range nodes {
+				nb[axis] = idx[axis] + off
+				sum += w[r] * a.At(nb...)
+			}
+			nb[axis] = idx[axis]
+			return sum, nil
+		}
 	}
-	w := lagrangeWeights(nodes)
-	sum := 0.0
-	for r, off := range nodes {
-		nb[0] = x + off
-		sum += w[r] * a.At(nb...)
-	}
-	return sum, nil
+	return 0, ErrUnsupported
 }
 
-// fitNodes returns a node-offset set that is fully usable (in bounds and
-// unmasked) when shifted by x: the configured offsets, their mirror image,
-// or the nearest k usable non-zero offsets within MaxStencilReach. Returns
-// nil if fewer than len(Offsets) candidates exist (dimension too small or
-// too quarantined). nb is coordinate scratch (nb[0] is clobbered).
-func (l Lagrange) fitNodes(env *Env, a *ndarray.Array, nb []int, x, dim0 int) []int {
-	ok := true
-	for _, o := range l.Offsets {
-		if !lagUsable(env, a, nb, x, o, dim0) {
-			ok = false
-			break
+// fitNodes returns a k-node offset set along axis that is fully usable (in
+// bounds and unmasked) when shifted by base = idx[axis]: the configured
+// offsets, their mirror image (both only at full k), or the nearest k usable
+// non-zero offsets within MaxStencilReach. Returns nil if fewer than k
+// candidates exist (dimension too small or too quarantined). nb is
+// coordinate scratch (nb[axis] is used and restored).
+func (l Lagrange) fitNodes(env *Env, a *ndarray.Array, nb []int, base, dimSz, axis, k int) []int {
+	if k == len(l.Offsets) {
+		ok := true
+		for _, o := range l.Offsets {
+			if !lagUsable(env, a, nb, base, o, dimSz, axis) {
+				ok = false
+				break
+			}
 		}
-	}
-	if ok {
-		return l.Offsets
-	}
-	k := len(l.Offsets)
-	mir := intBuf(&env.sc.lagNodes, k)
-	for i, o := range l.Offsets {
-		mir[i] = -o
-	}
-	ok = true
-	for _, o := range mir {
-		if !lagUsable(env, a, nb, x, o, dim0) {
-			ok = false
-			break
+		if ok {
+			return l.Offsets
 		}
-	}
-	if ok {
-		return mir
+		mir := intBuf(&env.sc.lagNodes, k)
+		for i, o := range l.Offsets {
+			mir[i] = -o
+		}
+		ok = true
+		for _, o := range mir {
+			if !lagUsable(env, a, nb, base, o, dimSz, axis) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return mir
+		}
 	}
 	// Nearest usable non-zero offsets, alternating outward. The search is
 	// capped at MaxStencilReach: reaching further would break the stripe
 	// independence invariant, and that far from the corruption the data has
 	// little predictive value anyway.
-	limit := dim0
+	limit := dimSz
 	if limit > MaxStencilReach+1 {
 		limit = MaxStencilReach + 1
 	}
-	nodes := mir[:0]
+	nodes := intBuf(&env.sc.lagNodes, k)[:0]
 	for dist := 1; len(nodes) < k && dist < limit; dist++ {
 		for _, o := range [2]int{-dist, +dist} {
-			if lagUsable(env, a, nb, x, o, dim0) {
+			if lagUsable(env, a, nb, base, o, dimSz, axis) {
 				nodes = append(nodes, o)
 				if len(nodes) == k {
 					break

@@ -79,21 +79,25 @@ func binom(n int) []int {
 	return row
 }
 
-// lorenzoSweep evaluates the L-layer stencil at idx under orientation dir.
-// With check set it only tests whether every cell read is unmasked,
-// returning (0, ok). s and nb are caller scratch of length d.
-func lorenzoSweep(env *Env, a *ndarray.Array, idx, dir, s, nb, coef []int, L, d int, check bool) (float64, bool) {
+// lorenzoSweep evaluates the stencil at idx under orientation dir, with a
+// per-dimension layer count maxs (maxs[t] = 0 drops dimension t from the
+// stencil entirely — the degraded cross-dimension fallback; the uniform
+// case maxs[t] = L for all t is the classic L-layer predictor, because
+// C(L, 0) = 1 makes dropped dimensions contribute a neutral factor). With
+// check set it only tests whether every cell read is unmasked, returning
+// (0, ok). s and nb are caller scratch of length d.
+func lorenzoSweep(env *Env, a *ndarray.Array, idx, dir, s, nb, coef, maxs []int, d int, check bool) (float64, bool) {
 	for t := range s {
 		s[t] = 0
 	}
 	sum := 0.0
 	for {
-		// Enumerate s in {0..L}^d \ {0} with an odometer; the all-zero
-		// vector is skipped by incrementing before the first use.
+		// Enumerate s in prod_t {0..maxs[t]} \ {0} with an odometer; the
+		// all-zero vector is skipped by incrementing before the first use.
 		t := d - 1
 		for t >= 0 {
 			s[t]++
-			if s[t] <= L {
+			if s[t] <= maxs[t] {
 				break
 			}
 			s[t] = 0
@@ -134,61 +138,150 @@ func (l Lorenzo) Predict(env *Env, idx []int) (float64, error) {
 	// keeps L layers in bounds. Preceding is preferred.
 	canNeg := boolBuf(&env.sc.lorNeg, d)
 	canPos := boolBuf(&env.sc.lorPos, d)
+	boundsOK := true
 	for t := 0; t < d; t++ {
 		canNeg[t] = idx[t]-L >= 0
 		canPos[t] = idx[t]+L < a.Dim(t)
 		if !canNeg[t] && !canPos[t] {
-			// Neither side has L in-bounds layers in this dimension; the
-			// stencil cannot be applied (possible only when dim size <= L).
-			return 0, ErrUnsupported
+			// Neither side has L in-bounds layers in this dimension
+			// (possible only when dim size <= L); the full stencil cannot
+			// be applied, but a degraded one may still fit.
+			boundsOK = false
 		}
 	}
 
 	coef := binom(L)
 	s := intBuf(&env.sc.lorS, d)
 	nb := intBuf(&env.sc.lorNb, d)
-
-	// Default orientation: preceding wherever it fits.
 	dir := intBuf(&env.sc.lorDir, d)
-	for t := 0; t < d; t++ {
-		if canNeg[t] {
-			dir[t] = -1
-		} else {
-			dir[t] = +1
-		}
-	}
-	if !env.HasMask() {
-		v, _ := lorenzoSweep(env, a, idx, dir, s, nb, coef, L, d, false)
-		return v, nil
-	}
-	// With quarantined cells in play, search the 2^d orientations (the
-	// preferred all-upwind stencil first) for one whose cells are all
-	// usable.
-	for flips := 0; flips < 1<<d; flips++ {
-		ok := true
+	maxs := intBuf(&env.sc.lorMaxs, d)
+
+	if boundsOK {
 		for t := 0; t < d; t++ {
-			mirrored := flips>>t&1 == 1
-			switch {
-			case !mirrored && canNeg[t]:
+			maxs[t] = L
+			// Default orientation: preceding wherever it fits.
+			if canNeg[t] {
 				dir[t] = -1
-			case mirrored && canPos[t]:
+			} else {
 				dir[t] = +1
-			default:
-				ok = false
+			}
+		}
+		if !env.HasMask() {
+			v, _ := lorenzoSweep(env, a, idx, dir, s, nb, coef, maxs, d, false)
+			return v, nil
+		}
+		// With quarantined cells in play, search the 2^d orientations (the
+		// preferred all-upwind stencil first) for one whose cells are all
+		// usable.
+		for flips := 0; flips < 1<<d; flips++ {
+			ok := true
+			for t := 0; t < d; t++ {
+				mirrored := flips>>t&1 == 1
+				switch {
+				case !mirrored && canNeg[t]:
+					dir[t] = -1
+				case mirrored && canPos[t]:
+					dir[t] = +1
+				default:
+					ok = false
+				}
+				if !ok {
+					break
+				}
 			}
 			if !ok {
-				break
+				continue
+			}
+			if _, clean := lorenzoSweep(env, a, idx, dir, s, nb, coef, maxs, d, true); clean {
+				v, _ := lorenzoSweep(env, a, idx, dir, s, nb, coef, maxs, d, false)
+				return v, nil
 			}
 		}
-		if !ok {
-			continue
-		}
-		if _, clean := lorenzoSweep(env, a, idx, dir, s, nb, coef, L, d, true); clean {
-			v, _ := lorenzoSweep(env, a, idx, dir, s, nb, coef, L, d, false)
-			return v, nil
+	}
+	return l.predictDegraded(env, a, idx, s, nb, dir, maxs, L, d, boundsOK)
+}
+
+// predictDegraded is the structured-fault fallback: when the full L-layer
+// stencil is exhausted in every orientation (an entire dead neighborhood —
+// a wiped row, a dead column — or an array too small for L layers), the
+// predictor degrades instead of erroring. It searches, in preference order,
+// shallower stencils (L-1 down to 1) over dimension subsets of decreasing
+// size: dropping a dimension from the stencil (maxs[t] = 0) lets a cell
+// inside a wiped row be predicted purely from the neighboring rows, which
+// the full inclusion-exclusion stencil can never do because it always reads
+// in-row neighbors. Every candidate stays within MaxStencilReach (layer
+// counts only shrink), so the stripe-independence invariant holds.
+func (l Lorenzo) predictDegraded(env *Env, a *ndarray.Array, idx []int, s, nb, dir, maxs []int, L, d int, triedFull bool) (float64, error) {
+	for dl := L; dl >= 1; dl-- {
+		coef := binom(dl)
+		for size := d; size >= 1; size-- {
+			for subset := 1; subset < 1<<d; subset++ {
+				if popcount(subset) != size {
+					continue
+				}
+				if dl == L && size == d && triedFull {
+					continue // the primary path already searched this
+				}
+				// Feasibility of dl layers in each subset dimension.
+				ok := true
+				for t := 0; t < d; t++ {
+					if subset>>t&1 == 0 {
+						maxs[t] = 0
+						dir[t] = 0
+						continue
+					}
+					maxs[t] = dl
+					if idx[t]-dl < 0 && idx[t]+dl >= a.Dim(t) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				// All orientations of the subset dimensions, upwind first.
+				for flips := 0; flips < 1<<size; flips++ {
+					ok := true
+					fi := 0
+					for t := 0; t < d; t++ {
+						if subset>>t&1 == 0 {
+							continue
+						}
+						mirrored := flips>>fi&1 == 1
+						fi++
+						switch {
+						case !mirrored && idx[t]-dl >= 0:
+							dir[t] = -1
+						case mirrored && idx[t]+dl < a.Dim(t):
+							dir[t] = +1
+						default:
+							ok = false
+						}
+						if !ok {
+							break
+						}
+					}
+					if !ok {
+						continue
+					}
+					if _, clean := lorenzoSweep(env, a, idx, dir, s, nb, coef, maxs, d, true); clean {
+						v, _ := lorenzoSweep(env, a, idx, dir, s, nb, coef, maxs, d, false)
+						return v, nil
+					}
+				}
+			}
 		}
 	}
 	return 0, ErrUnsupported
+}
+
+// popcount returns the number of set bits (subsets here are at most 2^4).
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
 }
 
 var _ Predictor = Lorenzo{}

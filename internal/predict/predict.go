@@ -82,6 +82,7 @@ type Env struct {
 // use disjoint fields so reuse is safe.
 type scratch struct {
 	lorS, lorNb, lorDir []int  // Lorenzo odometer / neighbor / orientation
+	lorMaxs             []int  // Lorenzo per-dimension layer counts
 	lorNeg, lorPos      []bool // Lorenzo per-dimension feasibility
 	probeIdx            []int  // LorenzoAuto probe coordinates
 	lagNb, lagNodes     []int  // Lagrange neighbor index / fallback nodes

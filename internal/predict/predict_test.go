@@ -257,13 +257,25 @@ func TestLorenzoOrientationFallback(t *testing.T) {
 	}
 }
 
-func TestLorenzoUnsupportedWhenDimTooSmall(t *testing.T) {
-	a := ndarray.New(2, 8) // dim 0 has size 2: no room for a 2-layer stencil
-	if _, err := (Lorenzo{Layers: 2}).Predict(envFor(a), []int{1, 4}); !errors.Is(err, ErrUnsupported) {
-		t.Errorf("error = %v, want ErrUnsupported", err)
+func TestLorenzoDegradesWhenDimTooSmall(t *testing.T) {
+	// Dim 0 has size 2: no room for the full 2-layer stencil. The predictor
+	// must degrade (here to a 2-layer stencil along dim 1 alone) rather than
+	// error; on data linear in dim 1 that fallback is exact.
+	a := fill([]int{2, 8}, func(idx []int) float64 { return 3*float64(idx[1]) + 1 })
+	got, err := (Lorenzo{Layers: 2}).Predict(envFor(a), []int{1, 4})
+	if err != nil {
+		t.Fatalf("degraded predict: %v", err)
+	}
+	if want := 3*4.0 + 1; got != want {
+		t.Errorf("degraded predict = %v, want %v", got, want)
 	}
 	if _, err := (Lorenzo{Layers: 0}).Predict(envFor(a), []int{1, 4}); !errors.Is(err, ErrUnsupported) {
 		t.Errorf("Layers=0 error = %v, want ErrUnsupported", err)
+	}
+	// A 1x1 array has no neighbors in any dimension: even the degraded
+	// search must refuse.
+	if _, err := (Lorenzo{Layers: 1}).Predict(envFor(ndarray.New(1, 1)), []int{0, 0}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("1x1 error = %v, want ErrUnsupported", err)
 	}
 }
 
@@ -420,12 +432,23 @@ func TestLagrangeBoundaryFallback(t *testing.T) {
 }
 
 func TestLagrangeUnsupported(t *testing.T) {
+	// A 2-element 1-D array cannot host the 3-node fit, but the shrink
+	// ladder finds the single in-bounds neighbor and copies it rather than
+	// refusing.
 	a := ndarray.New(2)
-	if _, err := (Lagrange{Offsets: []int{-2, -1, 1}}).Predict(envFor(a), []int{0}); !errors.Is(err, ErrUnsupported) {
-		t.Errorf("tiny Lagrange error = %v, want ErrUnsupported", err)
+	a.SetOffset(1, 42)
+	got, err := (Lagrange{Offsets: []int{-2, -1, 1}}).Predict(envFor(a), []int{0})
+	if err != nil {
+		t.Errorf("tiny Lagrange error = %v, want degraded copy", err)
+	} else if got != 42 {
+		t.Errorf("tiny Lagrange = %v, want 42 (nearest-neighbor copy)", got)
 	}
 	if _, err := (Lagrange{}).Predict(envFor(ndarray.New(10)), []int{5}); !errors.Is(err, ErrUnsupported) {
 		t.Errorf("empty-offsets Lagrange error = %v, want ErrUnsupported", err)
+	}
+	// A single-element array has no neighbors at all: still refused.
+	if _, err := (Lagrange{Offsets: []int{-2, -1, 1}}).Predict(envFor(ndarray.New(1)), []int{0}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("1-element Lagrange error = %v, want ErrUnsupported", err)
 	}
 }
 

@@ -17,8 +17,10 @@ package registry
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"spatialdue/internal/bitflip"
 	"spatialdue/internal/ndarray"
@@ -122,6 +124,11 @@ type Allocation struct {
 	Array *ndarray.Array
 	// Policy is the recovery policy recorded at registration.
 	Policy Policy
+
+	// seal is the Reed-Solomon parity block protecting the descriptor
+	// fields above (see seal.go). Written at registration and migration,
+	// consulted by every verified lookup.
+	seal *descriptorSeal
 }
 
 // QualifiedName returns the tenant-qualified identity of the allocation:
@@ -177,6 +184,11 @@ type Table struct {
 	allocs  []*Allocation // sorted by Base
 	nextID  int
 	nextTop uint64
+
+	// Descriptor-parity accounting (spatialdue_registry_descriptor_*).
+	descVerifies atomic.Int64
+	descRepairs  atomic.Int64
+	descRefusals atomic.Int64
 }
 
 // NewTable creates an empty registry.
@@ -228,6 +240,7 @@ func (t *Table) registerLocked(tenant, name string, arr *ndarray.Array, dtype bi
 	}
 	t.nextID++
 	t.nextTop = a.End() + guardGap
+	a.seal = sealDescriptor(encodeDescriptor(fieldsOf(a)))
 	t.allocs = append(t.allocs, a)
 	return a
 }
@@ -356,6 +369,9 @@ func (t *Table) Migrate(id int) (*Allocation, error) {
 		base := (t.nextTop + pageSize - 1) / pageSize * pageSize
 		a.Base = base
 		t.nextTop = a.End() + guardGap
+		// The base legitimately changed: re-seal so parity covers the new
+		// descriptor instead of flagging the migration as corruption.
+		a.seal = sealDescriptor(encodeDescriptor(fieldsOf(a)))
 		// Keep the slice sorted by base: the migrated allocation now has
 		// the highest base, so move it to the end.
 		t.allocs = append(append(t.allocs[:i], t.allocs[i+1:]...), a)
@@ -365,20 +381,193 @@ func (t *Table) Migrate(id int) (*Allocation, error) {
 }
 
 // Lookup relates a simulated physical address to the allocation covering it
-// and the linear element offset of the affected element (Section 3.3). It
-// returns ErrNotRegistered when no registered region contains the address,
-// which the recovery engine treats as "fall back to checkpoint-restart".
+// and the linear element offset of the affected element (Section 3.3). The
+// covering allocation's descriptor is parity-verified before the translation
+// is trusted: a corrupted base or dtype would otherwise misdirect the repair
+// to the wrong element. A repairable descriptor is reconstructed in place
+// and the lookup proceeds; unrepairable corruption yields ErrMetadataCorrupt
+// (escalate to checkpoint-restore), and an address no verified-clean region
+// contains yields ErrNotRegistered.
 func (t *Table) Lookup(addr uint64) (*Allocation, int, error) {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	// Binary search over regions sorted by base.
+	// Fast path: binary search over regions sorted by base, then a pure
+	// parity check of the candidate. Any anomaly — no hit, or a dirty
+	// descriptor — falls through to the repairing slow path, because a
+	// corrupted base may have broken the sort invariant the search needs.
 	i := sort.Search(len(t.allocs), func(i int) bool { return t.allocs[i].End() > addr })
-	if i == len(t.allocs) || !t.allocs[i].Contains(addr) {
-		return nil, 0, fmt.Errorf("%w: %#x", ErrNotRegistered, addr)
+	if i < len(t.allocs) && t.allocs[i].Contains(addr) {
+		a := t.allocs[i]
+		if t.descriptorCleanLocked(a) {
+			off, err := a.ElementAt(addr)
+			t.mu.RUnlock()
+			if err != nil {
+				return nil, 0, err
+			}
+			return a, off, nil
+		}
 	}
-	off, err := t.allocs[i].ElementAt(addr)
+	t.mu.RUnlock()
+	return t.lookupRepairing(addr)
+}
+
+// lookupRepairing is the slow path: verify (and repair where the parity
+// allows) every descriptor, restore the base-sorted invariant, and resolve
+// the address among the provably clean allocations only.
+func (t *Table) lookupRepairing(addr uint64) (*Allocation, int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	refused := false
+	bad := map[*Allocation]bool{}
+	for _, a := range t.allocs {
+		if _, err := t.verifyLocked(a); err != nil {
+			refused = true
+			bad[a] = true
+		}
+	}
+	sort.Slice(t.allocs, func(i, j int) bool { return t.allocs[i].Base < t.allocs[j].Base })
+	for _, a := range t.allocs {
+		if bad[a] || !a.Contains(addr) {
+			continue
+		}
+		off, err := a.ElementAt(addr)
+		if err != nil {
+			return nil, 0, err
+		}
+		return a, off, nil
+	}
+	if refused {
+		// Some descriptor is untrustworthy beyond reconstruction; the
+		// address may belong to it, so "not registered" cannot be proven.
+		return nil, 0, fmt.Errorf("%w: lookup of %#x refused", ErrMetadataCorrupt, addr)
+	}
+	return nil, 0, fmt.Errorf("%w: %#x", ErrNotRegistered, addr)
+}
+
+// descriptorCleanLocked is the pure (non-repairing) parity check: it
+// re-encodes the live descriptor and compares per-shard CRCs against the
+// seal. Caller holds t.mu (read or write).
+func (t *Table) descriptorCleanLocked(a *Allocation) bool {
+	t.descVerifies.Add(1)
+	if a.seal == nil {
+		return false
+	}
+	enc := encodeDescriptor(fieldsOf(a))
+	if len(enc) != a.seal.encLen {
+		return false
+	}
+	sz := shardSize(len(enc))
+	for i, sh := range splitShards(enc, sz) {
+		if crc32.ChecksumIEEE(sh) != a.seal.crcs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyLocked verifies one descriptor against its seal, repairing the live
+// fields in place when the parity can reconstruct them. Returns whether a
+// repair happened. Caller holds t.mu for writing.
+func (t *Table) verifyLocked(a *Allocation) (bool, error) {
+	t.descVerifies.Add(1)
+	if a.seal == nil {
+		t.descRefusals.Add(1)
+		return false, fmt.Errorf("%w: allocation %d has no seal", ErrMetadataCorrupt, a.ID)
+	}
+	enc := encodeDescriptor(fieldsOf(a))
+	orig, repaired, err := verifySealed(enc, a.seal)
 	if err != nil {
-		return nil, 0, err
+		t.descRefusals.Add(1)
+		return false, fmt.Errorf("%w: allocation %d (%s)", ErrMetadataCorrupt, a.ID, a.QualifiedName())
 	}
-	return t.allocs[i], off, nil
+	if !repaired {
+		return false, nil
+	}
+	f, derr := decodeDescriptor(orig)
+	if derr != nil {
+		t.descRefusals.Add(1)
+		return false, fmt.Errorf("%w: allocation %d: %v", ErrMetadataCorrupt, a.ID, derr)
+	}
+	a.ID = f.ID
+	a.Base = f.Base
+	a.DType = f.DType
+	a.Policy = f.Policy
+	a.Name = f.Name
+	a.Tenant = f.Tenant
+	t.descRepairs.Add(1)
+	return true, nil
+}
+
+// VerifyDescriptor parity-verifies one allocation's descriptor, repairing
+// it in place when possible. It returns nil when the descriptor is clean or
+// was reconstructed, and ErrMetadataCorrupt when it cannot be trusted — the
+// caller must refuse to repair through it. The recovery service calls this
+// before replaying journaled intents and the HTTP API before name-addressed
+// recoveries.
+func (t *Table) VerifyDescriptor(a *Allocation) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	repaired, err := t.verifyLocked(a)
+	if repaired {
+		sort.Slice(t.allocs, func(i, j int) bool { return t.allocs[i].Base < t.allocs[j].Base })
+	}
+	return err
+}
+
+// VerifyAll sweeps every descriptor (the operator "scrub" path), repairing
+// what the parity allows. It returns the number repaired and the first
+// refusal, if any.
+func (t *Table) VerifyAll() (repaired int, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, a := range t.allocs {
+		rep, verr := t.verifyLocked(a)
+		if rep {
+			repaired++
+		}
+		if verr != nil && err == nil {
+			err = verr
+		}
+	}
+	if repaired > 0 {
+		sort.Slice(t.allocs, func(i, j int) bool { return t.allocs[i].Base < t.allocs[j].Base })
+	}
+	return repaired, err
+}
+
+// DescriptorStats reports lifetime descriptor-parity accounting:
+// verifications performed, descriptors repaired from parity, and lookups
+// refused as unrecoverably corrupt.
+func (t *Table) DescriptorStats() (verifies, repairs, refusals int64) {
+	return t.descVerifies.Load(), t.descRepairs.Load(), t.descRefusals.Load()
+}
+
+// DescriptorBits is the corruptible bit-width of a live descriptor: 64 bits
+// of Base plus the 8-bit DType byte. CorruptDescriptor accepts bits in
+// [0, DescriptorBits).
+const DescriptorBits = 72
+
+// CorruptDescriptor flips one bit of the live address-generation metadata of
+// allocation id — the fault-injection hook for the ClassMetadata fault
+// model. Bits 0..63 land in Base, bits 64..71 in the DType byte. The seal is
+// left untouched (it models ECC-protected cold storage), so a subsequent
+// verified lookup detects and repairs the damage. Returns ErrNotRegistered
+// for an unknown id.
+func (t *Table) CorruptDescriptor(id int, bit int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, a := range t.allocs {
+		if a.ID != id {
+			continue
+		}
+		switch {
+		case bit >= 0 && bit < 64:
+			a.Base ^= uint64(1) << uint(bit)
+		case bit >= 64 && bit < 72:
+			a.DType ^= bitflip.DType(1) << uint(bit-64)
+		default:
+			return fmt.Errorf("registry: descriptor bit %d out of range [0,%d)", bit, DescriptorBits)
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: id %d", ErrNotRegistered, id)
 }

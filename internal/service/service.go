@@ -308,6 +308,15 @@ func (s *Service) replay(in journal.Intent) {
 		_ = s.jr.Finish(in.ID, false, "orphaned on replay: allocation not registered")
 		return
 	}
+	// The crash that orphaned this intent may also have mangled the
+	// allocation's descriptor. Re-verify (repairing in place when the parity
+	// allows) before trusting its address math; a descriptor the parity
+	// cannot prove correct must not direct a repair — the intent is closed
+	// out as failed so the operator escalates to checkpoint-restore.
+	if err := s.eng.Table().VerifyDescriptor(alloc); err != nil {
+		_ = s.jr.Finish(in.ID, false, fmt.Sprintf("refused on replay: %v", err))
+		return
+	}
 	// Re-quarantine first: even before the pool touches the task, no
 	// stencil may trust the possibly-corrupt cell the crash left behind.
 	s.eng.MarkCorrupt(alloc, in.Offset)
@@ -367,7 +376,9 @@ func (s *Service) SubmitAddress(addr uint64) error {
 		s.mu.Lock()
 		s.stats.Submitted++
 		s.mu.Unlock()
-		return fmt.Errorf("%w: %v", core.ErrCheckpointRestartRequired, err)
+		// Double-wrap: registry.ErrMetadataCorrupt must stay matchable so
+		// the HTTP layer maps corrupt-descriptor refusals to 422, not 404.
+		return fmt.Errorf("%w: %w", core.ErrCheckpointRestartRequired, err)
 	}
 	return s.submit(alloc, addr, off)
 }
