@@ -28,12 +28,20 @@
 // recoveries — and, for the metadata profile, unless the server's parity
 // actually repaired descriptors without a single refusal.
 //
+// With -addrs (comma-separated node URLs) the load runs against a cluster:
+// clients spread across entry nodes and ride the 307 shard redirects; when
+// a node dies mid-storm each client rotates to the next node, waits out the
+// partner's promotion, and redelivers every DUE that never produced an
+// outcome — the client-side half of the zero-lost-recoveries contract
+// (replicated-journal replay on the partner is the server-side half).
+//
 // Usage:
 //
 //	dueload [-addr http://127.0.0.1:8080] [-clients 8] [-events 96]
 //	        [-burst 16] [-pause 25ms] [-rows 64] [-cols 64]
 //	        [-settle 60s] [-seed 1] [-tol 0.01] [-storm]
 //	        [-storm-profile bit|burst|row|column|metadata] [-span N]
+//	        [-addrs http://node-a:8080,http://node-b:8080]
 package main
 
 import (
@@ -61,6 +69,7 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", "http://127.0.0.1:8080", "recovery server base URL")
+		addrs   = flag.String("addrs", "", "comma-separated cluster node base URLs: clients spread across entry nodes, ride shard redirects, fail over when a node dies, and redeliver unresolved DUEs to the promoted partner")
 		clients = flag.Int("clients", 8, "concurrent clients (one tenant each)")
 		events  = flag.Int("events", 96, "DUE events per client (capped at rows*cols)")
 		burst   = flag.Int("burst", 16, "events per back-to-back burst")
@@ -77,6 +86,22 @@ func main() {
 	flag.Parse()
 	if *clients < 1 || *events < 1 || *rows < 2 || *cols < 2 {
 		fatalf("need -clients >= 1, -events >= 1, -rows/-cols >= 2")
+	}
+	// Cluster mode: -addrs supplies the membership list; -addr becomes the
+	// first entry so setup and the metrics scrape have a starting point.
+	var addrList []string
+	if *addrs != "" {
+		for _, a := range strings.Split(*addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrList = append(addrList, a)
+			}
+		}
+		if len(addrList) == 0 {
+			fatalf("-addrs given but empty")
+		}
+		*addr = addrList[0]
+	} else {
+		addrList = []string{*addr}
 	}
 	if *events > *rows**cols {
 		*events = *rows * *cols
@@ -110,21 +135,26 @@ func main() {
 			total = *clients * *events
 			fmt.Printf("dueload: capping at %d events/client (field has %d elements)\n", *events, *rows**cols)
 		}
-		setup := client.New(client.Config{BaseURL: *addr, Tenant: tenant})
-		if _, err := setup.Register(ctx, httpapi.RegisterRequest{
-			Name: allocName, Dims: []int{*rows, *cols}, DType: "float32",
-			Policy: httpapi.PolicyInfo{Any: true, Range: &httpapi.RangeInfo{Lo: 50, Hi: 150}},
+		setup := newFailover(addrList, 0, tenant)
+		if err := setup.do(ctx, func(c *client.Client) error {
+			_, err := c.Register(ctx, httpapi.RegisterRequest{
+				Name: allocName, Dims: []int{*rows, *cols}, DType: "float32",
+				Policy: httpapi.PolicyInfo{Any: true, Range: &httpapi.RangeInfo{Lo: 50, Hi: 150}},
+			})
+			return err
 		}); err != nil {
 			fatalf("register storm allocation: %v", err)
 		}
 		orig := smoothField(*rows, *cols, *seed)
-		if err := setup.Upload(ctx, allocName, orig); err != nil {
+		if err := setup.do(ctx, func(c *client.Client) error {
+			return c.Upload(ctx, allocName, orig)
+		}); err != nil {
 			fatalf("upload storm field: %v", err)
 		}
 		all := distinctOffsets(total, *rows**cols, *seed)
 		for i := range params {
 			params[i] = clientParams{
-				addr: *addr, tenant: tenant, alloc: allocName,
+				addrs: addrList, entry: i, tenant: tenant, alloc: allocName,
 				rows: *rows, cols: *cols, orig: orig,
 				offsets: all[i**events : (i+1)**events],
 				burst:   *burst, stream: true,
@@ -134,7 +164,7 @@ func main() {
 	} else {
 		for i := range params {
 			params[i] = clientParams{
-				addr: *addr, tenant: fmt.Sprintf("load-%02d", i), alloc: "field",
+				addrs: addrList, entry: i, tenant: fmt.Sprintf("load-%02d", i), alloc: "field",
 				setup: true, rows: *rows, cols: *cols,
 				offsets: distinctOffsets(*events, *rows**cols, *seed+int64(i)*7919),
 				burst:   *burst,
@@ -173,6 +203,10 @@ func main() {
 	fmt.Printf("accepted  %6d\n", total.accepted)
 	fmt.Printf("latched   %6d  (429/503 backpressure; server-side redelivery, never resent)\n", total.latched)
 	fmt.Printf("rejected  %6d\n", total.rejected)
+	if len(addrList) > 1 {
+		fmt.Printf("failovers %6d  (node rotations; %d DUEs redelivered to the promoted partner)\n",
+			total.failovers, total.redelivered)
+	}
 
 	fmt.Printf("\n== recovery quality ==\n")
 	fmt.Printf("recovered %6d  (%d auto-tuned, %d via post-settle repair sweep)\n",
@@ -193,8 +227,10 @@ func main() {
 	fmt.Printf("\n== end-to-end recovery latency (ingest -> outcome) ==\n")
 	printHist(total.e2e)
 
-	scrapeHotPathMetrics(*addr)
-	scrapeStageLatency(*addr)
+	for _, a := range addrList {
+		scrapeHotPathMetrics(a)
+		scrapeStageLatency(a)
+	}
 
 	if failedClients > 0 {
 		fatalf("%d client(s) failed", failedClients)
@@ -210,7 +246,11 @@ func main() {
 }
 
 type clientParams struct {
-	addr, tenant, alloc string
+	// addrs is the cluster entry-node list (one element outside cluster
+	// mode); entry picks this client's starting node so clients spread.
+	addrs         []string
+	entry         int
+	tenant, alloc string
 	// setup registers and uploads the allocation (isolated-tenant mode);
 	// storm mode pre-registers the shared allocation once in main.
 	setup      bool
@@ -241,7 +281,11 @@ type report struct {
 	unresolved                  int
 	recoveredOffsets            int
 	swept                       int
-	ingest, e2e                 *stats.Histogram
+	// redelivered counts DUEs re-ingested against a promoted partner after
+	// their first delivery died with an owner node; failovers counts node
+	// rotations the client performed.
+	redelivered, failovers int
+	ingest, e2e            *stats.Histogram
 }
 
 func (r *report) merge(o *report) {
@@ -257,6 +301,8 @@ func (r *report) merge(o *report) {
 	r.unresolved += o.unresolved
 	r.recoveredOffsets += o.recoveredOffsets
 	r.swept += o.swept
+	r.redelivered += o.redelivered
+	r.failovers += o.failovers
 	r.maxRelErr = math.Max(r.maxRelErr, o.maxRelErr)
 	for k, v := range o.byCode {
 		r.byCode[k] += v
@@ -268,9 +314,14 @@ func (r *report) merge(o *report) {
 	mergeHist(r.e2e, o.e2e)
 }
 
-// runClient drives one tenant through the full lifecycle.
+// runClient drives one tenant through the full lifecycle. In cluster mode
+// (len(p.addrs) > 1) every call goes through the failover wrapper, DUE
+// events are addressed by alloc+offset (simulated addresses are node-local
+// and do not survive a failover), and a redelivery phase re-ingests any DUE
+// whose first delivery died with its node.
 func runClient(ctx context.Context, p clientParams) (*report, error) {
-	c := client.New(client.Config{BaseURL: p.addr, Tenant: p.tenant})
+	f := newFailover(p.addrs, p.entry, p.tenant)
+	cluster := len(p.addrs) > 1
 	rep := &report{
 		ingest: newLatencyHist(), e2e: newLatencyHist(),
 		byCode: map[string]int{}, byMethod: map[string]int{},
@@ -279,15 +330,20 @@ func runClient(ctx context.Context, p clientParams) (*report, error) {
 	allocName := p.alloc
 	orig := p.orig
 	if p.setup {
-		_, err := c.Register(ctx, httpapi.RegisterRequest{
-			Name: allocName, Dims: []int{p.rows, p.cols}, DType: "float32",
-			Policy: httpapi.PolicyInfo{Any: true, Range: &httpapi.RangeInfo{Lo: 50, Hi: 150}},
+		err := f.do(ctx, func(c *client.Client) error {
+			_, err := c.Register(ctx, httpapi.RegisterRequest{
+				Name: allocName, Dims: []int{p.rows, p.cols}, DType: "float32",
+				Policy: httpapi.PolicyInfo{Any: true, Range: &httpapi.RangeInfo{Lo: 50, Hi: 150}},
+			})
+			return err
 		})
 		if err != nil {
 			return rep, fmt.Errorf("register: %w", err)
 		}
 		orig = smoothField(p.rows, p.cols, p.seed)
-		if err := c.Upload(ctx, allocName, orig); err != nil {
+		if err := f.do(ctx, func(c *client.Client) error {
+			return c.Upload(ctx, allocName, orig)
+		}); err != nil {
 			return rep, fmt.Errorf("upload: %w", err)
 		}
 	}
@@ -310,6 +366,16 @@ func runClient(ctx context.Context, p clientParams) (*report, error) {
 	if burst < 1 {
 		burst = 1
 	}
+	// event builds the ingest request for one injection. Cluster runs
+	// address by alloc+offset — portable across a failover — while
+	// single-node runs keep the simulated physical-address path hot.
+	event := func(inj *httpapi.InjectReport) httpapi.EventRequest {
+		if cluster {
+			off := inj.Offset
+			return httpapi.EventRequest{Alloc: allocName, Offset: &off}
+		}
+		return httpapi.EventRequest{Addr: inj.Addr, Bit: inj.Bit}
+	}
 	for start := 0; start < len(offsets); start += burst {
 		if start > 0 && p.pause > 0 {
 			time.Sleep(p.pause)
@@ -321,8 +387,13 @@ func runClient(ctx context.Context, p clientParams) (*report, error) {
 		injected := make([]*httpapi.InjectReport, 0, end-start)
 		for n := start; n < end; n++ {
 			off := offsets[n]
-			inj, err := c.Inject(ctx, allocName, httpapi.InjectRequest{
-				Offset: &off, Seed: p.seed + int64(n),
+			var inj *httpapi.InjectReport
+			err := f.do(ctx, func(c *client.Client) error {
+				var e error
+				inj, e = c.Inject(ctx, allocName, httpapi.InjectRequest{
+					Offset: &off, Seed: p.seed + int64(n),
+				})
+				return e
 			})
 			if err != nil {
 				return rep, fmt.Errorf("inject offset %d: %w", off, err)
@@ -335,10 +406,15 @@ func runClient(ctx context.Context, p clientParams) (*report, error) {
 			// coalescing.
 			evs := make([]httpapi.EventRequest, len(injected))
 			for i, inj := range injected {
-				evs[i] = httpapi.EventRequest{Addr: inj.Addr, Bit: inj.Bit}
+				evs[i] = event(inj)
 			}
 			t0 := time.Now()
-			results, err := c.IngestBatch(ctx, evs)
+			var results []httpapi.EventResult
+			err := f.do(ctx, func(c *client.Client) error {
+				var e error
+				results, e = c.IngestBatch(ctx, evs)
+				return e
+			})
 			rtt := time.Since(t0).Seconds() / float64(len(evs))
 			if err != nil {
 				return rep, fmt.Errorf("ingest stream: %w", err)
@@ -360,7 +436,10 @@ func runClient(ctx context.Context, p clientParams) (*report, error) {
 		}
 		for _, inj := range injected {
 			t0 := time.Now()
-			_, err := c.Ingest(ctx, httpapi.EventRequest{Addr: inj.Addr, Bit: inj.Bit})
+			err := f.do(ctx, func(c *client.Client) error {
+				_, e := c.Ingest(ctx, event(inj))
+				return e
+			})
 			rep.ingest.Add(time.Since(t0).Seconds())
 			ingestAt[inj.Offset] = t0
 			switch {
@@ -385,43 +464,116 @@ func runClient(ctx context.Context, p clientParams) (*report, error) {
 	okAt := make(map[int]bool, len(offsets))
 	failedAt := make(map[int]bool)
 	var cursor uint64
-	for len(okAt) < len(offsets) && time.Now().Before(deadline) {
-		page, err := c.Outcomes(ctx, cursor, allocName, 1000)
-		if err != nil {
-			return rep, fmt.Errorf("outcomes: %w", err)
-		}
-		cursor = page.Next
-		for _, rec := range page.Outcomes {
-			if !own[rec.Offset] {
+	drainOutcomes := func(dl time.Time) error {
+		for len(okAt) < len(offsets) && time.Now().Before(dl) {
+			moves := f.moved
+			var page *httpapi.OutcomesPage
+			err := f.do(ctx, func(c *client.Client) error {
+				var e error
+				page, e = c.Outcomes(ctx, cursor, allocName, 1000)
+				return e
+			})
+			if err != nil {
+				return fmt.Errorf("outcomes: %w", err)
+			}
+			if f.moved != moves {
+				// The page came from a different node whose feed is a
+				// different sequence: drop it and restart from the head
+				// (okAt dedups records already counted).
+				cursor = 0
 				continue
 			}
-			if rec.OK {
-				rep.recovered++
-				rep.byMethod[rec.Method]++
-				if rec.Tuned {
-					rep.tuned++
+			cursor = page.Next
+			for _, rec := range page.Outcomes {
+				if !own[rec.Offset] {
+					continue
 				}
-				delete(failedAt, rec.Offset)
-				if t0, seen := ingestAt[rec.Offset]; seen && !okAt[rec.Offset] {
+				if rec.OK {
+					delete(failedAt, rec.Offset)
+					if okAt[rec.Offset] {
+						continue // counted before a cursor reset re-read it
+					}
 					okAt[rec.Offset] = true
-					rep.e2e.Add(time.Unix(0, rec.UnixNano).Sub(t0).Seconds())
+					rep.recovered++
+					rep.byMethod[rec.Method]++
+					if rec.Tuned {
+						rep.tuned++
+					}
+					if t0, seen := ingestAt[rec.Offset]; seen {
+						rep.e2e.Add(time.Unix(0, rec.UnixNano).Sub(t0).Seconds())
+					}
+				} else {
+					rep.failedOutcomes++
+					rep.byCode[rec.Code]++
+					if !okAt[rec.Offset] {
+						failedAt[rec.Offset] = true
+					}
 				}
-			} else {
-				rep.failedOutcomes++
-				rep.byCode[rec.Code]++
-				if !okAt[rec.Offset] {
-					failedAt[rec.Offset] = true
+			}
+			if len(page.Outcomes) == 0 {
+				// Feed quiet: once every offset is either recovered or known
+				// permanently failed, stop waiting — the repair sweep below
+				// owns the failures (and needs the remaining time budget).
+				if len(okAt)+len(failedAt) >= len(offsets) {
+					return nil
 				}
+				time.Sleep(10 * time.Millisecond)
 			}
 		}
-		if len(page.Outcomes) == 0 {
-			// Feed quiet: once every offset is either recovered or known
-			// permanently failed, stop waiting — the repair sweep below
-			// owns the failures (and needs the remaining time budget).
-			if len(okAt)+len(failedAt) >= len(offsets) {
-				break
+		return nil
+	}
+	settleDL := deadline
+	if cluster {
+		// Leave budget for redelivery rounds: events queued or latched on a
+		// node that died were never journaled there, so no replica replays
+		// them — the client is the durable party and must deliver again.
+		settleDL = time.Now().Add(p.settle / 4)
+		if settleDL.After(deadline) {
+			settleDL = deadline
+		}
+	}
+	if err := drainOutcomes(settleDL); err != nil {
+		return rep, err
+	}
+	// Cluster redelivery: re-ingest every offset with no outcome at all
+	// against whichever node answers (the promoted partner after a kill).
+	// Offset events are node-portable, and redelivering an offset that was
+	// merely slow is harmless — prediction masks the target cell, so a
+	// duplicate recovery rewrites the same value.
+	unaccounted := func() int {
+		n := 0
+		for _, off := range offsets {
+			if !okAt[off] && !failedAt[off] {
+				n++
 			}
-			time.Sleep(10 * time.Millisecond)
+		}
+		return n
+	}
+	for cluster && unaccounted() > 0 && time.Now().Before(deadline) {
+		for _, off := range offsets {
+			if okAt[off] || failedAt[off] {
+				continue
+			}
+			o := off
+			ierr := f.do(ctx, func(c *client.Client) error {
+				_, e := c.Ingest(ctx, httpapi.EventRequest{Alloc: allocName, Offset: &o})
+				return e
+			})
+			switch {
+			case ierr == nil,
+				errors.Is(ierr, service.ErrOverloaded),
+				errors.Is(ierr, service.ErrCircuitOpen):
+				rep.redelivered++
+			default:
+				// Mid-promotion rejection; the next round retries.
+			}
+		}
+		round := time.Now().Add(time.Second)
+		if round.After(deadline) {
+			round = deadline
+		}
+		if err := drainOutcomes(round); err != nil {
+			return rep, err
 		}
 	}
 	// Repair sweep + quarantine drain. A recovery that ran while its
@@ -430,7 +582,12 @@ func runClient(ctx context.Context, p clientParams) (*report, error) {
 	// neighbors are repaired, a synchronous re-recovery succeeds. This is
 	// the operator loop: poll /v1/quarantine, POST recover for survivors.
 	for {
-		q, err := c.Quarantine(ctx)
+		var q *httpapi.QuarantineReport
+		err := f.do(ctx, func(c *client.Client) error {
+			var e error
+			q, e = c.Quarantine(ctx)
+			return e
+		})
 		if err != nil {
 			return rep, fmt.Errorf("quarantine: %w", err)
 		}
@@ -450,7 +607,12 @@ func runClient(ctx context.Context, p clientParams) (*report, error) {
 			if !own[off] || okAt[off] {
 				continue // not ours, or transiently quarantined mid-recovery
 			}
-			if _, err := c.Recover(ctx, allocName, off); err == nil {
+			o := off
+			rerr := f.do(ctx, func(c *client.Client) error {
+				_, e := c.Recover(ctx, allocName, o)
+				return e
+			})
+			if rerr == nil {
 				okAt[off] = true
 				rep.swept++
 			}
@@ -461,10 +623,16 @@ func runClient(ctx context.Context, p clientParams) (*report, error) {
 	rep.unresolved = len(offsets) - len(okAt)
 
 	// Verify quality: the recovered field must match the uploaded one.
-	final, err := c.Download(ctx, allocName)
+	var final []float64
+	err := f.do(ctx, func(c *client.Client) error {
+		var e error
+		final, e = c.Download(ctx, allocName)
+		return e
+	})
 	if err != nil {
 		return rep, fmt.Errorf("download: %w", err)
 	}
+	rep.failovers = f.moved
 	for _, off := range offsets {
 		re := bitflip.RelErr(orig[off], final[off])
 		rep.verified++

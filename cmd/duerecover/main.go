@@ -43,6 +43,7 @@ import (
 
 	"spatialdue"
 	"spatialdue/internal/bitflip"
+	"spatialdue/internal/cluster"
 	"spatialdue/internal/faultinject"
 	"spatialdue/internal/httpapi"
 	"spatialdue/internal/sdrbench"
@@ -69,6 +70,11 @@ func main() {
 		frontier = flag.Bool("frontier-batch", false, "order batched cluster recoveries frontier-inward (survives row/block wipes; trades bit-identical batch/sequential equivalence)")
 
 		listen       = flag.String("listen", "", "serve: run the networked HTTP recovery API on this address (e.g. :8080) instead of the synthetic storm")
+		clusterCfg   = flag.String("cluster-config", "", "listen: cluster membership map JSON; joins the node named by -cluster-node to a recovery cluster with partner replication and failover")
+		clusterNode  = flag.String("cluster-node", "", "listen: this node's name in -cluster-config")
+		dataDir      = flag.String("data-dir", "", "cluster: directory for the journal and partner-replica files (default .spatialdue-<node>)")
+		heartbeat    = flag.Duration("heartbeat", 250*time.Millisecond, "cluster: partner liveness probe interval")
+		hbBudget     = flag.Duration("heartbeat-budget", 2*time.Second, "cluster: unreachable time before the partner promotes itself over a dead owner")
 		metricsAddr  = flag.String("metrics-addr", "", "serve: also serve /metrics and /readyz on this address")
 		enableInject = flag.Bool("enable-inject", true, "listen: expose the fault-injection endpoint (disable for production shapes)")
 		traceTop     = flag.Int("trace-top", 0, "dump the N slowest recovery traces (per-stage spans) on exit (0 disables)")
@@ -114,6 +120,17 @@ func main() {
 	}
 
 	eng := spatialdue.NewEngine(spatialdue.Options{Seed: *seed, FrontierBatch: *frontier})
+
+	if *serve && *listen != "" && *clusterCfg != "" {
+		runCluster(eng, clusterOptions{
+			addr: *listen, config: *clusterCfg, node: *clusterNode,
+			dataDir: *dataDir, heartbeat: *heartbeat, budget: *hbBudget,
+			inject: *enableInject, workers: *workers, queue: *queue,
+			deadline: *deadline, batchMax: *batchMax, seed: *seed,
+		})
+		dumpTraces(eng, *traceTop)
+		return
+	}
 
 	if *serve && *listen != "" {
 		runListen(eng, ds, policy, listenOptions{
@@ -217,6 +234,80 @@ type listenOptions struct {
 	batchMax          int
 	journal           string
 	seed              int64
+}
+
+type clusterOptions struct {
+	addr, config, node string
+	dataDir            string
+	heartbeat, budget  time.Duration
+	inject             bool
+	workers, queue     int
+	deadline           time.Duration
+	batchMax           int
+	seed               int64
+}
+
+// runCluster joins the networked server to a recovery cluster: tenant
+// ownership is consistent-hashed over the membership map, non-owned
+// requests are 307-forwarded to their shard owner, and every field upload
+// and journal record is replicated to the node's partner, which promotes
+// itself and replays if this node dies. No demo dataset is pre-registered:
+// a locally-registered allocation for a tenant another node owns would
+// shadow cluster routing.
+func runCluster(eng *spatialdue.Engine, opt clusterOptions) {
+	if opt.node == "" {
+		fatalf("-cluster-config requires -cluster-node")
+	}
+	m, err := cluster.LoadMap(opt.config)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	self, ok := m.Node(opt.node)
+	if !ok {
+		fatalf("node %q not in cluster map [%s]", opt.node, m)
+	}
+	if self.Repl == "" {
+		fatalf("node %q has no repl address in the cluster map", opt.node)
+	}
+	dataDir := opt.dataDir
+	if dataDir == "" {
+		dataDir = ".spatialdue-" + opt.node
+	}
+
+	node, err := cluster.New(eng, cluster.Config{
+		Self: opt.node, Map: m, DataDir: dataDir,
+		Heartbeat: opt.heartbeat, HeartbeatBudget: opt.budget,
+		Server: httpapi.ServerConfig{
+			Service: service.Config{
+				Workers: opt.workers, QueueDepth: opt.queue, Deadline: opt.deadline,
+				BatchMax: opt.batchMax, JournalSync: true, Seed: opt.seed,
+			},
+			EnableInject: opt.inject,
+		},
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	httpLn, err := net.Listen("tcp", opt.addr)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	replLn, err := net.Listen("tcp", self.Repl)
+	if err != nil {
+		fatalf("replication listen: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	fmt.Printf("cluster node %q: API on http://%s, replication on %s, ring [%s]\n",
+		opt.node, httpLn.Addr(), replLn.Addr(), m)
+	if err := node.Serve(ctx, httpLn, replLn); err != nil {
+		fatalf("serve: %v", err)
+	}
+	st := node.Server().Service().Stats()
+	fmt.Printf("drained: %d submitted, %d accepted, %d rejected, %d recovered, %d failed, %d retries, %d replayed\n",
+		st.Submitted, st.Accepted, st.Rejected, st.Recovered, st.Failed, st.Retries, st.Replayed)
 }
 
 // runListen runs the networked recovery server: the full HTTP/JSON API in

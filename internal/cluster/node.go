@@ -1,0 +1,433 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spatialdue/internal/core"
+	"spatialdue/internal/httpapi"
+	"spatialdue/internal/registry"
+	"spatialdue/internal/service"
+)
+
+// Config wires one cluster node.
+type Config struct {
+	// Self is this node's name in the map.
+	Self string
+	// Map is the static membership map (identical on every node).
+	Map *Map
+	// DataDir holds the node's own journal and its partner-replica files.
+	DataDir string
+	// Heartbeat is the partner-liveness probe interval (default 250ms).
+	Heartbeat time.Duration
+	// HeartbeatBudget is how long an owner may stay unreachable before its
+	// partner promotes itself (default 2s). Promotion is sticky: handing the
+	// shard back is an operator action (restart with the owner healthy).
+	HeartbeatBudget time.Duration
+	// Server configures the embedded HTTP API. The service's JournalPath
+	// defaults to DataDir/journal.jsonl; JournalSink and the server's
+	// Cluster hook are overwritten by New.
+	Server httpapi.ServerConfig
+}
+
+// Node is one member of a recovery cluster: the HTTP API plus the
+// replication sender (its shards → partner) and receiver (partners' shards
+// → local replica), the heartbeat probers, and the promotion state machine.
+// It implements httpapi.Cluster.
+type Node struct {
+	cfg        Config
+	eng        *core.Engine
+	srv        *httpapi.Server
+	partner    NodeInfo
+	hasPartner bool
+	sender     *sender
+	senderUp   atomic.Bool
+
+	hs     *http.Server
+	replLn net.Listener
+
+	mu       sync.Mutex
+	replicas map[string]*replicaState
+	promoted map[string]bool
+	standby  bool
+	killed   bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// New builds a node: it validates the map entry, installs the replication
+// sink into the service journal, and hooks the node into the HTTP layer as
+// its Cluster.
+func New(eng *core.Engine, cfg Config) (*Node, error) {
+	if cfg.Map == nil {
+		return nil, fmt.Errorf("cluster: nil membership map")
+	}
+	if _, ok := cfg.Map.Node(cfg.Self); !ok {
+		return nil, fmt.Errorf("cluster: node %q not in map [%s]", cfg.Self, cfg.Map)
+	}
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("cluster: DataDir is required (journal + replica files)")
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: create data dir: %w", err)
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 250 * time.Millisecond
+	}
+	if cfg.HeartbeatBudget <= 0 {
+		cfg.HeartbeatBudget = 2 * time.Second
+	}
+	if cfg.Server.Service.JournalPath == "" {
+		cfg.Server.Service.JournalPath = filepath.Join(cfg.DataDir, "journal.jsonl")
+	}
+
+	n := &Node{
+		cfg:      cfg,
+		eng:      eng,
+		replicas: make(map[string]*replicaState),
+		promoted: make(map[string]bool),
+		stop:     make(chan struct{}),
+	}
+	n.partner, n.hasPartner = cfg.Map.PartnerOf(cfg.Self)
+	if n.hasPartner {
+		n.sender = newSender(cfg.Self, n.partner, cfg.Server.Service.JournalPath, n.snapshot)
+		n.cfg.Server.Service.JournalSink = n.sender.sink
+	}
+	n.cfg.Server.Cluster = n
+
+	srv, err := httpapi.NewServer(eng, n.cfg.Server)
+	if err != nil {
+		return nil, err
+	}
+	n.srv = srv
+	return n, nil
+}
+
+// Server exposes the embedded HTTP API (tests drive it directly).
+func (n *Node) Server() *httpapi.Server { return n.srv }
+
+// Serve runs the node on the two listeners until ctx is cancelled or the
+// node is killed. The node drives its own http.Server so Kill can abort
+// accepted connections without a drain.
+func (n *Node) Serve(ctx context.Context, httpLn, replLn net.Listener) error {
+	n.mu.Lock()
+	if n.killed {
+		n.mu.Unlock()
+		return fmt.Errorf("cluster: node %q already killed", n.cfg.Self)
+	}
+	n.hs = &http.Server{Handler: n.srv}
+	n.replLn = replLn
+	n.mu.Unlock()
+
+	if n.hasPartner {
+		n.probeStandby()
+	}
+
+	go func() { _ = n.hs.Serve(httpLn) }()
+	go n.acceptLoop(replLn)
+	if n.sender != nil {
+		n.senderUp.Store(true)
+		go n.sender.run()
+	}
+	for _, owner := range n.cfg.Map.OwnersPartneredTo(n.cfg.Self) {
+		go n.probeLoop(owner)
+	}
+
+	select {
+	case <-ctx.Done():
+	case <-n.stop:
+	}
+	n.mu.Lock()
+	killed := n.killed
+	n.mu.Unlock()
+	if killed {
+		return nil // Kill already tore everything down, nothing to drain
+	}
+	n.stopOnce.Do(func() { close(n.stop) })
+	_ = replLn.Close()
+	n.closeReplicaConns()
+	if n.sender != nil && n.senderUp.Load() {
+		n.sender.Stop()
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = n.hs.Shutdown(shCtx)
+	return n.srv.Close(shCtx)
+}
+
+// Kill simulates abrupt node death: queued recoveries drop, journal writes
+// stop, listeners close, in-flight HTTP connections abort. Nothing drains
+// and nothing is flushed — the partner must survive on what replication
+// already delivered.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	if n.killed {
+		n.mu.Unlock()
+		return
+	}
+	n.killed = true
+	hs, replLn := n.hs, n.replLn
+	n.mu.Unlock()
+
+	n.srv.Service().Kill()
+	if hs != nil {
+		_ = hs.Close()
+	}
+	if replLn != nil {
+		_ = replLn.Close()
+	}
+	n.closeReplicaConns()
+	if n.sender != nil && n.senderUp.Load() {
+		n.sender.Stop()
+	}
+	n.stopOnce.Do(func() { close(n.stop) })
+}
+
+func (n *Node) closeReplicaConns() {
+	n.mu.Lock()
+	states := make([]*replicaState, 0, len(n.replicas))
+	for _, st := range n.replicas {
+		states = append(states, st)
+	}
+	n.mu.Unlock()
+	for _, st := range states {
+		st.mu.Lock()
+		if st.conn != nil {
+			_ = st.conn.Close()
+			st.conn = nil
+		}
+		st.mu.Unlock()
+	}
+}
+
+// probeStandby asks the partner, once at startup, whether it promoted
+// itself over this node's shards while we were dead. If so we come back as
+// a standby: our own tenants keep forwarding to the promoted partner (which
+// holds the live recovery state), while our receiver catches up replicas in
+// the background.
+func (n *Node) probeStandby() {
+	client := &http.Client{Timeout: 500 * time.Millisecond}
+	resp, err := client.Get(n.partner.URL + "/v1/cluster/status")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var cs httpapi.ClusterStatus
+	if json.NewDecoder(resp.Body).Decode(&cs) != nil {
+		return
+	}
+	for _, name := range cs.PromotedFor {
+		if name == n.cfg.Self {
+			n.mu.Lock()
+			n.standby = true
+			n.mu.Unlock()
+			log.Printf("cluster[%s]: partner %s promoted itself over our shards; entering standby", n.cfg.Self, n.partner.Name)
+			return
+		}
+	}
+}
+
+// probeLoop heartbeats one owner whose partner this node is, and promotes
+// over it when it stays unreachable past the budget.
+func (n *Node) probeLoop(owner NodeInfo) {
+	client := &http.Client{Timeout: n.cfg.Heartbeat}
+	var downSince time.Time
+	t := time.NewTicker(n.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		n.mu.Lock()
+		done := n.promoted[owner.Name] || n.killed
+		standby := n.standby
+		n.mu.Unlock()
+		if done {
+			return
+		}
+		if standby {
+			continue // a standby's live state is elsewhere; it must not promote
+		}
+		ok := false
+		if resp, err := client.Get(owner.URL + "/healthz"); err == nil {
+			ok = resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+		}
+		if ok {
+			downSince = time.Time{}
+			continue
+		}
+		if downSince.IsZero() {
+			downSince = time.Now()
+			continue
+		}
+		if time.Since(downSince) >= n.cfg.HeartbeatBudget {
+			n.promote(owner)
+			return
+		}
+	}
+}
+
+// promote makes this node the serving owner of a dead partner's shards:
+// routing flips to local, and the replicated journal's dangling intents are
+// replayed through the full recovery pipeline — re-quarantine, re-predict,
+// journal locally — exactly like a single node replaying its own journal
+// after a crash, but from the partner copy.
+func (n *Node) promote(owner NodeInfo) {
+	n.mu.Lock()
+	if n.promoted[owner.Name] || n.killed {
+		n.mu.Unlock()
+		return
+	}
+	n.promoted[owner.Name] = true
+	st := n.replicas[owner.Name]
+	n.mu.Unlock()
+
+	dangling := 0
+	if st != nil {
+		intents := st.danglingIntents()
+		dangling = len(intents)
+		svc := n.srv.Service()
+		deadline := time.Now().Add(30 * time.Second)
+		for _, in := range intents {
+			a, ok := n.eng.Table().ByTenantName(in.Tenant, in.Alloc)
+			if !ok {
+				log.Printf("cluster[%s]: promoted replay: allocation %q/%q gone, dropping intent %d", n.cfg.Self, in.Tenant, in.Alloc, in.ID)
+				continue
+			}
+			for {
+				// Addr 0: simulated addresses are node-local; resolve from
+				// the replica allocation, not the dead owner's layout.
+				err := svc.SubmitReplayed(a, 0, in.Offset)
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, service.ErrOverloaded) || time.Now().After(deadline) {
+					log.Printf("cluster[%s]: promoted replay of intent %d: %v", n.cfg.Self, in.ID, err)
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}
+	log.Printf("cluster[%s]: promoted over %s after %s unreachable; replaying %d dangling intents", n.cfg.Self, owner.Name, n.cfg.HeartbeatBudget, dangling)
+
+	// Our snapshot now spans the promoted tenants; resync our own partner
+	// stream so a future rejoin of the dead owner catches up from us.
+	if n.sender != nil {
+		n.sender.forceReconnect()
+	}
+}
+
+// snapshot captures every locally-served allocation (owned or promoted —
+// anything Route says is local) for the connect-time replication snapshot.
+func (n *Node) snapshot() []snapshotItem {
+	var items []snapshotItem
+	for _, a := range n.eng.Table().Allocations() {
+		if _, local := n.Route(a.Tenant); !local {
+			continue
+		}
+		item := snapshotItem{
+			tenant: a.Tenant,
+			name:   a.Name,
+			dims:   a.Array.Dims(),
+			dtype:  a.DType.String(),
+			policy: policyToWire(a.Policy),
+			vals:   make([]float64, a.Array.Len()),
+		}
+		n.eng.WithArrayLock(a.Array, func() {
+			copy(item.vals, a.Array.Data())
+		})
+		items = append(items, item)
+	}
+	return items
+}
+
+// Route implements httpapi.Cluster: which node serves a tenant right now.
+func (n *Node) Route(tenant string) (string, bool) {
+	owner := n.cfg.Map.Owner(tenant)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if owner.Name == n.cfg.Self {
+		if n.standby && n.hasPartner {
+			return n.partner.URL, false
+		}
+		return "", true
+	}
+	if n.promoted[owner.Name] {
+		return "", true
+	}
+	return owner.URL, false
+}
+
+// Status implements httpapi.Cluster.
+func (n *Node) Status() httpapi.ClusterStatus {
+	cs := httpapi.ClusterStatus{Node: n.cfg.Self}
+	if n.hasPartner {
+		cs.Partner = n.partner.Name
+	}
+	n.mu.Lock()
+	for name := range n.promoted {
+		cs.PromotedFor = append(cs.PromotedFor, name)
+	}
+	cs.Standby = n.standby
+	n.mu.Unlock()
+	sort.Strings(cs.PromotedFor)
+	if n.sender != nil {
+		cs.ReplicationLag = n.sender.lag()
+		cs.PartnerDown = n.sender.downFor() > n.cfg.HeartbeatBudget
+	}
+	cs.Degraded = cs.Standby || cs.PartnerDown || len(cs.PromotedFor) > 0
+	return cs
+}
+
+// AllocRegistered implements httpapi.Cluster: stream a new registration to
+// the partner.
+func (n *Node) AllocRegistered(a *registry.Allocation) {
+	if n.sender == nil || a == nil {
+		return
+	}
+	n.sender.enqueueControl(outMsg{h: frameHeader{
+		Type:   frameAlloc,
+		Tenant: a.Tenant,
+		Alloc:  a.Name,
+		Dims:   a.Array.Dims(),
+		DType:  a.DType.String(),
+		Policy: policyToWire(a.Policy),
+	}})
+}
+
+// FieldUploaded implements httpapi.Cluster: stream new field contents to
+// the partner.
+func (n *Node) FieldUploaded(a *registry.Allocation, vals []float64) {
+	if n.sender == nil || a == nil {
+		return
+	}
+	n.sender.enqueueControl(outMsg{
+		h:       frameHeader{Type: frameField, Tenant: a.Tenant, Alloc: a.Name},
+		payload: float64sToBytes(vals),
+	})
+}
+
+// AllocUnregistered implements httpapi.Cluster: stream a teardown to the
+// partner.
+func (n *Node) AllocUnregistered(tenant, name string) {
+	if n.sender == nil {
+		return
+	}
+	n.sender.enqueueControl(outMsg{h: frameHeader{Type: frameUnreg, Tenant: tenant, Alloc: name}})
+}

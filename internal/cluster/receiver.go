@@ -1,0 +1,330 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"spatialdue/internal/bitflip"
+	"spatialdue/internal/journal"
+	"spatialdue/internal/ndarray"
+	"spatialdue/internal/predict"
+	"spatialdue/internal/registry"
+)
+
+// replicaState is everything this node holds on behalf of one owner: a
+// byte-identical replica of the owner's journal file plus the live intent
+// set and quarantine/field state mirrored into the local engine. On
+// promotion the intent set IS the replay work-list — no re-scan needed.
+type replicaState struct {
+	owner string
+	path  string
+
+	mu      sync.Mutex
+	log     *journal.Log
+	count   uint64 // intact records durably in the replica file
+	intents map[uint64]journal.Intent
+	conn    net.Conn // active replication conn from the owner, if any
+}
+
+// replicaFor returns (opening or creating) the replica state for an owner.
+// The replica journal lives at DataDir/replica-<owner>.jsonl; opening
+// repairs a torn tail exactly like the primary journal does, and the intact
+// count after repair is the resume cursor handed back in welcome — the torn
+// record is re-requested, never trusted.
+func (n *Node) replicaFor(owner string) (*replicaState, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if st, ok := n.replicas[owner]; ok {
+		return st, nil
+	}
+	st := &replicaState{
+		owner:   owner,
+		path:    filepath.Join(n.cfg.DataDir, "replica-"+owner+".jsonl"),
+		intents: make(map[uint64]journal.Intent),
+	}
+	if err := st.open(); err != nil {
+		return nil, err
+	}
+	n.replicas[owner] = st
+	return st, nil
+}
+
+// open (re)opens the replica journal: repair the tail, then seed count and
+// the live intent set from the intact records.
+func (st *replicaState) open() error {
+	lg, err := journal.OpenLog(st.path, false)
+	if err != nil {
+		return fmt.Errorf("cluster: open replica %s: %w", st.path, err)
+	}
+	st.log = lg
+	st.count = 0
+	st.intents = make(map[uint64]journal.Intent)
+	return journal.Records(st.path, func(seq uint64, line []byte) error {
+		st.count = seq
+		in, out, err := journal.DecodeRecord(line)
+		if err != nil {
+			return nil // foreign record kinds replicate fine; they just don't replay
+		}
+		if in != nil {
+			st.intents[in.ID] = *in
+		}
+		if out != nil {
+			delete(st.intents, out.ID)
+		}
+		return nil
+	})
+}
+
+// rotate shelves a diverged replica (the owner's journal is shorter than
+// what we hold — it restarted with a fresh file) and starts a new one.
+func (st *replicaState) rotate() error {
+	if st.log != nil {
+		_ = st.log.Close()
+		st.log = nil
+	}
+	if err := os.Rename(st.path, st.path+".old"); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("cluster: rotate diverged replica: %w", err)
+	}
+	return st.open()
+}
+
+// acceptLoop serves the replication listener until it closes.
+func (n *Node) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go n.handleRepl(conn)
+	}
+}
+
+// handleRepl drives one inbound replication session from an owner.
+func (n *Node) handleRepl(conn net.Conn) {
+	defer conn.Close()
+	h, _, err := readFrame(conn)
+	if err != nil || h.Type != frameHello || h.From == "" {
+		return
+	}
+	// Only accept streams from nodes whose designated partner is this node:
+	// the map is the authority, not the dialer.
+	if p, ok := n.cfg.Map.PartnerOf(h.From); !ok || p.Name != n.cfg.Self {
+		log.Printf("cluster[%s]: rejecting replication stream from %q (not partnered here)", n.cfg.Self, h.From)
+		return
+	}
+	st, err := n.replicaFor(h.From)
+	if err != nil {
+		log.Printf("cluster[%s]: replica state for %q: %v", n.cfg.Self, h.From, err)
+		return
+	}
+
+	st.mu.Lock()
+	if st.conn != nil {
+		_ = st.conn.Close() // a redial supersedes the stale session
+	}
+	st.conn = conn
+	if h.Seq < st.count {
+		// Owner journal regressed (fresh file after reset/restart): our
+		// replica is from a dead history. Shelve it and resync from zero.
+		if err := st.rotate(); err != nil {
+			st.mu.Unlock()
+			log.Printf("cluster[%s]: %v", n.cfg.Self, err)
+			return
+		}
+	}
+	resume := st.count
+	st.mu.Unlock()
+
+	if err := writeFrame(conn, frameHeader{Type: frameWelcome, Resume: resume}, nil); err != nil {
+		return
+	}
+
+	for {
+		h, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if err := n.applyFrame(st, conn, h, payload); err != nil {
+			log.Printf("cluster[%s]: replication from %q: %v", n.cfg.Self, st.owner, err)
+			return
+		}
+	}
+}
+
+// applyFrame applies one inbound frame to the replica journal and the local
+// engine. Acks are written from this same goroutine, strictly after the
+// record is durable in the replica file.
+func (n *Node) applyFrame(st *replicaState, conn net.Conn, h frameHeader, payload []byte) error {
+	switch h.Type {
+	case frameAlloc:
+		return n.applyAlloc(h)
+	case frameField:
+		return n.applyField(h, payload)
+	case frameUnreg:
+		n.applyUnreg(h)
+		return nil
+	case frameJrec:
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if h.Seq <= st.count {
+			// Duplicate from an overlapping file scan; already durable.
+			return writeFrame(conn, frameHeader{Type: frameAck, Seq: st.count}, nil)
+		}
+		if h.Seq != st.count+1 {
+			return fmt.Errorf("journal gap: got seq %d, have %d", h.Seq, st.count)
+		}
+		if !json.Valid(payload) {
+			return fmt.Errorf("record %d is not valid JSON", h.Seq)
+		}
+		if err := st.log.AppendLine(payload); err != nil {
+			return err
+		}
+		st.count = h.Seq
+		n.applyRecord(st, payload)
+		return writeFrame(conn, frameHeader{Type: frameAck, Seq: st.count}, nil)
+	default:
+		return fmt.Errorf("unexpected frame %q", h.Type)
+	}
+}
+
+// applyAlloc mirrors an owner-side registration. Idempotent: a name already
+// held (snapshot re-send) is left alone.
+func (n *Node) applyAlloc(h frameHeader) error {
+	if h.Tenant == "" || h.Alloc == "" || len(h.Dims) == 0 {
+		return fmt.Errorf("malformed alloc frame for %q/%q", h.Tenant, h.Alloc)
+	}
+	if _, ok := n.eng.Table().ByTenantName(h.Tenant, h.Alloc); ok {
+		return nil
+	}
+	arr, err := ndarray.TryNew(h.Dims...)
+	if err != nil {
+		return fmt.Errorf("alloc %q/%q: %w", h.Tenant, h.Alloc, err)
+	}
+	dtype := bitflip.Float64
+	if h.DType == "float32" {
+		dtype = bitflip.Float32
+	}
+	policy, err := policyFromWire(h.Policy)
+	if err != nil {
+		return fmt.Errorf("alloc %q/%q: %w", h.Tenant, h.Alloc, err)
+	}
+	if _, err := n.eng.ProtectTenant(h.Tenant, h.Alloc, arr, dtype, policy); err != nil {
+		if errors.Is(err, registry.ErrNameTaken) {
+			return nil // raced with another snapshot re-send
+		}
+		return fmt.Errorf("alloc %q/%q: %w", h.Tenant, h.Alloc, err)
+	}
+	return nil
+}
+
+// applyField overwrites the replica array with the owner's field snapshot,
+// bit-exactly, under the array's stripe locks.
+func (n *Node) applyField(h frameHeader, payload []byte) error {
+	a, ok := n.eng.Table().ByTenantName(h.Tenant, h.Alloc)
+	if !ok {
+		return nil // alloc frame lost to a reconnect; next snapshot repairs
+	}
+	vals, err := bytesToFloat64s(payload)
+	if err != nil {
+		return err
+	}
+	if len(vals) != a.Array.Len() {
+		return fmt.Errorf("field %q/%q: %d values for %d cells", h.Tenant, h.Alloc, len(vals), a.Array.Len())
+	}
+	n.eng.WithArrayLock(a.Array, func() {
+		copy(a.Array.Data(), vals)
+	})
+	n.eng.FieldUpdated(a.Array)
+	return nil
+}
+
+// applyUnreg mirrors an owner-side teardown.
+func (n *Node) applyUnreg(h frameHeader) {
+	if a, ok := n.eng.Table().ByTenantName(h.Tenant, h.Alloc); ok {
+		_ = n.eng.Unprotect(a)
+	}
+}
+
+// applyRecord folds one replicated journal record into live state: intents
+// quarantine the replica cell (exactly what replay would do), successful
+// outcomes write the recovered IEEE-754 bits and lift the quarantine, failed
+// outcomes leave the cell quarantined. Called with st.mu held.
+func (n *Node) applyRecord(st *replicaState, line []byte) {
+	in, out, err := journal.DecodeRecord(line)
+	if err != nil {
+		return
+	}
+	if in != nil {
+		st.intents[in.ID] = *in
+		if a, ok := n.eng.Table().ByTenantName(in.Tenant, in.Alloc); ok {
+			n.eng.MarkCorrupt(a, in.Offset)
+		}
+		return
+	}
+	if out == nil {
+		return
+	}
+	intent, tracked := st.intents[out.ID]
+	delete(st.intents, out.ID)
+	if !tracked || !out.OK {
+		return
+	}
+	if a, ok := n.eng.Table().ByTenantName(intent.Tenant, intent.Alloc); ok {
+		if intent.Offset >= 0 && intent.Offset < a.Array.Len() {
+			n.eng.WithArrayLock(a.Array, func() {
+				a.Array.SetOffset(intent.Offset, math.Float64frombits(out.NewBits))
+			})
+		}
+		n.eng.ClearCorrupt(a, intent.Offset)
+	}
+}
+
+// danglingIntents returns the replica's unresolved intents sorted by ID —
+// the promotion replay work-list.
+func (st *replicaState) danglingIntents() []journal.Intent {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]journal.Intent, 0, len(st.intents))
+	for _, in := range st.intents {
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// policyFromWire rebuilds a registry.Policy from its wire form.
+func policyFromWire(w *policyWire) (registry.Policy, error) {
+	if w == nil || w.Any {
+		return registry.RecoverAny(), nil
+	}
+	m, err := predict.ParseMethod(w.Method)
+	if err != nil {
+		return registry.Policy{}, err
+	}
+	p := registry.RecoverWith(m)
+	if w.Lo != nil && w.Hi != nil {
+		p = p.WithRange(*w.Lo, *w.Hi)
+	}
+	return p, nil
+}
+
+// policyToWire converts a registry.Policy for the alloc frame.
+func policyToWire(p registry.Policy) *policyWire {
+	w := &policyWire{Any: p.Any}
+	if !p.Any {
+		w.Method = p.Method.String()
+	}
+	if p.Range != nil {
+		lo, hi := p.Range.Lo, p.Range.Hi
+		w.Lo, w.Hi = &lo, &hi
+	}
+	return w
+}

@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spatialdue/internal/journal"
+)
+
+// outMsg is one queued frame awaiting the replication stream.
+type outMsg struct {
+	h       frameHeader
+	payload []byte
+}
+
+// snapshotItem is one locally-served allocation captured for the
+// connect-time snapshot: registration geometry plus a consistent copy of
+// the field.
+type snapshotItem struct {
+	tenant, name string
+	dims         []int
+	dtype        string
+	policy       *policyWire
+	vals         []float64
+}
+
+// sender owns the owner → partner half of replication: it dials the
+// partner's replication listener, resumes the journal stream from the
+// partner's intact-record count, re-sends the full control snapshot
+// (allocations + fields — idempotent, so reconnect and rejoin catch-up are
+// the same code path), then tails the live journal via the Sink installed
+// on the service's Recovery journal.
+//
+// The sink must never block a recovery worker, so it only does a
+// non-blocking push into the outbox; overflow or a control-frame drop
+// forces a reconnect, and the file re-scan from the partner's ack cursor
+// repairs whatever the outbox lost. Journal records the file scan already
+// covered are deduped by sequence number in the live loop.
+type sender struct {
+	self        string
+	partner     NodeInfo
+	journalPath string
+	snapshot    func() []snapshotItem
+
+	outbox   chan outMsg
+	overflow atomic.Bool
+
+	stop chan struct{}
+	done chan struct{}
+
+	lastAssigned atomic.Uint64 // newest journal seq handed to the sink
+	lastAcked    atomic.Uint64 // newest seq the partner acknowledged
+
+	mu        sync.Mutex
+	conn      net.Conn
+	downSince time.Time // zero while the partner session is healthy
+}
+
+const (
+	senderOutbox       = 4096
+	dialTimeout        = time.Second
+	frameWriteTimeout  = 5 * time.Second
+	reconnectBaseDelay = 50 * time.Millisecond
+	reconnectMaxDelay  = time.Second
+)
+
+func newSender(self string, partner NodeInfo, journalPath string, snapshot func() []snapshotItem) *sender {
+	return &sender{
+		self:        self,
+		partner:     partner,
+		journalPath: journalPath,
+		snapshot:    snapshot,
+		outbox:      make(chan outMsg, senderOutbox),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+}
+
+// sink is the journal.Sink installed on the service's recovery journal.
+// Called with the journal lock held: push and return, never block.
+func (s *sender) sink(seq uint64, line []byte) {
+	s.lastAssigned.Store(seq)
+	cp := append([]byte(nil), line...)
+	select {
+	case s.outbox <- outMsg{h: frameHeader{Type: frameJrec, Seq: seq}, payload: cp}:
+	default:
+		// Dropped: the live loop notices the gap (or the flag) and
+		// reconnects, re-reading the lost records from the file.
+		s.overflow.Store(true)
+	}
+}
+
+// enqueueControl queues an alloc/field/unreg frame. Control state has no
+// sequence numbers — a drop is repaired by the snapshot on the forced
+// reconnect.
+func (s *sender) enqueueControl(m outMsg) {
+	select {
+	case s.outbox <- m:
+	default:
+		s.overflow.Store(true)
+	}
+}
+
+// forceReconnect tears down the current session (if any); the run loop
+// redials and re-snapshots. Promotion calls this so the snapshot grows the
+// promoted tenants.
+func (s *sender) forceReconnect() {
+	s.mu.Lock()
+	if s.conn != nil {
+		_ = s.conn.Close()
+	}
+	s.mu.Unlock()
+}
+
+// lag reports journal records appended locally but not yet acknowledged by
+// the partner.
+func (s *sender) lag() uint64 {
+	assigned, acked := s.lastAssigned.Load(), s.lastAcked.Load()
+	if assigned <= acked {
+		return 0
+	}
+	return assigned - acked
+}
+
+// downFor reports how long the partner session has been unhealthy (zero
+// when connected).
+func (s *sender) downFor() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.downSince.IsZero() {
+		return 0
+	}
+	return time.Since(s.downSince)
+}
+
+func (s *sender) noteDown() {
+	s.mu.Lock()
+	if s.downSince.IsZero() {
+		s.downSince = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+func (s *sender) markUp(conn net.Conn) {
+	s.mu.Lock()
+	s.conn = conn
+	s.downSince = time.Time{}
+	s.mu.Unlock()
+}
+
+func (s *sender) Stop() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.forceReconnect()
+	<-s.done
+}
+
+func (s *sender) stopped() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// run is the sender's session loop: dial, resume, snapshot, tail; on any
+// error back off and start over. Runs until Stop.
+func (s *sender) run() {
+	defer close(s.done)
+	delay := reconnectBaseDelay
+	for {
+		if s.stopped() {
+			return
+		}
+		conn, err := net.DialTimeout("tcp", s.partner.Repl, dialTimeout)
+		if err != nil {
+			s.noteDown()
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(delay):
+			}
+			if delay *= 2; delay > reconnectMaxDelay {
+				delay = reconnectMaxDelay
+			}
+			continue
+		}
+		delay = reconnectBaseDelay
+		err = s.session(conn)
+		_ = conn.Close()
+		s.mu.Lock()
+		s.conn = nil
+		s.mu.Unlock()
+		if s.stopped() {
+			return
+		}
+		if err != nil {
+			s.noteDown()
+		}
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(reconnectBaseDelay):
+		}
+	}
+}
+
+// send writes one frame under a write deadline, so a wedged partner surfaces
+// as a session error instead of hanging the loop.
+func (s *sender) send(conn net.Conn, h frameHeader, payload []byte) error {
+	_ = conn.SetWriteDeadline(time.Now().Add(frameWriteTimeout))
+	return writeFrame(conn, h, payload)
+}
+
+// session drives one connection to the partner until it breaks.
+func (s *sender) session(conn net.Conn) error {
+	// Hello carries our journal length: a partner holding MORE records than
+	// we have knows our journal regressed (fresh file after a reset) and
+	// rotates its replica rather than appending a diverged history.
+	ownLen, err := journal.CountRecords(s.journalPath)
+	if err != nil {
+		return err
+	}
+	if err := s.send(conn, frameHeader{Type: frameHello, From: s.self, Seq: ownLen}, nil); err != nil {
+		return err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(frameWriteTimeout))
+	h, _, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if h.Type != frameWelcome {
+		return errUnexpectedFrame(h.Type)
+	}
+	resume := h.Resume
+	_ = conn.SetReadDeadline(time.Time{})
+	s.markUp(conn)
+	s.overflow.Store(false)
+
+	// Ack reader: a tiny goroutine per session; exits when the conn closes.
+	ackDone := make(chan struct{})
+	go func() {
+		defer close(ackDone)
+		for {
+			h, _, err := readFrame(conn)
+			if err != nil {
+				return
+			}
+			if h.Type == frameAck {
+				for {
+					cur := s.lastAcked.Load()
+					if h.Seq <= cur || s.lastAcked.CompareAndSwap(cur, h.Seq) {
+						break
+					}
+				}
+			}
+		}
+	}()
+	defer func() { _ = conn.Close(); <-ackDone }()
+
+	// Idempotent control snapshot: every locally-served allocation and its
+	// current field. The partner re-applies registrations (skipping names it
+	// holds) and overwrites fields — making first connect, reconnect, and a
+	// rejoining ex-owner's catch-up one code path.
+	for _, item := range s.snapshot() {
+		ah := frameHeader{Type: frameAlloc, Tenant: item.tenant, Alloc: item.name,
+			Dims: item.dims, DType: item.dtype, Policy: item.policy}
+		if err := s.send(conn, ah, nil); err != nil {
+			return err
+		}
+		fh := frameHeader{Type: frameField, Tenant: item.tenant, Alloc: item.name}
+		if err := s.send(conn, fh, float64sToBytes(item.vals)); err != nil {
+			return err
+		}
+	}
+
+	// Journal catch-up: stream records past the partner's intact count from
+	// the file. Records appended while we scan land in the outbox and are
+	// deduped below by sequence number.
+	sent := resume
+	if err := journal.Records(s.journalPath, func(seq uint64, line []byte) error {
+		if seq <= resume {
+			return nil
+		}
+		if err := s.send(conn, frameHeader{Type: frameJrec, Seq: seq}, line); err != nil {
+			return err
+		}
+		sent = seq
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Live tail.
+	for {
+		select {
+		case <-s.stop:
+			return nil
+		case m := <-s.outbox:
+			if s.overflow.Load() {
+				// Something was dropped; the file has the truth. Reconnect.
+				return errOutboxOverflow
+			}
+			if m.h.Type == frameJrec {
+				if m.h.Seq <= sent {
+					continue // already covered by the file scan
+				}
+				if m.h.Seq > sent+1 {
+					return errOutboxOverflow // gap: records were dropped
+				}
+			}
+			if err := s.send(conn, m.h, m.payload); err != nil {
+				return err
+			}
+			if m.h.Type == frameJrec {
+				sent = m.h.Seq
+			}
+		}
+	}
+}
+
+type senderErr string
+
+func (e senderErr) Error() string { return string(e) }
+
+func errUnexpectedFrame(t string) error {
+	return senderErr("cluster: unexpected frame " + t + " (want welcome)")
+}
+
+var errOutboxOverflow = senderErr("cluster: replication outbox overflowed; resyncing from journal file")

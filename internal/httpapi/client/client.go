@@ -25,6 +25,12 @@ import (
 	"spatialdue/internal/httpapi"
 )
 
+// ErrForwardLoop re-exports the shard-forwarding loop sentinel: returned
+// (via errors.Is) when a redirect chain exceeds httpapi.MaxForwardHops,
+// whether the loop was cut client-side by the redirect policy or
+// server-side as 508 forward_loop.
+var ErrForwardLoop = httpapi.ErrForwardLoop
+
 // Config tunes a Client. The zero value plus a BaseURL is usable.
 type Config struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
@@ -58,7 +64,35 @@ func New(cfg Config) *Client {
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 50 * time.Millisecond
 	}
-	return &Client{cfg: cfg, hc: cfg.HTTPClient}
+	// Shallow-copy the HTTP client (sharing its transport and connection
+	// pool) to install the shard-forwarding redirect policy without
+	// mutating the caller's client.
+	hc := *cfg.HTTPClient
+	hc.CheckRedirect = followForward
+	return &Client{cfg: cfg, hc: &hc}
+}
+
+// followForward is the redirect policy for cluster shard forwarding: a 307
+// from a non-owning node is followed to the shard owner with the tenant,
+// trace, and content-type headers of the original request re-asserted (Go
+// strips some headers on cross-host redirects), and the server's hop
+// counter carried forward so both ends can cut routing loops. Chains past
+// httpapi.MaxForwardHops fail with ErrForwardLoop.
+func followForward(req *http.Request, via []*http.Request) error {
+	if len(via) > httpapi.MaxForwardHops {
+		return fmt.Errorf("%w: gave up after %d redirects", httpapi.ErrForwardLoop, len(via))
+	}
+	for _, h := range []string{httpapi.TenantHeader, httpapi.TraceparentHeader, "Content-Type"} {
+		if v := via[0].Header.Get(h); v != "" && req.Header.Get(h) == "" {
+			req.Header.Set(h, v)
+		}
+	}
+	if resp := req.Response; resp != nil {
+		if v := resp.Header.Get(httpapi.ForwardHopsHeader); v != "" {
+			req.Header.Set(httpapi.ForwardHopsHeader, v)
+		}
+	}
+	return nil
 }
 
 // retryable marks calls that are safe to repeat after a backpressure

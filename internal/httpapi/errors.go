@@ -28,8 +28,16 @@ const (
 	CodeCheckpointRestart = "checkpoint_restart_required"
 	CodeDraining          = "draining"
 	CodeRecoveriesBusy    = "recoveries_in_flight"
+	CodeForwardLoop       = "forward_loop"
 	CodeInternal          = "internal"
 )
+
+// ErrForwardLoop is returned when a shard-forwarding redirect chain exceeds
+// MaxForwardHops — a cluster map disagreement (two nodes each believing the
+// other owns the tenant) that would otherwise bounce the request forever.
+// Mapped to 508 Loop Detected on the wire; the SDK's redirect policy raises
+// it client-side as well.
+var ErrForwardLoop = errors.New("httpapi: shard-forwarding loop")
 
 // ErrorDetail is the JSON error payload.
 type ErrorDetail struct {
@@ -62,6 +70,7 @@ type mapping struct {
 // checkpoint_restart_required, verify_failed reaches the caller inside a
 // ladder-exhausted wrap) classify by their most informative cause.
 var mappings = []mapping{
+	{CodeForwardLoop, http.StatusLoopDetected, false, []error{ErrForwardLoop}},
 	{CodeOverloaded, http.StatusTooManyRequests, true, []error{service.ErrOverloaded}},
 	{CodeDraining, http.StatusServiceUnavailable, false, []error{service.ErrStopped}},
 	{CodeCircuitOpen, http.StatusServiceUnavailable, true, []error{service.ErrCircuitOpen, core.ErrCheckpointRestartRequired}},

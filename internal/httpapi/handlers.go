@@ -135,7 +135,31 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		rep.Reason = "draining"
 		status = http.StatusServiceUnavailable
 	}
+	if s.cfg.Cluster != nil {
+		cs := s.cfg.Cluster.Status()
+		rep.Cluster = &cs
+		if cs.Degraded && rep.Ready {
+			// Still serving — promotion means this node IS the shard now —
+			// but redundancy is gone, so steer balancers elsewhere.
+			rep.Ready = false
+			switch {
+			case cs.Standby:
+				rep.Reason = "cluster degraded: standby behind promoted partner"
+			case len(cs.PromotedFor) > 0:
+				rep.Reason = fmt.Sprintf("cluster degraded: promoted over %v", cs.PromotedFor)
+			default:
+				rep.Reason = "cluster degraded: partner unreachable past heartbeat budget"
+			}
+			status = http.StatusServiceUnavailable
+		}
+	}
 	writeJSON(w, status, rep)
+}
+
+// handleClusterStatus reports this node's cluster role. Never forwarded:
+// peers probe it to detect promotion, operators to see who owns what.
+func (s *Server) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Cluster.Status())
 }
 
 // queueCapacity reports the configured admission bound (the service
@@ -177,6 +201,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"spatialdue_mca_bank_overflows_total %d\n",
 		s.evAccepted.Load(), s.evLatched.Load(), s.evRejected.Load(),
 		s.eng.Table().Len(), due, overflow)
+	if s.cfg.Cluster != nil {
+		cs := s.cfg.Cluster.Status()
+		b2i := func(b bool) int {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		fmt.Fprintf(w,
+			"# HELP spatialdue_replication_lag_records Journal records appended but not yet acknowledged by the partner.\n"+
+				"# TYPE spatialdue_replication_lag_records gauge\n"+
+				"spatialdue_replication_lag_records %d\n"+
+				"# HELP spatialdue_cluster_partner_unreachable Partner unreachable past the heartbeat budget (1) or reachable (0).\n"+
+				"# TYPE spatialdue_cluster_partner_unreachable gauge\n"+
+				"spatialdue_cluster_partner_unreachable %d\n"+
+				"# HELP spatialdue_cluster_promoted_shards Dead owners whose shards this node has promoted itself over.\n"+
+				"# TYPE spatialdue_cluster_promoted_shards gauge\n"+
+				"spatialdue_cluster_promoted_shards %d\n"+
+				"# HELP spatialdue_cluster_degraded Cluster redundancy lost from this node's perspective.\n"+
+				"# TYPE spatialdue_cluster_degraded gauge\n"+
+				"spatialdue_cluster_degraded %d\n",
+			cs.ReplicationLag, b2i(cs.PartnerDown), len(cs.PromotedFor), b2i(cs.Degraded))
+	}
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -221,6 +268,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, err)
 		return
+	}
+	if s.cfg.Cluster != nil {
+		s.cfg.Cluster.AllocRegistered(a)
 	}
 	writeJSON(w, http.StatusCreated, s.allocInfo(a))
 }
@@ -285,6 +335,9 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	// The field changed character: re-snapshot the shared statistics,
 	// re-admit repaired cells, and drop stale cached tuning decisions.
 	s.eng.FieldUpdated(a.Array)
+	if s.cfg.Cluster != nil {
+		s.cfg.Cluster.FieldUploaded(a, vals)
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -772,5 +825,8 @@ func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 	// Drop the allocation's breaker so a future allocation reusing the name
 	// starts with a closed circuit.
 	s.svc.ForgetBreaker(a.QualifiedName())
+	if s.cfg.Cluster != nil {
+		s.cfg.Cluster.AllocUnregistered(tenant, a.Name)
+	}
 	w.WriteHeader(http.StatusNoContent)
 }

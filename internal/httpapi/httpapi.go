@@ -278,6 +278,11 @@ type ReadyReport struct {
 	Recovered     uint64            `json:"recovered"`
 	Failed        uint64            `json:"failed"`
 	Replayed      uint64            `json:"replayed,omitempty"`
+	// Cluster is the node's cluster role, present only in cluster mode. A
+	// degraded cluster (partner unreachable past the heartbeat budget, or
+	// this node promoted/standby) flips the report to 503 so load balancers
+	// prefer healthy nodes — the node itself keeps serving.
+	Cluster *ClusterStatus `json:"cluster,omitempty"`
 }
 
 // Float64sToBytes encodes field data for upload: little-endian IEEE-754,

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"regexp"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -47,6 +49,11 @@ type ServerConfig struct {
 	// injection endpoint the load generator and tests drive. Off by
 	// default: a production deployment must not let clients corrupt state.
 	EnableInject bool
+	// Cluster, when set, puts the server in cluster mode: /v1 requests for
+	// tenants this node does not own are 307-redirected to the shard owner,
+	// registrations/uploads/unregistrations replicate to the partner, and
+	// GET /v1/cluster/status plus replication metrics are exposed.
+	Cluster Cluster
 }
 
 // Server is the networked recovery front end. Create with NewServer, serve
@@ -182,13 +189,54 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/outcomes", s.handleOutcomes)
 	mux.HandleFunc("GET /v1/quarantine", s.handleQuarantine)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	if s.cfg.Cluster != nil {
+		mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
+	}
 	s.mux = mux
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if s.forward(w, r) {
+		return
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// forward applies shard routing in cluster mode: a /v1 request for a tenant
+// another node owns is answered with 307 to that node (tenant and trace
+// headers travel with the redirect — the SDK re-asserts them), incrementing
+// ForwardHopsHeader; a chain past MaxForwardHops means the membership maps
+// disagree and is refused with 508 forward_loop. Reports whether it wrote
+// the response. Cluster status is always answered locally — it is how peers
+// and operators ask "who do YOU think you are".
+func (s *Server) forward(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.Cluster == nil || !strings.HasPrefix(r.URL.Path, "/v1/") ||
+		r.URL.Path == "/v1/cluster/status" {
+		return false
+	}
+	tenant, err := s.tenant(r)
+	if err != nil {
+		return false // the handler reports the malformed header
+	}
+	target, local := s.cfg.Cluster.Route(tenant)
+	if local {
+		return false
+	}
+	hops := 0
+	if h := r.Header.Get(ForwardHopsHeader); h != "" {
+		hops, _ = strconv.Atoi(h)
+	}
+	if hops >= MaxForwardHops {
+		writeError(w, fmt.Errorf("%w: tenant %q still not owned after %d hops",
+			ErrForwardLoop, tenant, hops))
+		return true
+	}
+	w.Header().Set(ForwardHopsHeader, strconv.Itoa(hops+1))
+	w.Header().Set("Location", strings.TrimSuffix(target, "/")+r.URL.RequestURI())
+	w.WriteHeader(http.StatusTemporaryRedirect)
+	return true
 }
 
 // Run serves on l until ctx is cancelled, then shuts down in strict order:

@@ -91,13 +91,24 @@ func (l *Log) Path() string { return l.path }
 // never interleave bytes; with sync enabled the line is fsynced before
 // Append returns.
 func (l *Log) Append(v any) error {
-	if err := faultinject.ErrorPoint("journal/append"); err != nil {
-		return fmt.Errorf("journal: append: %w", err)
-	}
 	data, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("journal: marshal: %w", err)
 	}
+	return l.AppendLine(data)
+}
+
+// AppendLine appends one pre-marshaled record line (JSON, no trailing
+// newline). This is the replication path: a partner receiving records off
+// the stream appends the owner's exact bytes, so the replica file is a
+// byte-identical prefix of the owner's journal and record sequence numbers
+// (line indexes) agree on both sides.
+func (l *Log) AppendLine(line []byte) error {
+	if err := faultinject.ErrorPoint("journal/append"); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	data := make([]byte, 0, len(line)+1)
+	data = append(data, line...)
 	data = append(data, '\n')
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -138,6 +149,30 @@ func (l *Log) Close() error {
 func Scan(path string, fn func(line []byte) error) error {
 	_, err := scanFile(path, fn)
 	return err
+}
+
+// Records is Scan with 1-based record sequence numbers: fn receives each
+// intact line together with its index in the file. The sequence number is
+// the replication protocol's cursor — "record seq N" means the Nth line of
+// the owner's journal, on both ends of the stream.
+func Records(path string, fn func(seq uint64, line []byte) error) error {
+	var seq uint64
+	return Scan(path, func(line []byte) error {
+		seq++
+		return fn(seq, line)
+	})
+}
+
+// CountRecords returns the number of intact records in the log at path. A
+// torn tail is not counted — which is exactly what a replication partner
+// must resume from: the last record it can trust, never the tail.
+func CountRecords(path string) (uint64, error) {
+	var n uint64
+	err := Scan(path, func([]byte) error {
+		n++
+		return nil
+	})
+	return n, err
 }
 
 // scanFile is Scan plus bookkeeping of the intact prefix length: the byte

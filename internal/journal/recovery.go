@@ -70,6 +70,12 @@ type Outcome struct {
 	OK bool `json:"ok"`
 	// Detail carries the failure cause, or the method/stage on success.
 	Detail string `json:"detail,omitempty"`
+	// NewBits is the IEEE-754 bit pattern of the recovered value on a
+	// successful recovery (zero otherwise). A replication partner applies
+	// these bits to its replica field so that, after a promotion, the
+	// shard's data is bit-identical to what the dead owner had recovered —
+	// a JSON float round-trip could not promise that for NaN payloads.
+	NewBits uint64 `json:"valbits,omitempty"`
 }
 
 // record is the on-disk envelope: exactly one of Intent/Outcome is set.
@@ -79,11 +85,20 @@ type record struct {
 	Outcome *Outcome `json:"o,omitempty"`
 }
 
+// Sink observes every record appended to a Recovery journal, with its
+// 1-based sequence number (index in the file) and raw JSON line. The
+// replication sender uses it to tail the journal live. It is called after
+// the record is durably in the local file, while an internal lock is held —
+// implementations must not block (hand off to a channel and return).
+type Sink func(seq uint64, line []byte)
+
 // Recovery is the service's write-ahead recovery journal.
 type Recovery struct {
 	mu     sync.Mutex
 	log    *Log
 	nextID uint64
+	seq    uint64 // records in the file: the replication cursor
+	sink   Sink
 }
 
 // OpenRecovery opens (creating if needed) the recovery journal at path and
@@ -93,8 +108,9 @@ type Recovery struct {
 // the old ones; IDs continue from the highest seen.
 func OpenRecovery(path string, sync bool) (*Recovery, []Intent, error) {
 	dangling := map[uint64]Intent{}
-	var maxID uint64
+	var maxID, seq uint64
 	err := Scan(path, func(line []byte) error {
+		seq++
 		var rec record
 		if err := json.Unmarshal(line, &rec); err != nil {
 			return fmt.Errorf("journal: decode record: %w", err)
@@ -133,7 +149,48 @@ func OpenRecovery(path string, sync bool) (*Recovery, []Intent, error) {
 		unfinished = append(unfinished, in)
 	}
 	sort.Slice(unfinished, func(i, j int) bool { return unfinished[i].ID < unfinished[j].ID })
-	return &Recovery{log: log, nextID: maxID + 1}, unfinished, nil
+	return &Recovery{log: log, nextID: maxID + 1, seq: seq}, unfinished, nil
+}
+
+// SetSink installs (or clears, with nil) the replication sink. Records
+// already in the file are not re-delivered — the sender catches up from the
+// file via Records and uses the sink only for the live tail.
+func (r *Recovery) SetSink(s Sink) {
+	r.mu.Lock()
+	r.sink = s
+	r.mu.Unlock()
+}
+
+// Seq returns the sequence number of the last record appended (the count of
+// records in the file).
+func (r *Recovery) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Path returns the journal file's path.
+func (r *Recovery) Path() string { return r.log.Path() }
+
+// append marshals rec, appends it under the sequence lock (so sequence
+// numbers assigned here always match line order in the file), and feeds the
+// sink. The log's own mutex already serializes writers; taking r.mu around
+// the write adds no extra contention beyond what the file imposes.
+func (r *Recovery) append(rec record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: marshal: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.log.AppendLine(data); err != nil {
+		return err
+	}
+	r.seq++
+	if r.sink != nil {
+		r.sink(r.seq, data)
+	}
+	return nil
 }
 
 // Begin journals a recovery intent (durably, when the journal is synced)
@@ -146,7 +203,7 @@ func (r *Recovery) Begin(tenant, alloc string, addr uint64, off int, detected fl
 	r.nextID++
 	r.mu.Unlock()
 	in := Intent{ID: id, Alloc: alloc, Tenant: tenant, Addr: addr, Offset: off, Detected: detected}
-	if err := r.log.Append(record{Kind: "intent", Intent: &in}); err != nil {
+	if err := r.append(record{Kind: "intent", Intent: &in}); err != nil {
 		return 0, err
 	}
 	faultinject.CrashPoint("journal/intent-written")
@@ -156,13 +213,44 @@ func (r *Recovery) Begin(tenant, alloc string, addr uint64, off int, detected fl
 // Finish journals the outcome of intent id. Until this returns, the intent
 // counts as unfinished and a restart will replay it.
 func (r *Recovery) Finish(id uint64, ok bool, detail string) error {
+	return r.FinishValue(id, ok, detail, 0)
+}
+
+// FinishValue is Finish carrying the recovered value's IEEE-754 bit pattern
+// (meaningful only when ok; pass 0 otherwise). The replication partner
+// applies newBits to its replica field, keeping promoted shards bit-exact.
+func (r *Recovery) FinishValue(id uint64, ok bool, detail string, newBits uint64) error {
 	faultinject.CrashPoint("journal/outcome-unwritten")
-	out := Outcome{ID: id, OK: ok, Detail: detail}
-	if err := r.log.Append(record{Kind: "outcome", Outcome: &out}); err != nil {
+	out := Outcome{ID: id, OK: ok, Detail: detail, NewBits: newBits}
+	if err := r.append(record{Kind: "outcome", Outcome: &out}); err != nil {
 		return err
 	}
 	faultinject.CrashPoint("journal/outcome-written")
 	return nil
+}
+
+// DecodeRecord decodes one raw journal line (as delivered by a Sink or by
+// Records) into its intent or outcome. Exactly one of the returns is
+// non-nil on success.
+func DecodeRecord(line []byte) (*Intent, *Outcome, error) {
+	var rec record
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return nil, nil, fmt.Errorf("journal: decode record: %w", err)
+	}
+	switch rec.Kind {
+	case "intent":
+		if rec.Intent == nil {
+			return nil, nil, fmt.Errorf("journal: intent record without body")
+		}
+		return rec.Intent, nil, nil
+	case "outcome":
+		if rec.Outcome == nil {
+			return nil, nil, fmt.Errorf("journal: outcome record without body")
+		}
+		return nil, rec.Outcome, nil
+	default:
+		return nil, nil, fmt.Errorf("journal: unknown record kind %q", rec.Kind)
+	}
 }
 
 // Close closes the underlying log.

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"runtime/pprof"
 	"sync"
@@ -87,6 +88,10 @@ type Config struct {
 	JournalPath string
 	// JournalSync fsyncs every journal append (full WAL durability).
 	JournalSync bool
+	// JournalSink, when set (and the journal is enabled), observes every
+	// journal record as it is appended — the replication sender's live tap.
+	// Called with an internal journal lock held; it must not block.
+	JournalSink journal.Sink
 	// Seed makes retry jitter deterministic.
 	Seed int64
 	// OnOutcome, when set, receives every finished recovery (called from
@@ -287,6 +292,11 @@ func New(eng *core.Engine, cfg Config) (*Service, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.JournalSink != nil {
+			// Installed before replay so the partner sees replay close-outs
+			// (orphaned intents) too, not just post-restart traffic.
+			jr.SetSink(cfg.JournalSink)
+		}
 		s.jr = jr
 		unfinished = dangling
 	}
@@ -380,7 +390,7 @@ func (s *Service) SubmitAddress(addr uint64) error {
 		// the HTTP layer maps corrupt-descriptor refusals to 422, not 404.
 		return fmt.Errorf("%w: %w", core.ErrCheckpointRestartRequired, err)
 	}
-	return s.submit(alloc, addr, off)
+	return s.submit(alloc, addr, off, false)
 }
 
 // Submit admits a recovery for a known allocation element (detector paths
@@ -389,10 +399,27 @@ func (s *Service) Submit(alloc *registry.Allocation, off int) error {
 	if off < 0 || off >= alloc.Array.Len() {
 		return fmt.Errorf("%w: offset %d out of range", core.ErrCheckpointRestartRequired, off)
 	}
-	return s.submit(alloc, alloc.AddrOf(off), off)
+	return s.submit(alloc, alloc.AddrOf(off), off, false)
 }
 
-func (s *Service) submit(alloc *registry.Allocation, addr uint64, off int) error {
+// SubmitReplayed admits a recovery replayed from a replicated journal — the
+// cross-node analogue of the restart replay in New. The intent originated on
+// another node; this node journals a fresh local intent for it, quarantines
+// the offset, and runs it through the normal pipeline. The recovery is
+// marked Replayed in its Result and counted in Stats.Replayed. Callers see
+// the same admission errors as Submit (retry ErrOverloaded with backoff:
+// promotion replay must not drop intents just because a storm is running).
+func (s *Service) SubmitReplayed(alloc *registry.Allocation, addr uint64, off int) error {
+	if off < 0 || off >= alloc.Array.Len() {
+		return fmt.Errorf("%w: offset %d out of range", core.ErrCheckpointRestartRequired, off)
+	}
+	if addr == 0 {
+		addr = alloc.AddrOf(off)
+	}
+	return s.submit(alloc, addr, off, true)
+}
+
+func (s *Service) submit(alloc *registry.Allocation, addr uint64, off int, replayed bool) error {
 	// Admission control: reserve a queue slot or reject immediately —
 	// never block the deliverer.
 	s.mu.Lock()
@@ -440,6 +467,9 @@ func (s *Service) submit(alloc *registry.Allocation, addr uint64, off int) error
 	if tr == nil {
 		tr = trace.New()
 	}
+	if replayed {
+		tr.SetReplayed()
+	}
 
 	// Quarantine at intake: from this moment the corrupt cell is masked
 	// out of every stencil, even while the task waits in the queue. Record
@@ -456,7 +486,7 @@ func (s *Service) submit(alloc *registry.Allocation, addr uint64, off int) error
 	}
 
 	// Write-ahead intent: durable before any work begins.
-	t := task{alloc: alloc, addr: addr, off: off, detected: detected, probe: probe, tr: tr}
+	t := task{alloc: alloc, addr: addr, off: off, detected: detected, probe: probe, replayed: replayed, tr: tr}
 	if s.jr != nil {
 		t0 := time.Now()
 		id, err := s.jr.Begin(alloc.Tenant, alloc.Name, addr, off, detected)
@@ -491,6 +521,9 @@ func (s *Service) submit(alloc *registry.Allocation, addr uint64, off int) error
 	}
 	t.enqueued = time.Now()
 	s.stats.Accepted++
+	if replayed {
+		s.stats.Replayed++
+	}
 	s.queue <- t // cannot block: slot reserved above
 	s.mu.Unlock()
 	return nil
@@ -778,8 +811,15 @@ func (s *Service) finishTask(t task, out core.Outcome, err error, attempts int) 
 		} else {
 			detail = fmt.Sprintf("method=%v stage=%v attempts=%d", out.Method, out.Stage, attempts)
 		}
+		// A successful outcome carries the recovered value's exact bit
+		// pattern: the replication partner applies it to its replica field,
+		// so a promoted shard serves bit-identical data.
+		var newBits uint64
+		if err == nil {
+			newBits = math.Float64bits(out.New)
+		}
 		t0 := time.Now()
-		if jerr := s.jr.Finish(t.id, err == nil, detail); jerr != nil && err == nil {
+		if jerr := s.jr.FinishValue(t.id, err == nil, detail, newBits); jerr != nil && err == nil {
 			err = jerr
 		}
 		t.tr.Observe(trace.StageJournalFinish, t0)
@@ -849,6 +889,22 @@ func (s *Service) die(point string) {
 		s.crashed = point
 	}
 	s.stopped = true
+}
+
+// Kill simulates abrupt process death (kill -9): submissions fail
+// immediately, queued tasks are dropped, and no further journal records are
+// written — not even close-outs. Unlike Drain nothing is flushed or closed
+// cleanly; the journal file is left exactly as the "dead" process had it,
+// which is what a cluster partner replaying the replicated journal must
+// cope with. Worker goroutines drain out on their own.
+func (s *Service) Kill() {
+	s.die("killed")
+	s.mu.Lock()
+	if s.started {
+		s.started = false
+		close(s.queue)
+	}
+	s.mu.Unlock()
 }
 
 func (s *Service) isCrashed() bool {
