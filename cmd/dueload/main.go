@@ -28,6 +28,17 @@
 // recoveries — and, for the metadata profile, unless the server's parity
 // actually repaired descriptors without a single refusal.
 //
+// With -storm-profile predicted it scores the server's predictive
+// memory-health tier instead (the server must run with -predictor): CE
+// precursor storms are planted in DUE-designated banks and background noise
+// in the rest, the client waits for the health tiers to react — at least
+// one row must be proactively offlined BEFORE its DUE arrives — then the
+// structured DUEs land and the run reports a bank-level confusion matrix
+// (predicted = tier >= elevated, actual = bank took a DUE) plus ROC points
+// over the risk scores. The run exits nonzero unless recall >= 0.8, at
+// least one planted DUE was mitigated from the migration shadow, every
+// corruption recovered, and no critical-tier bank took an unmitigated DUE.
+//
 // With -addrs (comma-separated node URLs) the load runs against a cluster:
 // clients spread across entry nodes and ride the 307 shard redirects; when
 // a node dies mid-storm each client rotates to the next node, waits out the
@@ -80,7 +91,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base random seed")
 		tol     = flag.Float64("tol", 0.01, "relative-error bound counted as a high-quality recovery")
 		storm   = flag.Bool("storm", false, "same-array storm: all clients share one tenant+allocation, partitioned offsets, NDJSON stream ingest")
-		profile = flag.String("storm-profile", "", "structured-fault storm: bit, burst, row, column, or metadata (single tenant; zero-lost-recoveries exit assertions)")
+		profile = flag.String("storm-profile", "", "structured-fault storm: bit, burst, row, column, or metadata (single tenant; zero-lost-recoveries exit assertions); or predicted (CE-precursor storm scoring the server's predictive-health tier: confusion matrix, ROC, proactive-offline assertions — needs a -predictor server)")
 		span    = flag.Int("span", 0, "storm-profile fault span: burst bit-width or row cells-per-wipe (0 = class default)")
 	)
 	flag.Parse()
@@ -107,6 +118,10 @@ func main() {
 		*events = *rows * *cols
 	}
 
+	if *profile == "predicted" {
+		runPredictedProfile(*addr, *rows, *cols, *settle, *seed, *tol)
+		return
+	}
 	if *profile != "" {
 		runStormProfile(*addr, *profile, *events, *rows, *cols, *span, *settle, *seed, *tol)
 		return

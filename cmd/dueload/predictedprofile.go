@@ -1,0 +1,334 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"spatialdue/internal/httpapi"
+	"spatialdue/internal/httpapi/client"
+	"spatialdue/internal/service"
+)
+
+// rocThresholds are the risk cutoffs the predicted profile sweeps for its
+// ROC table (the middle three are the default tier thresholds).
+var rocThresholds = []float64{0.05, 0.15, 0.25, 0.40, 0.55, 0.70, 0.85, 0.95}
+
+// runPredictedProfile scores the server's predictive memory-health tier
+// end to end. The storm has a known ground truth: a few banks are
+// designated DUE banks and receive concentrated CE precursor storms
+// (clustered rows, several distinct bit positions — the Yu et al.
+// pre-failure signature), the remaining banks receive only scattered
+// background CEs and never take a DUE. The client then waits for the
+// health report, injects the structured DUEs into the stormed rows, and
+// grades the prediction:
+//
+//   - confusion matrix over banks (predicted = tier >= elevated, actual =
+//     bank took a DUE) with recall asserted >= 0.8;
+//   - ROC points (TPR/FPR) across risk thresholds;
+//   - at least one row proactively offlined BEFORE its DUE was injected;
+//   - zero lost recoveries, and every DUE landing in a critical-tier bank
+//     mitigated from the migration shadow (outcome stage "offlined").
+func runPredictedProfile(addr string, rows, cols int, settle time.Duration, seed int64, tol float64) {
+	const (
+		allocName   = "field"
+		dueBankMax  = 3  // banks designated to fail
+		stormCEs    = 36 // precursor CEs per DUE bank
+		noiseCEs    = 3  // background CEs per clean bank
+		duesPerBank = 4
+	)
+	fmt.Printf("dueload: predicted storm profile against %s (%dx%d float64 field)\n", addr, rows, cols)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*settle+5*time.Minute)
+	defer cancel()
+	c := client.New(client.Config{BaseURL: addr, Tenant: "storm-predicted"})
+
+	rep, err := c.Health(ctx)
+	if err != nil {
+		fatalf("health: %v", err)
+	}
+	if !rep.Enabled {
+		fatalf("predicted profile needs a predictive server: run duerecover -serve -listen ... -predictor")
+	}
+	banks, rowBytes := rep.Topology.Banks, uint64(rep.Topology.RowBytes)
+
+	info, err := c.Register(ctx, httpapi.RegisterRequest{
+		Name: allocName, Dims: []int{rows, cols}, DType: "float64",
+		Policy: httpapi.PolicyInfo{Any: true, Range: &httpapi.RangeInfo{Lo: 50, Hi: 150}},
+	})
+	if err != nil {
+		fatalf("register: %v", err)
+	}
+	orig := smoothField(rows, cols, seed)
+	if err := c.Upload(ctx, allocName, orig); err != nil {
+		fatalf("upload: %v", err)
+	}
+
+	// Map the allocation onto DRAM rows: every full row it covers, grouped
+	// by bank. The allocation must span enough rows that each DUE bank owns
+	// at least two (the storm clusters on two rows per bank).
+	end := info.Base + info.SizeBytes
+	bankRows := make([][]uint64, banks) // bank -> row-start addresses
+	for lo := (info.Base + rowBytes - 1) / rowBytes * rowBytes; lo+rowBytes <= end; lo += rowBytes {
+		b := int(lo / rowBytes % uint64(banks))
+		bankRows[b] = append(bankRows[b], lo)
+	}
+	var dueBanks, cleanBanks []int
+	for b := 0; b < banks; b++ {
+		if len(bankRows[b]) >= 2 && len(dueBanks) < dueBankMax {
+			dueBanks = append(dueBanks, b)
+		} else if len(bankRows[b]) >= 1 {
+			cleanBanks = append(cleanBanks, b)
+		}
+	}
+	if len(dueBanks) == 0 {
+		fatalf("field too small: no bank owns two full %d-byte rows (raise -rows/-cols)", rowBytes)
+	}
+
+	// Phase 1 — CE precursors. DUE banks get the failure signature: CEs
+	// clustered on two rows, six distinct bit positions, rapid succession.
+	// Clean banks get sparse single-bit noise on distinct rows.
+	raise := func(a uint64, bit int) {
+		res, rerr := c.RaiseCE(ctx, a, bit)
+		if rerr != nil {
+			fatalf("raise CE at %#x: %v", a, rerr)
+		}
+		if res.Status != httpapi.StatusAccepted {
+			fatalf("CE at %#x: status %q", a, res.Status)
+		}
+	}
+	stormBits := []int{1, 5, 9, 17, 23, 42}
+	for _, b := range dueBanks {
+		for i := 0; i < stormCEs; i++ {
+			lo := bankRows[b][i%2] // two hot rows per bank
+			raise(lo+uint64((i%16)*8), stormBits[i%len(stormBits)])
+		}
+	}
+	for _, b := range cleanBanks {
+		for i := 0; i < noiseCEs && i < len(bankRows[b]); i++ {
+			raise(bankRows[b][i]+uint64(i*64), 3)
+		}
+	}
+
+	// Phase 2 — read the verdict BEFORE any DUE exists. Offlined rows seen
+	// here are proactive by construction: the first DUE is injected after.
+	rep, err = c.Health(ctx)
+	if err != nil {
+		fatalf("health after storm: %v", err)
+	}
+	risk := map[int]float64{}
+	tier := map[int]string{}
+	for _, hb := range rep.Banks {
+		risk[hb.Bank] = hb.Risk
+		tier[hb.Bank] = hb.Tier
+	}
+	offlinedBefore := map[int]bool{} // bank -> had a proactive row offline
+	for _, o := range rep.OfflinedRows {
+		offlinedBefore[o.Bank] = true
+	}
+	fmt.Printf("\n== bank health after CE phase (before any DUE) ==\n")
+	fmt.Printf("  %-5s %-9s %8s %s\n", "bank", "tier", "risk", "role")
+	for b := 0; b < banks; b++ {
+		role := "clean"
+		if containsInt(dueBanks, b) {
+			role = "DUE-designated"
+		}
+		if offlinedBefore[b] {
+			role += ", rows proactively offlined"
+		}
+		fmt.Printf("  %-5d %-9s %8.4f %s\n", b, tierName(tier[b]), risk[b], role)
+	}
+
+	// Phase 3 — the DUEs land, only in the designated banks, inside the
+	// stormed (and ideally already-offlined) rows.
+	type due struct {
+		offset int
+		bank   int
+	}
+	var dues []due
+	latched := 0
+	for _, b := range dueBanks {
+		lo := bankRows[b][0]
+		for i := 0; i < duesPerBank; i++ {
+			off := int(lo-info.Base)/8 + 3 + i*31 // spread inside the 128-element row
+			inj, ierr := c.Inject(ctx, allocName, httpapi.InjectRequest{
+				Offset: &off, Seed: seed + int64(b*100+i),
+			})
+			if ierr != nil {
+				fatalf("inject bank %d: %v", b, ierr)
+			}
+			_, ierr = c.Ingest(ctx, httpapi.EventRequest{Addr: inj.Addr, Bit: inj.Bit})
+			switch {
+			case ierr == nil:
+			case errors.Is(ierr, service.ErrOverloaded), errors.Is(ierr, service.ErrCircuitOpen):
+				latched++
+			default:
+				fatalf("ingest bank %d offset %d: %v", b, off, ierr)
+			}
+			dues = append(dues, due{offset: off, bank: b})
+		}
+	}
+	fmt.Printf("\ninjected %d DUEs into %d designated banks (%d latched)\n", len(dues), len(dueBanks), latched)
+
+	// Settle: every DUE offset needs a successful outcome; remember each
+	// one's stage so mitigations (served from the migration shadow, stage
+	// "offlined") are distinguishable from ladder recoveries.
+	tracked := map[int]int{} // offset -> bank
+	for _, d := range dues {
+		tracked[d.offset] = d.bank
+	}
+	stageAt := map[int]string{}
+	deadline := time.Now().Add(settle)
+	var cursor uint64
+	for len(stageAt) < len(tracked) && time.Now().Before(deadline) {
+		page, perr := c.Outcomes(ctx, cursor, allocName, 1000)
+		if perr != nil {
+			fatalf("outcomes: %v", perr)
+		}
+		cursor = page.Next
+		for _, rec := range page.Outcomes {
+			if _, ours := tracked[rec.Offset]; ours && rec.OK && rec.Stage != "page_offlined" {
+				stageAt[rec.Offset] = rec.Stage
+			}
+		}
+		if len(page.Outcomes) == 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Grade the prediction. Predicted positive = the tier said "act" (>=
+	// elevated) before the DUEs; actual positive = the bank was designated
+	// to fail.
+	tp, fn, fp, tn := 0, 0, 0, 0
+	for b := 0; b < banks; b++ {
+		predicted := tier[b] == "elevated" || tier[b] == "critical"
+		actual := containsInt(dueBanks, b)
+		switch {
+		case actual && predicted:
+			tp++
+		case actual:
+			fn++
+		case predicted:
+			fp++
+		default:
+			tn++
+		}
+	}
+	recall := ratio(tp, tp+fn)
+	precision := ratio(tp, tp+fp)
+	fmt.Printf("\n== prediction vs outcome (banks, elevated threshold) ==\n")
+	fmt.Printf("                 predicted+  predicted-\n")
+	fmt.Printf("  actual DUE     %9d  %9d\n", tp, fn)
+	fmt.Printf("  no DUE         %9d  %9d\n", fp, tn)
+	fmt.Printf("  recall %.2f, precision %.2f, FPR %.2f\n", recall, precision, ratio(fp, fp+tn))
+
+	fmt.Printf("\n== ROC points (risk threshold sweep) ==\n")
+	fmt.Printf("  %-10s %6s %6s\n", "threshold", "TPR", "FPR")
+	for _, t := range rocThresholds {
+		rocTP, rocFP := 0, 0
+		for _, b := range dueBanks {
+			if risk[b] >= t {
+				rocTP++
+			}
+		}
+		for _, b := range cleanBanks {
+			if risk[b] >= t {
+				rocFP++
+			}
+		}
+		fmt.Printf("  %-10.2f %6.2f %6.2f\n", t, ratio(rocTP, len(dueBanks)), ratio(rocFP, len(cleanBanks)))
+	}
+
+	// Mitigation audit: a DUE in a critical-tier bank must have been served
+	// from the migration shadow; anything less is an unmitigated hit on a
+	// bank the tier had already condemned.
+	mitigated, unmitigatedCritical, lost := 0, 0, 0
+	for off, b := range tracked {
+		stage, ok := stageAt[off]
+		if !ok {
+			lost++
+			continue
+		}
+		if stage == "offlined" {
+			mitigated++
+		} else if tier[b] == "critical" {
+			unmitigatedCritical++
+		}
+	}
+	final, err := c.Download(ctx, allocName)
+	if err != nil {
+		fatalf("download: %v", err)
+	}
+	exact := 0
+	for off, stage := range stageAt {
+		if stage == "offlined" && math.Float64bits(final[off]) == math.Float64bits(orig[off]) {
+			exact++
+		}
+	}
+	fmt.Printf("\n== mitigation ==\n")
+	fmt.Printf("  DUEs mitigated from migration shadow  %d/%d (%d bit-exact)\n", mitigated, len(tracked), exact)
+	fmt.Printf("  recovered via prediction ladder       %d\n", len(stageAt)-mitigated)
+	fmt.Printf("  lost (no successful outcome)          %d\n", lost)
+
+	if recall < 0.8 {
+		fatalf("profile predicted: recall %.2f < 0.8 at the elevated threshold", recall)
+	}
+	proactive := false
+	for _, b := range dueBanks {
+		if offlinedBefore[b] {
+			proactive = true
+		}
+	}
+	if !proactive {
+		fatalf("profile predicted: no row was proactively offlined before its DUE")
+	}
+	if mitigated == 0 {
+		fatalf("profile predicted: no DUE was served from the migration shadow")
+	}
+	if mitigated != exact {
+		fatalf("profile predicted: %d shadow restores were not bit-exact", mitigated-exact)
+	}
+	if lost > 0 {
+		fatalf("profile predicted: %d DUEs never produced a successful outcome", lost)
+	}
+	if unmitigatedCritical > 0 {
+		fatalf("profile predicted: %d DUEs hit critical-tier banks without shadow mitigation", unmitigatedCritical)
+	}
+	fmt.Printf("\nOK [profile predicted]: recall %.2f, %d/%d banks proactively offlined rows before their DUEs, %d/%d DUEs shadow-mitigated, zero lost\n",
+		recall, countTrue(offlinedBefore, dueBanks), len(dueBanks), mitigated, len(tracked))
+}
+
+func tierName(t string) string {
+	if t == "" {
+		return "none"
+	}
+	return t
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func countTrue(m map[int]bool, keys []int) int {
+	n := 0
+	for _, k := range keys {
+		if m[k] {
+			n++
+		}
+	}
+	return n
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -78,8 +78,21 @@ func main() {
 		metricsAddr  = flag.String("metrics-addr", "", "serve: also serve /metrics and /readyz on this address")
 		enableInject = flag.Bool("enable-inject", true, "listen: expose the fault-injection endpoint (disable for production shapes)")
 		traceTop     = flag.Int("trace-top", 0, "dump the N slowest recovery traces (per-stage spans) on exit (0 disables)")
+
+		predictorOn  = flag.Bool("predictor", false, "listen: enable the predictive memory-health tier (CE ingestion, GET /v1/health, proactive scrub/checkpoint/row-offline actions)")
+		predWindow   = flag.Int("predictor-window", 0, "predictor: per-bank CE scoring window in observations (0 = default 128)")
+		predWatch    = flag.Float64("predictor-watch", 0, "predictor: watch-tier risk threshold (0 = default 0.25)")
+		predElevated = flag.Float64("predictor-elevated", 0, "predictor: elevated-tier risk threshold (0 = default 0.55)")
+		predCritical = flag.Float64("predictor-critical", 0, "predictor: critical-tier risk threshold (0 = default 0.85)")
+		predRowCEs   = flag.Int("predictor-row-ces", 0, "predictor: cumulative per-row CE count nominating a row for proactive offline (0 = default 6)")
 	)
 	flag.Parse()
+
+	predCfg := httpapi.PredictorConfig{
+		Enable: *predictorOn, Window: *predWindow,
+		Watch: *predWatch, Elevated: *predElevated, Critical: *predCritical,
+		RowOfflineCEs: *predRowCEs,
+	}
 
 	var scale sdrbench.Scale
 	switch *scaleFlag {
@@ -127,6 +140,7 @@ func main() {
 			dataDir: *dataDir, heartbeat: *heartbeat, budget: *hbBudget,
 			inject: *enableInject, workers: *workers, queue: *queue,
 			deadline: *deadline, batchMax: *batchMax, seed: *seed,
+			predictor: predCfg,
 		})
 		dumpTraces(eng, *traceTop)
 		return
@@ -137,6 +151,7 @@ func main() {
 			addr: *listen, metricsAddr: *metricsAddr, inject: *enableInject,
 			workers: *workers, queue: *queue, deadline: *deadline,
 			batchMax: *batchMax, journal: *jpath, seed: *seed,
+			predictor: predCfg,
 		})
 		dumpTraces(eng, *traceTop)
 		return
@@ -234,6 +249,7 @@ type listenOptions struct {
 	batchMax          int
 	journal           string
 	seed              int64
+	predictor         httpapi.PredictorConfig
 }
 
 type clusterOptions struct {
@@ -245,6 +261,7 @@ type clusterOptions struct {
 	deadline           time.Duration
 	batchMax           int
 	seed               int64
+	predictor          httpapi.PredictorConfig
 }
 
 // runCluster joins the networked server to a recovery cluster: tenant
@@ -283,6 +300,7 @@ func runCluster(eng *spatialdue.Engine, opt clusterOptions) {
 				BatchMax: opt.batchMax, JournalSync: true, Seed: opt.seed,
 			},
 			EnableInject: opt.inject,
+			Predictor:    opt.predictor,
 		},
 	})
 	if err != nil {
@@ -327,6 +345,7 @@ func runListen(eng *spatialdue.Engine, ds *sdrbench.Dataset, policy spatialdue.P
 			Seed: opt.seed,
 		},
 		EnableInject: opt.inject,
+		Predictor:    opt.predictor,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -354,6 +373,9 @@ func runListen(eng *spatialdue.Engine, ds *sdrbench.Dataset, policy spatialdue.P
 	defer stop()
 	fmt.Printf("recovery API on http://%s (dataset %s pre-registered as %q in tenant %q, inject=%v)\n",
 		l.Addr(), ds, ds.Name, httpapi.DefaultTenant, opt.inject)
+	if opt.predictor.Enable {
+		fmt.Printf("predictive health tier enabled (CE ingest via POST /v1/events kind=ce, report on GET /v1/health)\n")
+	}
 	if err := srv.Run(ctx, l); err != nil {
 		fatalf("serve: %v", err)
 	}

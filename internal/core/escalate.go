@@ -51,6 +51,10 @@ const (
 	StageRestore
 	// StageExhausted means the ladder ran out of rungs.
 	StageExhausted
+	// StageOfflined means the value was restored bit-exactly from the
+	// predictive-health tier's migration shadow: the row was proactively
+	// copied out and offlined before the DUE, so no reconstruction ran.
+	StageOfflined
 
 	numStages
 )
@@ -68,6 +72,8 @@ func (s Stage) String() string {
 		return "restore"
 	case StageExhausted:
 		return "exhausted"
+	case StageOfflined:
+		return "offlined"
 	}
 	return fmt.Sprintf("Stage(%d)", int(s))
 }

@@ -18,6 +18,35 @@ func OptimalInterval(checkpointCost, mtbf float64) float64 {
 	return math.Sqrt(2 * checkpointCost * mtbf)
 }
 
+// Young captures the model's fixed input — the cost of writing one
+// checkpoint — so every consumer that recomputes the interval under a
+// revised failure-rate estimate (the tradeoff explorer sweeping MTBFs, the
+// predictive-health tier inflating the rate of an at-risk bank) shares one
+// formula instead of each re-deriving sqrt(2*C*M).
+type Young struct {
+	// CkptCost is the time to write one checkpoint (units are the
+	// caller's, shared with the rates passed to Recompute).
+	CkptCost float64
+}
+
+// Recompute returns the optimum checkpoint interval for the given failure
+// rate (failures per unit time): sqrt(2 * CkptCost / rate). It is
+// OptimalInterval with mtbf = 1/rate — the form the predictor wants, since
+// risk scoring produces an inflated failure-rate estimate, not an MTBF.
+// Non-positive inputs return 0.
+func (y Young) Recompute(rate float64) float64 {
+	if rate <= 0 {
+		return 0
+	}
+	return OptimalInterval(y.CkptCost, 1/rate)
+}
+
+// Interval returns the optimum interval at the baseline MTBF — a
+// convenience wrapper so Young replaces direct OptimalInterval calls.
+func (y Young) Interval(mtbf float64) float64 {
+	return OptimalInterval(y.CkptCost, mtbf)
+}
+
 // ExpectedLostWork returns the average recomputation a failure costs under
 // checkpoint-restart with the given interval: half the interval (plus the
 // restart read time, which the caller can add separately).

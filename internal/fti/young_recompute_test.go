@@ -1,0 +1,65 @@
+package fti
+
+import (
+	"math"
+	"testing"
+)
+
+// TestYoungRecomputeMatchesTradeoffIntervals pins Young.Recompute to the
+// intervals the tradeoff package derives via OptimalInterval for the same
+// (ckptCost, MTBF) points — the two consumers must share one formula
+// bit-for-bit, since the predictor's shrunken interval is compared against
+// tradeoff sweeps in EXPERIMENTS.md.
+func TestYoungRecomputeMatchesTradeoffIntervals(t *testing.T) {
+	cases := []struct {
+		name     string
+		ckptCost float64
+		mtbf     float64
+		want     float64 // sqrt(2*C*M), the tradeoff package's expected interval
+	}{
+		{"tradeoff-default", 60, 86400, math.Sqrt(2 * 60 * 86400)},
+		{"hourly-mtbf", 30, 3600, math.Sqrt(2 * 30 * 3600)},
+		{"paper-figure10", 120, 21600, math.Sqrt(2 * 120 * 21600)},
+		{"sub-second-ckpt", 0.5, 7200, math.Sqrt(2 * 0.5 * 7200)},
+		{"storm-inflated-rate", 60, 600, math.Sqrt(2 * 60 * 600)},
+	}
+	for _, c := range cases {
+		y := Young{CkptCost: c.ckptCost}
+		got := y.Recompute(1 / c.mtbf)
+		if math.Float64bits(got) != math.Float64bits(c.want) {
+			t.Errorf("%s: Recompute(1/%g) = %v, want %v", c.name, c.mtbf, got, c.want)
+		}
+		if via := OptimalInterval(c.ckptCost, c.mtbf); math.Float64bits(got) != math.Float64bits(via) {
+			t.Errorf("%s: Recompute diverges from OptimalInterval: %v vs %v", c.name, got, via)
+		}
+		if iv := y.Interval(c.mtbf); math.Float64bits(iv) != math.Float64bits(c.want) {
+			t.Errorf("%s: Interval(%g) = %v, want %v", c.name, c.mtbf, iv, c.want)
+		}
+	}
+}
+
+// TestYoungRecomputeInflatedRateShrinksInterval checks the predictor's use:
+// inflating the failure rate by k shrinks the interval by sqrt(k).
+func TestYoungRecomputeInflatedRateShrinksInterval(t *testing.T) {
+	y := Young{CkptCost: 60}
+	base := y.Recompute(1.0 / 86400)
+	for _, k := range []float64{2, 4, 16, 100} {
+		inflated := y.Recompute(k / 86400)
+		want := base / math.Sqrt(k)
+		if math.Abs(inflated-want) > 1e-9*want {
+			t.Errorf("rate×%g: interval = %v, want %v", k, inflated, want)
+		}
+		if inflated >= base {
+			t.Errorf("rate×%g did not shrink the interval (%v >= %v)", k, inflated, base)
+		}
+	}
+	if got := y.Recompute(0); got != 0 {
+		t.Errorf("Recompute(0) = %v, want 0", got)
+	}
+	if got := y.Recompute(-1); got != 0 {
+		t.Errorf("Recompute(-1) = %v, want 0", got)
+	}
+	if got := (Young{}).Recompute(1); got != 0 {
+		t.Errorf("zero-cost Recompute = %v, want 0", got)
+	}
+}

@@ -419,6 +419,34 @@ func (c *Client) Traces(ctx context.Context) (*httpapi.TracesReport, error) {
 	return &out, nil
 }
 
+// Health fetches the predictive memory-health report: per-bank risk and
+// tier, proactively offlined rows (allocation names filtered to the
+// tenant), executed action counts, and the advisory checkpoint interval.
+// Enabled is false when the server runs without the predictor.
+func (c *Client) Health(ctx context.Context) (*httpapi.HealthReport, error) {
+	var out httpapi.HealthReport
+	if err := c.do(ctx, http.MethodGet, "/v1/health", nil, &out, callOpts{retryable: true}); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RaiseCE reports one correctable error (EventKindCE): no recovery runs,
+// the observation feeds the server's predictive-health tier. bit is the
+// corrected bit position (-1 when unknown).
+func (c *Client) RaiseCE(ctx context.Context, addr uint64, bit int) (*httpapi.EventResult, error) {
+	return c.Ingest(ctx, httpapi.EventRequest{Kind: httpapi.EventKindCE, Addr: addr, Bit: bit})
+}
+
+// Metrics fetches the raw Prometheus exposition text (GET /metrics).
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	var raw []byte
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &raw, callOpts{retryable: true}); err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
 // Quarantine reports the tenant's quarantined elements.
 func (c *Client) Quarantine(ctx context.Context) (*httpapi.QuarantineReport, error) {
 	var out httpapi.QuarantineReport

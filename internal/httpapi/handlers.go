@@ -201,6 +201,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"spatialdue_mca_bank_overflows_total %d\n",
 		s.evAccepted.Load(), s.evLatched.Load(), s.evRejected.Load(),
 		s.eng.Table().Len(), due, overflow)
+	if s.health != nil {
+		if err := s.health.WriteMetrics(w); err != nil {
+			return
+		}
+	}
 	if s.cfg.Cluster != nil {
 		cs := s.cfg.Cluster.Status()
 		b2i := func(b bool) int {
@@ -584,6 +589,9 @@ func (s *Server) ingestOne(tenant string, ev EventRequest, traceID string) Event
 	if s.draining.Load() {
 		return reject(fmt.Errorf("%w: draining", service.ErrStopped))
 	}
+	if ev.Kind != "" && ev.Kind != EventKindDUE && ev.Kind != EventKindCE {
+		return badReq("unknown event kind %q (want %q or %q)", ev.Kind, EventKindDUE, EventKindCE)
+	}
 
 	var addr uint64
 	var size int
@@ -610,6 +618,15 @@ func (s *Server) ingestOne(tenant string, ev EventRequest, traceID string) Event
 		addr, size = ev.Addr, a.DType.Size()
 	default:
 		return badReq("event needs addr or alloc+offset")
+	}
+
+	// A corrected error carries intact data: no recovery is admitted, the
+	// observation feeds the predictive-health tier (which may act on it —
+	// scrub, replicate, or migrate — via the machine's CE observer).
+	if ev.Kind == EventKindCE {
+		s.machine.RaiseMemoryCEAt(addr, ev.Bit)
+		s.evAccepted.Add(1)
+		return EventResult{Status: StatusAccepted}
 	}
 
 	// Stage the trace before raising: the MCA delivery path cannot carry
@@ -772,6 +789,56 @@ func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
 		if len(offs) > 0 {
 			rep.Allocations[a.Name] = offs
 			rep.Total += len(offs)
+		}
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleHealth serves GET /v1/health: the predictive memory-health tier's
+// report — per-bank risk scores and tiers, proactively offlined rows,
+// executed action counts, and the advisory checkpoint interval. With the
+// predictor disabled the report is {"enabled": false}. Bank state is
+// machine-wide (banks interleave every tenant's allocations); the offlined
+// rows' allocation names are filtered to the requesting tenant.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	tenant, terr := s.tenant(r)
+	if terr != nil {
+		writeBadRequest(w, "%v", terr)
+		return
+	}
+	if s.health == nil {
+		writeJSON(w, http.StatusOK, HealthReport{})
+		return
+	}
+	topo := s.machine.Topology()
+	rep := HealthReport{
+		Enabled:                   true,
+		Observations:              s.health.Predictor().Total(),
+		CheckpointIntervalSeconds: s.health.CheckpointInterval(),
+		ShadowElements:            s.health.ShadowSize(),
+		Topology:                  &TopologyInfo{Banks: topo.Banks, RowBytes: topo.RowBytes, ColBytes: topo.ColBytes},
+	}
+	for _, b := range s.health.Predictor().Report() {
+		rep.Banks = append(rep.Banks, HealthBank{
+			Bank: b.Bank, Risk: b.Risk, Tier: b.Tier.String(),
+			WindowCEs: b.WindowCEs, DistinctBits: b.DistinctBits,
+			DistinctRows: b.DistinctRows, FirstSeq: b.FirstSeq, LastSeq: b.LastSeq,
+		})
+	}
+	for _, o := range s.health.OfflinedRows() {
+		row := HealthOfflinedRow{Bank: o.Bank, Row: o.Row, Seq: o.Seq, Elements: o.Elements}
+		for _, qn := range o.Allocs {
+			t, name := splitQualified(qn)
+			if t == tenant {
+				row.Allocs = append(row.Allocs, name)
+			}
+		}
+		rep.OfflinedRows = append(rep.OfflinedRows, row)
+	}
+	if counts := s.health.ActionCounts(); len(counts) > 0 {
+		rep.Actions = make(map[string]int, len(counts))
+		for k, v := range counts {
+			rep.Actions[string(k)] = v
 		}
 	}
 	writeJSON(w, http.StatusOK, rep)

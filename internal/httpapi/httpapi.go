@@ -95,15 +95,30 @@ type AllocationList struct {
 	Allocations []AllocationInfo `json:"allocations"`
 }
 
+// EventRequest.Kind values.
+const (
+	// EventKindDUE (also the "" default) reports an uncorrectable error: the
+	// element's data is lost and a recovery is admitted.
+	EventKindDUE = "due"
+	// EventKindCE reports a corrected error: the data is intact, no recovery
+	// runs, and the observation feeds the predictive memory-health tier
+	// (GET /v1/health).
+	EventKindCE = "ce"
+)
+
 // EventRequest reports one DUE/MCE. Either Addr (the faulting simulated
 // physical address, as an MCA bank would report it) or Alloc+Offset (a
 // detector that localized corruption without an address) identifies the
 // lost element.
 type EventRequest struct {
+	// Kind is the event class: "" or "due" (default), or "ce".
+	Kind   string `json:"kind,omitempty"`
 	Addr   uint64 `json:"addr,omitempty"`
 	Alloc  string `json:"alloc,omitempty"`
 	Offset *int   `json:"offset,omitempty"`
-	// Bit is the flipped bit index when known (forensics only).
+	// Bit is the flipped bit index when known. For DUEs it is forensics
+	// only; for CEs it is the corrected bit position feeding the
+	// predictor's bit fan-out feature (pass -1 when unknown).
 	Bit int `json:"bit,omitempty"`
 }
 
@@ -254,6 +269,61 @@ type OutcomesPage struct {
 type QuarantineReport struct {
 	Total       int              `json:"total"`
 	Allocations map[string][]int `json:"allocations,omitempty"`
+}
+
+// TopologyInfo is the server's DRAM address topology — what a client needs
+// to map allocation addresses onto the banks the health report scores.
+type TopologyInfo struct {
+	Banks    int `json:"banks"`
+	RowBytes int `json:"row_bytes"`
+	ColBytes int `json:"col_bytes"`
+}
+
+// HealthBank is one bank's predictive-health summary.
+type HealthBank struct {
+	Bank int     `json:"bank"`
+	Risk float64 `json:"risk"`
+	Tier string  `json:"tier"`
+	// WindowCEs, DistinctBits, DistinctRows summarize the scoring window:
+	// CE count, distinct corrected bit positions, distinct rows touched.
+	WindowCEs    int    `json:"window_ces"`
+	DistinctBits int    `json:"distinct_bits"`
+	DistinctRows int    `json:"distinct_rows"`
+	FirstSeq     uint64 `json:"first_seq,omitempty"`
+	LastSeq      uint64 `json:"last_seq,omitempty"`
+}
+
+// HealthOfflinedRow is one proactively migrated and retired DRAM row.
+type HealthOfflinedRow struct {
+	Bank int    `json:"bank"`
+	Row  int    `json:"row"`
+	Seq  uint64 `json:"seq"`
+	// Elements is how many allocation elements were migrated into the
+	// shadow before the row was retired.
+	Elements int `json:"elements"`
+	// Allocs names the affected allocations owned by the requesting tenant
+	// (other tenants' allocations are counted in Elements but not named).
+	Allocs []string `json:"allocs,omitempty"`
+}
+
+// HealthReport is the GET /v1/health payload: the predictive memory-health
+// tier's view of the machine. Enabled is false (and everything else empty)
+// when the server runs without the predictor.
+type HealthReport struct {
+	Enabled      bool         `json:"enabled"`
+	Observations uint64       `json:"observations,omitempty"`
+	Banks        []HealthBank `json:"banks,omitempty"`
+	// OfflinedRows lists proactive row migrations, oldest first.
+	OfflinedRows []HealthOfflinedRow `json:"offlined_rows,omitempty"`
+	// Actions counts executed proactive responses by kind (scrub,
+	// ckpt_shrink, replicate, page_offlined, shadow_restore).
+	Actions map[string]int `json:"actions,omitempty"`
+	// CheckpointIntervalSeconds is the advisory recomputed Young interval
+	// (0 = no bank has reached the elevated tier; run at baseline).
+	CheckpointIntervalSeconds float64 `json:"checkpoint_interval_seconds,omitempty"`
+	// ShadowElements is how many migrated elements the shadow holds.
+	ShadowElements int           `json:"shadow_elements,omitempty"`
+	Topology       *TopologyInfo `json:"topology,omitempty"`
 }
 
 // TracesReport is the GET /v1/traces payload: the slowest retained traces

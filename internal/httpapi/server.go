@@ -16,8 +16,31 @@ import (
 
 	"spatialdue/internal/core"
 	"spatialdue/internal/mca"
+	"spatialdue/internal/predictor"
+	"spatialdue/internal/registry"
 	"spatialdue/internal/service"
 )
+
+// PredictorConfig enables and tunes the predictive memory-health tier.
+// When enabled, the server decodes every corrected error into bank/row
+// coordinates, scores per-bank failure risk, and executes the tiered
+// action matrix (scrub, checkpoint shrink + re-replication, proactive row
+// migration); GET /v1/health and the spatialdue_predictor_* metrics expose
+// the state. Zero fields take the predictor package defaults.
+type PredictorConfig struct {
+	// Enable turns the tier on.
+	Enable bool
+	// Window is the per-bank scoring window in CE observations.
+	Window int
+	// Watch, Elevated, Critical are the risk tier thresholds.
+	Watch, Elevated, Critical float64
+	// CkptCost, BaseMTBF, RateInflation parameterize the elevated tier's
+	// Young-interval recomputation.
+	CkptCost, BaseMTBF, RateInflation float64
+	// RowOfflineCEs is the cumulative per-row CE count nominating a row
+	// for critical-tier migration.
+	RowOfflineCEs int
+}
 
 // ServerConfig parameterizes a Server. Zero values select the documented
 // defaults.
@@ -54,6 +77,9 @@ type ServerConfig struct {
 	// registrations/uploads/unregistrations replicate to the partner, and
 	// GET /v1/cluster/status plus replication metrics are exposed.
 	Cluster Cluster
+	// Predictor configures the predictive memory-health tier. In cluster
+	// mode its elevated-tier re-replication is wired to the partner sink.
+	Predictor PredictorConfig
 }
 
 // Server is the networked recovery front end. Create with NewServer, serve
@@ -63,6 +89,7 @@ type Server struct {
 	eng      *core.Engine
 	svc      *service.Service
 	machine  *mca.Machine
+	health   *predictor.Manager // nil unless cfg.Predictor.Enable
 	outcomes *outcomeRing
 	mux      *http.ServeMux
 
@@ -113,12 +140,48 @@ func NewServer(eng *core.Engine, cfg ServerConfig) (*Server, error) {
 			userHook(res)
 		}
 	}
+
+	// The machine exists before the service so the predictor's migration
+	// shadow can be installed as the service's ShadowSource.
+	s.machine = mca.New(cfg.Banks)
+	topo := mca.DefaultTopology
+	topo.Banks = cfg.Banks
+	s.machine.SetTopology(topo)
+	if cfg.Predictor.Enable {
+		pc := cfg.Predictor
+		var replicate func(*registry.Allocation, []float64)
+		if cfg.Cluster != nil {
+			replicate = cfg.Cluster.FieldUploaded
+		}
+		mgr, err := predictor.NewManager(predictor.ManagerConfig{
+			Predictor: predictor.Config{
+				Window: pc.Window,
+				Watch:  pc.Watch, Elevated: pc.Elevated, Critical: pc.Critical,
+			},
+			Machine:       s.machine,
+			Engine:        eng,
+			CkptCost:      pc.CkptCost,
+			BaseMTBF:      pc.BaseMTBF,
+			RateInflation: pc.RateInflation,
+			RowOfflineCEs: pc.RowOfflineCEs,
+			Replicate:     replicate,
+			OnAction:      s.onHealthAction,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.health = mgr
+		s.machine.SetCEObserver(mgr.Observe)
+		// DUEs landing on proactively offlined rows are served bit-exactly
+		// from the migration shadow instead of running the prediction ladder.
+		cfg.Service.Shadow = mgr
+	}
+
 	svc, err := service.New(eng, cfg.Service)
 	if err != nil {
 		return nil, err
 	}
 	s.svc = svc
-	s.machine = mca.New(cfg.Banks)
 	svc.AttachMCA(s.machine)
 	svc.Start()
 	s.routes()
@@ -135,6 +198,39 @@ func (s *Server) Machine() *mca.Machine { return s.machine }
 
 // Engine exposes the recovery engine the server fronts.
 func (s *Server) Engine() *core.Engine { return s.eng }
+
+// Health exposes the predictive-health manager (nil when disabled).
+func (s *Server) Health() *predictor.Manager { return s.health }
+
+// onHealthAction feeds executed predictive-health actions into the outcome
+// feed: a proactive row migration surfaces as one page_offlined record per
+// owning allocation, so feed consumers see mitigations interleaved with the
+// recoveries they preempted.
+func (s *Server) onHealthAction(a predictor.Action) {
+	if a.Kind != predictor.ActionPageOfflined {
+		return
+	}
+	lo, _ := s.machine.Topology().RowSpan(a.Bank, a.Row)
+	now := time.Now().UnixNano()
+	if len(a.Allocs) == 0 {
+		s.outcomes.add(OutcomeRecord{Offset: -1, Addr: lo, OK: true,
+			Stage: string(predictor.ActionPageOfflined), UnixNano: now})
+		return
+	}
+	for _, qn := range a.Allocs {
+		tenant, name := splitQualified(qn)
+		s.outcomes.add(OutcomeRecord{Tenant: tenant, Alloc: name, Offset: -1,
+			Addr: lo, OK: true, Stage: string(predictor.ActionPageOfflined), UnixNano: now})
+	}
+}
+
+// splitQualified splits a registry qualified name ("tenant/name" or bare).
+func splitQualified(qn string) (tenant, name string) {
+	if i := strings.IndexByte(qn, '/'); i >= 0 {
+		return qn[:i], qn[i+1:]
+	}
+	return "", qn
+}
 
 // redeliverLoop periodically pulls backpressured events out of their
 // latched banks while the pool has capacity. Worker completions also
@@ -188,6 +284,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("POST /v1/events/stream", s.handleEventStream)
 	mux.HandleFunc("GET /v1/outcomes", s.handleOutcomes)
 	mux.HandleFunc("GET /v1/quarantine", s.handleQuarantine)
+	mux.HandleFunc("GET /v1/health", s.handleHealth)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	if s.cfg.Cluster != nil {
 		mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)

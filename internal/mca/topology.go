@@ -1,0 +1,66 @@
+package mca
+
+// Topology maps simulated physical addresses onto DRAM geometry. The
+// predictive-health tier (internal/predictor) needs correctable errors
+// attributed to the physical structure that fails — a weak cell shares a
+// row, a failing sense amp shares a column, a dying bank shares a bank —
+// so the machine decodes every CE address into (bank, row, column)
+// coordinates with a fixed interleave: consecutive RowBytes-sized spans of
+// the address space rotate across banks, exactly like channel-interleaved
+// DIMMs. The mapping is a simulation convenience, but it has the property
+// that matters: one DRAM row is one contiguous address span, so "offline
+// this row" is a range operation and spatially-clustered corruption lands
+// in few rows.
+type Topology struct {
+	// Banks is the number of independent DRAM banks (failure domains).
+	Banks int
+	// RowBytes is the size of one DRAM row (the span sharing a wordline).
+	RowBytes int
+	// ColBytes is the width of one column cell within a row (the unit a
+	// single ECC word covers).
+	ColBytes int
+}
+
+// DefaultTopology matches the default bank count of httpapi servers: eight
+// banks of 1 KiB rows with 8-byte (one float64) columns.
+var DefaultTopology = Topology{Banks: 8, RowBytes: 1024, ColBytes: 8}
+
+// normalized fills zero fields with defaults so a partially-specified
+// topology is always usable.
+func (t Topology) normalized() Topology {
+	if t.Banks < 1 {
+		t.Banks = DefaultTopology.Banks
+	}
+	if t.RowBytes < 1 {
+		t.RowBytes = DefaultTopology.RowBytes
+	}
+	if t.ColBytes < 1 {
+		t.ColBytes = DefaultTopology.ColBytes
+	}
+	return t
+}
+
+// Decode maps a physical address to its (bank, row, column) coordinates.
+func (t Topology) Decode(addr uint64) (bank, row, col int) {
+	t = t.normalized()
+	rowIdx := addr / uint64(t.RowBytes)
+	bank = int(rowIdx % uint64(t.Banks))
+	row = int(rowIdx / uint64(t.Banks))
+	col = int(addr%uint64(t.RowBytes)) / t.ColBytes
+	return bank, row, col
+}
+
+// RowSpan returns the contiguous physical address span [lo, hi) covered by
+// one row of one bank — the range a proactive row migration copies out and
+// a row offline retires.
+func (t Topology) RowSpan(bank, row int) (lo, hi uint64) {
+	t = t.normalized()
+	lo = (uint64(row)*uint64(t.Banks) + uint64(bank)) * uint64(t.RowBytes)
+	return lo, lo + uint64(t.RowBytes)
+}
+
+// RowKey identifies one DRAM row of one bank.
+type RowKey struct {
+	Bank int
+	Row  int
+}

@@ -1,0 +1,59 @@
+package predictor
+
+import (
+	"testing"
+
+	"spatialdue/internal/mca"
+)
+
+// stormObs is a steady-state CE pattern: a handful of banks, repeating
+// rows and bits — the shape a real precursor storm delivers, and the shape
+// the allocation-free claim is made for (first sight of a bank or row
+// allocates its state once; every observation after that must not).
+func stormObs(i int, seq uint64) mca.CEObservation {
+	bank := i % 4
+	return mca.CEObservation{
+		Seq:  seq,
+		Addr: uint64(i%512) * 8,
+		Bank: bank,
+		Row:  (i / 4) % 8,
+		Col:  i % 128,
+		Bit:  []int{1, 5, 9, 17, 23, 42}[i%6],
+	}
+}
+
+// BenchmarkPredictorObserve is the CI benchstat gate for the CE hot path:
+// per-observation cost and, via -benchmem, the zero-allocation contract.
+func BenchmarkPredictorObserve(b *testing.B) {
+	p := New(Config{})
+	seq := uint64(0)
+	// Warm up every bank/row the steady state touches.
+	for i := 0; i < 1024; i++ {
+		seq++
+		p.Observe(stormObs(i, seq))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq++
+		p.Observe(stormObs(i, seq))
+	}
+}
+
+// TestObserveZeroAllocs enforces the contract outside the bench gate too.
+func TestObserveZeroAllocs(t *testing.T) {
+	p := New(Config{})
+	seq := uint64(0)
+	for i := 0; i < 1024; i++ {
+		seq++
+		p.Observe(stormObs(i, seq))
+	}
+	i := 0
+	if n := testing.AllocsPerRun(500, func() {
+		seq++
+		p.Observe(stormObs(i, seq))
+		i++
+	}); n != 0 {
+		t.Errorf("Observe: %v allocs/op in steady state, want 0", n)
+	}
+}

@@ -1,0 +1,168 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+
+	"spatialdue/internal/mca"
+)
+
+// fixtureStream is the deterministic CE replay fixture: a mixed workload
+// of storm, precursor, and background-noise banks generated from a seeded
+// LCG. Identical on every run and every platform — no wall clock, no map
+// iteration, no randomness source outside the LCG.
+func fixtureStream(n int) []mca.CEObservation {
+	out := make([]mca.CEObservation, 0, n)
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func(mod int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(mod))
+	}
+	topo := mca.Topology{Banks: 8, RowBytes: 1024, ColBytes: 8}
+	for seq := uint64(1); seq <= uint64(n); seq++ {
+		var bank, row, col, bit int
+		switch next(10) {
+		case 0, 1, 2, 3: // storm bank: clustered rows, recurring bits
+			bank, row, col, bit = 2, 3+next(2), next(4), []int{1, 9, 17, 33}[next(4)]
+		case 4, 5, 6: // precursor bank: two rows, few bits
+			bank, row, col, bit = 5, 7+next(2), next(8), []int{4, 12}[next(2)]
+		default: // background noise, everywhere
+			bank, row, col, bit = next(8), next(64), next(128), next(64)
+		}
+		lo, _ := topo.RowSpan(bank, row)
+		out = append(out, mca.CEObservation{
+			Seq: seq, Addr: lo + uint64(col*8), Bank: bank, Row: row, Col: col, Bit: bit,
+		})
+	}
+	return out
+}
+
+// risks extracts the per-bank risk scores as raw float bits.
+func risks(p *Predictor) map[int]uint64 {
+	out := map[int]uint64{}
+	for _, r := range p.Report() {
+		out[r.Bank] = math.Float64bits(r.Risk)
+	}
+	return out
+}
+
+// TestRiskBitStableAcrossSnapshotReplay proves the restart contract: a
+// predictor restored from a snapshot taken at observation K, then fed the
+// journal of observations K+1..N, reports bit-identical risk scores to a
+// predictor that consumed the whole stream uninterrupted — for every
+// snapshot point, including mid-window and post-wraparound.
+func TestRiskBitStableAcrossSnapshotReplay(t *testing.T) {
+	stream := fixtureStream(600)
+	cfg := Config{Window: 64}
+
+	full := New(cfg)
+	for _, o := range stream {
+		full.Observe(o)
+	}
+	want := risks(full)
+
+	for _, k := range []int{1, 17, 63, 64, 65, 200, 599, 600} {
+		base := New(cfg)
+		for _, o := range stream[:k] {
+			base.Observe(o)
+		}
+		snap, err := base.Snapshot()
+		if err != nil {
+			t.Fatalf("snapshot at %d: %v", k, err)
+		}
+		restored := New(cfg)
+		if err := restored.Restore(snap); err != nil {
+			t.Fatalf("restore at %d: %v", k, err)
+		}
+		// Risk must already be bit-identical at the snapshot point...
+		if got, wantK := risks(restored), risks(base); !equalRisks(got, wantK) {
+			t.Fatalf("snapshot point %d: restored risks %v != live %v", k, got, wantK)
+		}
+		// ...and stay bit-identical after replaying the journal tail.
+		for _, o := range stream[k:] {
+			restored.Observe(o)
+		}
+		if got := risks(restored); !equalRisks(got, want) {
+			t.Errorf("snapshot at %d + replay: risks diverged: got %v want %v", k, got, want)
+		}
+		if restored.Total() != full.Total() {
+			t.Errorf("snapshot at %d: total %d != %d", k, restored.Total(), full.Total())
+		}
+	}
+}
+
+func equalRisks(a, b map[int]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSnapshotDeterministic proves two predictors fed the same stream
+// serialize byte-identical snapshots (no map-iteration or pointer
+// nondeterminism leaks into the encoding).
+func TestSnapshotDeterministic(t *testing.T) {
+	stream := fixtureStream(300)
+	a, b := New(Config{}), New(Config{})
+	for _, o := range stream {
+		a.Observe(o)
+		b.Observe(o)
+	}
+	sa, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sa) != string(sb) {
+		t.Error("snapshots of identical streams differ")
+	}
+}
+
+func TestRestoreRejectsMismatchedWindow(t *testing.T) {
+	p := New(Config{Window: 32})
+	snap, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := New(Config{Window: 64})
+	if err := q.Restore(snap); err == nil {
+		t.Error("Restore accepted a snapshot with a different window size")
+	}
+	if err := q.Restore([]byte("{garbage")); err == nil {
+		t.Error("Restore accepted malformed JSON")
+	}
+}
+
+// TestRestoreDoesNotFireTierCallbacks: the actions already ran in the
+// process that took the snapshot; a restart must not re-trigger them.
+func TestRestoreDoesNotFireTierCallbacks(t *testing.T) {
+	stream := fixtureStream(400)
+	fired := 0
+	live := New(Config{OnTier: func(TierChange) { fired++ }})
+	for _, o := range stream {
+		live.Observe(o)
+	}
+	if fired == 0 {
+		t.Fatal("fixture stream produced no tier transitions; fixture too tame")
+	}
+	snap, err := live.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredFired := 0
+	restored := New(Config{OnTier: func(TierChange) { restoredFired++ }})
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if restoredFired != 0 {
+		t.Errorf("Restore fired %d tier callbacks, want 0", restoredFired)
+	}
+}

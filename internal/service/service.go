@@ -97,6 +97,19 @@ type Config struct {
 	// OnOutcome, when set, receives every finished recovery (called from
 	// worker goroutines; must not block for long).
 	OnOutcome func(Result)
+	// Shadow, when set, is consulted before any engine recovery: elements
+	// the predictive-health tier proactively migrated are restored
+	// bit-exactly from the migration shadow (Stage == StageOfflined)
+	// instead of running the reconstruction ladder.
+	Shadow ShadowSource
+}
+
+// ShadowSource serves exact pre-fault copies of proactively migrated
+// elements (see internal/predictor.Manager). Restore writes the value back
+// under the array lock, clears quarantine, and reports (old, new, true) on
+// a hit; a miss returns ok == false and the recovery proceeds normally.
+type ShadowSource interface {
+	Restore(alloc *registry.Allocation, off int) (old, new float64, ok bool)
 }
 
 // Result reports one finished (or terminally failed) recovery.
@@ -143,6 +156,9 @@ type Stats struct {
 	Replayed uint64
 	// BreakerTrips counts closed/half-open -> open transitions.
 	BreakerTrips uint64
+	// ShadowRestored counts recoveries served bit-exactly from the
+	// predictive-health tier's migration shadow (a subset of Recovered).
+	ShadowRestored uint64
 }
 
 // task is one queued recovery.
@@ -638,6 +654,19 @@ func (s *Service) worker() {
 			// process (the journal has its intents).
 			continue
 		}
+		// Elements the predictive-health tier migrated before their DUE are
+		// served from the shadow — no ladder, no stripe contention, and the
+		// restored value is bit-exact by construction.
+		if s.cfg.Shadow != nil {
+			kept := ts[:0]
+			for _, tt := range ts {
+				if s.shadowRestore(tt) {
+					continue
+				}
+				kept = append(kept, tt)
+			}
+			ts = kept
+		}
 		// Group the drained tasks by allocation, preserving submission order
 		// within each group; singleton groups take the sequential path.
 		groups := make([][]task, 0, 1)
@@ -666,6 +695,24 @@ func (s *Service) worker() {
 		s.mu.Unlock()
 		s.maybeRedeliver()
 	}
+}
+
+// shadowRestore serves one task from the migration shadow if it holds the
+// element, finishing the task with StageOfflined. Returns false on a miss.
+func (s *Service) shadowRestore(t task) bool {
+	old, val, ok := s.cfg.Shadow.Restore(t.alloc, t.off)
+	if !ok {
+		return false
+	}
+	s.mu.Lock()
+	s.stats.ShadowRestored++
+	s.mu.Unlock()
+	out := core.Outcome{
+		Allocation: t.alloc, Offset: t.off,
+		Stage: core.StageOfflined, Old: old, New: val,
+	}
+	s.finishTask(t, out, nil, 1)
+	return true
 }
 
 // process runs one recovery to its terminal outcome: deadline-bounded
@@ -1010,11 +1057,15 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 			"# HELP spatialdue_service_breaker_trips_total Circuit breaker trips.\n"+
 			"# TYPE spatialdue_service_breaker_trips_total counter\n"+
 			"spatialdue_service_breaker_trips_total %d\n"+
+			"# HELP spatialdue_service_shadow_restored_total Recoveries served from the predictive-health migration shadow.\n"+
+			"# TYPE spatialdue_service_shadow_restored_total counter\n"+
+			"spatialdue_service_shadow_restored_total %d\n"+
 			"# HELP spatialdue_service_queue_depth Queued-but-unstarted recoveries.\n"+
 			"# TYPE spatialdue_service_queue_depth gauge\n"+
 			"spatialdue_service_queue_depth %d\n",
 		st.Submitted, st.Rejected, st.BreakerRejected, st.Recovered, st.Failed,
-		st.Abandoned, st.Retries, st.Batched, st.Replayed, st.BreakerTrips, pending); err != nil {
+		st.Abandoned, st.Retries, st.Batched, st.Replayed, st.BreakerTrips,
+		st.ShadowRestored, pending); err != nil {
 		return err
 	}
 	for name, state := range states {

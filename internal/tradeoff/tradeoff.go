@@ -47,8 +47,10 @@ type Params struct {
 
 // withDefaults fills derived values.
 func (p Params) withDefaults() Params {
-	if p.Interval <= 0 {
-		p.Interval = fti.OptimalInterval(p.CkptCost, p.MTBF)
+	if p.Interval <= 0 && p.MTBF > 0 {
+		// Shared Young's-interval formula: the predictor recomputes the
+		// same expression from an inflated failure rate (fti.Young).
+		p.Interval = fti.Young{CkptCost: p.CkptCost}.Recompute(1 / p.MTBF)
 	}
 	return p
 }
