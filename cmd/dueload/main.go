@@ -58,9 +58,11 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"net/http"
 	"os"
@@ -236,6 +238,8 @@ func main() {
 	fmt.Printf("within %.2g rel err: %d/%d (max rel err %.3g)\n",
 		*tol, total.withinTol, total.verified, total.maxRelErr)
 	fmt.Printf("quarantined at end: %d\n", total.quarantined)
+	fmt.Printf("field valbits sum: %016x  (compare across runs, e.g. -field-store=heap vs mmap)\n",
+		total.fieldSum)
 
 	fmt.Printf("\n== ingest latency (HTTP round trip) ==\n")
 	printHist(total.ingest)
@@ -301,6 +305,21 @@ type report struct {
 	// rotations the client performed.
 	redelivered, failovers int
 	ingest, e2e            *stats.Histogram
+	// fieldSum is an FNV-1a digest over the IEEE-754 valbits of every
+	// client's final downloaded field: two runs (e.g. -field-store=heap vs
+	// mmap servers) produced bit-identical fields iff the sums match.
+	fieldSum uint64
+}
+
+// valbitsSum folds a field's exact bit patterns into an FNV-1a digest.
+func valbitsSum(vals []float64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		_, _ = h.Write(b[:])
+	}
+	return h.Sum64()
 }
 
 func (r *report) merge(o *report) {
@@ -319,6 +338,8 @@ func (r *report) merge(o *report) {
 	r.redelivered += o.redelivered
 	r.failovers += o.failovers
 	r.maxRelErr = math.Max(r.maxRelErr, o.maxRelErr)
+	// Order-independent combine (clients merge in completion order).
+	r.fieldSum ^= o.fieldSum
 	for k, v := range o.byCode {
 		r.byCode[k] += v
 	}
@@ -648,6 +669,7 @@ func runClient(ctx context.Context, p clientParams) (*report, error) {
 		return rep, fmt.Errorf("download: %w", err)
 	}
 	rep.failovers = f.moved
+	rep.fieldSum = valbitsSum(final)
 	for _, off := range offsets {
 		re := bitflip.RelErr(orig[off], final[off])
 		rep.verified++

@@ -46,6 +46,8 @@ import (
 	"spatialdue/internal/cluster"
 	"spatialdue/internal/faultinject"
 	"spatialdue/internal/httpapi"
+	"spatialdue/internal/ndarray"
+	"spatialdue/internal/ndarray/mmapstore"
 	"spatialdue/internal/sdrbench"
 	"spatialdue/internal/service"
 )
@@ -72,7 +74,8 @@ func main() {
 		listen       = flag.String("listen", "", "serve: run the networked HTTP recovery API on this address (e.g. :8080) instead of the synthetic storm")
 		clusterCfg   = flag.String("cluster-config", "", "listen: cluster membership map JSON; joins the node named by -cluster-node to a recovery cluster with partner replication and failover")
 		clusterNode  = flag.String("cluster-node", "", "listen: this node's name in -cluster-config")
-		dataDir      = flag.String("data-dir", "", "cluster: directory for the journal and partner-replica files (default .spatialdue-<node>)")
+		dataDir      = flag.String("data-dir", "", "listen/cluster: directory for journal, partner-replica, and mmap field-store files (default .spatialdue-<node> in cluster mode, .spatialdue otherwise)")
+		fieldStore   = flag.String("field-store", "heap", `listen: field storage backing, "heap" (Go slices) or "mmap" (file-backed fields under -data-dir/fields; streamed upload/download, cold tenants page out, fields persist across restarts)`)
 		heartbeat    = flag.Duration("heartbeat", 250*time.Millisecond, "cluster: partner liveness probe interval")
 		hbBudget     = flag.Duration("heartbeat-budget", 2*time.Second, "cluster: unreachable time before the partner promotes itself over a dead owner")
 		metricsAddr  = flag.String("metrics-addr", "", "serve: also serve /metrics and /readyz on this address")
@@ -140,7 +143,7 @@ func main() {
 			dataDir: *dataDir, heartbeat: *heartbeat, budget: *hbBudget,
 			inject: *enableInject, workers: *workers, queue: *queue,
 			deadline: *deadline, batchMax: *batchMax, seed: *seed,
-			predictor: predCfg,
+			predictor: predCfg, fieldStore: *fieldStore,
 		})
 		dumpTraces(eng, *traceTop)
 		return
@@ -151,7 +154,7 @@ func main() {
 			addr: *listen, metricsAddr: *metricsAddr, inject: *enableInject,
 			workers: *workers, queue: *queue, deadline: *deadline,
 			batchMax: *batchMax, journal: *jpath, seed: *seed,
-			predictor: predCfg,
+			predictor: predCfg, fieldStore: *fieldStore, dataDir: *dataDir,
 		})
 		dumpTraces(eng, *traceTop)
 		return
@@ -250,6 +253,8 @@ type listenOptions struct {
 	journal           string
 	seed              int64
 	predictor         httpapi.PredictorConfig
+	fieldStore        string
+	dataDir           string
 }
 
 type clusterOptions struct {
@@ -262,6 +267,7 @@ type clusterOptions struct {
 	batchMax           int
 	seed               int64
 	predictor          httpapi.PredictorConfig
+	fieldStore         string
 }
 
 // runCluster joins the networked server to a recovery cluster: tenant
@@ -301,6 +307,8 @@ func runCluster(eng *spatialdue.Engine, opt clusterOptions) {
 			},
 			EnableInject: opt.inject,
 			Predictor:    opt.predictor,
+			FieldStore:   opt.fieldStore,
+			DataDir:      dataDir,
 		},
 	})
 	if err != nil {
@@ -333,9 +341,37 @@ func runCluster(eng *spatialdue.Engine, opt clusterOptions) {
 // SIGTERM/SIGINT. The demo dataset is pre-registered in the default tenant
 // so the curl examples in the README work against a fresh server.
 func runListen(eng *spatialdue.Engine, ds *sdrbench.Dataset, policy spatialdue.Policy, opt listenOptions) {
+	if opt.dataDir == "" {
+		opt.dataDir = ".spatialdue"
+	}
+	// With -field-store=mmap the demo dataset moves into a file-backed
+	// array: a fresh file is seeded from the generated data, while an
+	// existing file from a previous run is remapped as-is (restart
+	// semantics — journal replay then re-applies quarantine on top of the
+	// persisted field, same contract as API-registered allocations).
+	demoArr := ds.Array
+	if opt.fieldStore == httpapi.FieldStoreMmap {
+		path := httpapi.FieldPath(opt.dataDir, httpapi.DefaultTenant, ds.Name)
+		_, statErr := os.Stat(path)
+		fresh := os.IsNotExist(statErr)
+		st, err := mmapstore.OpenOrCreate(path, ds.Array.Len())
+		if err != nil {
+			fatalf("%v", err)
+		}
+		demoArr, err = ndarray.NewWithBacking(st, ds.Array.Dims()...)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if fresh {
+			copy(demoArr.Data(), ds.Array.Data())
+			if err := demoArr.Seal(); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
 	// Register before NewServer: journal replay resolves intents against
 	// already-registered (tenant, name) pairs.
-	if _, err := eng.ProtectTenant(httpapi.DefaultTenant, ds.Name, ds.Array, ds.DType, policy); err != nil {
+	if _, err := eng.ProtectTenant(httpapi.DefaultTenant, ds.Name, demoArr, ds.DType, policy); err != nil {
 		fatalf("%v", err)
 	}
 	srv, err := httpapi.NewServer(eng, httpapi.ServerConfig{
@@ -346,6 +382,8 @@ func runListen(eng *spatialdue.Engine, ds *sdrbench.Dataset, policy spatialdue.P
 		},
 		EnableInject: opt.inject,
 		Predictor:    opt.predictor,
+		FieldStore:   opt.fieldStore,
+		DataDir:      opt.dataDir,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -371,8 +409,8 @@ func runListen(eng *spatialdue.Engine, ds *sdrbench.Dataset, policy spatialdue.P
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
-	fmt.Printf("recovery API on http://%s (dataset %s pre-registered as %q in tenant %q, inject=%v)\n",
-		l.Addr(), ds, ds.Name, httpapi.DefaultTenant, opt.inject)
+	fmt.Printf("recovery API on http://%s (dataset %s pre-registered as %q in tenant %q, inject=%v, field-store=%s)\n",
+		l.Addr(), ds, ds.Name, httpapi.DefaultTenant, opt.inject, opt.fieldStore)
 	if opt.predictor.Enable {
 		fmt.Printf("predictive health tier enabled (CE ingest via POST /v1/events kind=ce, report on GET /v1/health)\n")
 	}

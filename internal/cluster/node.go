@@ -17,6 +17,7 @@ import (
 
 	"spatialdue/internal/core"
 	"spatialdue/internal/httpapi"
+	"spatialdue/internal/ndarray"
 	"spatialdue/internal/registry"
 	"spatialdue/internal/service"
 )
@@ -341,18 +342,14 @@ func (n *Node) snapshot() []snapshotItem {
 		if _, local := n.Route(a.Tenant); !local {
 			continue
 		}
-		item := snapshotItem{
-			tenant: a.Tenant,
-			name:   a.Name,
-			dims:   a.Array.Dims(),
-			dtype:  a.DType.String(),
-			policy: policyToWire(a.Policy),
-			vals:   make([]float64, a.Array.Len()),
-		}
-		n.eng.WithArrayLock(a.Array, func() {
-			copy(item.vals, a.Array.Data())
+		items = append(items, snapshotItem{
+			tenant:  a.Tenant,
+			name:    a.Name,
+			dims:    a.Array.Dims(),
+			dtype:   a.DType.String(),
+			policy:  policyToWire(a.Policy),
+			payload: n.fieldPayload(a),
 		})
-		items = append(items, item)
 	}
 	return items
 }
@@ -412,15 +409,42 @@ func (n *Node) AllocRegistered(a *registry.Allocation) {
 }
 
 // FieldUploaded implements httpapi.Cluster: stream new field contents to
-// the partner.
-func (n *Node) FieldUploaded(a *registry.Allocation, vals []float64) {
+// the partner. The payload is captured here, stripe by stripe — the upload
+// path no longer materializes a contiguous buffer to hand over. A recovery
+// write that lands in a not-yet-captured stripe may ride along, which is
+// benign: its journal record replays idempotently on the replica (outcomes
+// carry explicit NewBits), the same property the connect-time snapshot
+// already relies on.
+func (n *Node) FieldUploaded(a *registry.Allocation) {
 	if n.sender == nil || a == nil {
 		return
 	}
 	n.sender.enqueueControl(outMsg{
 		h:       frameHeader{Type: frameField, Tenant: a.Tenant, Alloc: a.Name},
-		payload: float64sToBytes(vals),
+		payload: n.fieldPayload(a),
 	})
+}
+
+// fieldPayload serializes a field to the wire format (little-endian
+// float64s) under stripe locks: on little-endian hosts each stripe is a
+// straight memcpy out of the array's byte view, one stripe lock at a time,
+// so capturing a 1 GiB field never stalls recoveries behind a full-array
+// lock. The portable fallback snapshots under the array lock and marshals.
+func (n *Node) fieldPayload(a *registry.Allocation) []byte {
+	arr := a.Array
+	if view, ok := ndarray.ByteView(arr); ok {
+		buf := make([]byte, arr.Len()*8)
+		_ = n.eng.ForEachStripeLocked(arr, func(lo, hi int) error {
+			copy(buf[lo*8:hi*8], view[lo*8:hi*8])
+			return nil
+		})
+		return buf
+	}
+	var vals []float64
+	n.eng.WithArrayLock(arr, func() {
+		vals = append([]float64(nil), arr.Data()...)
+	})
+	return float64sToBytes(vals)
 }
 
 // AllocUnregistered implements httpapi.Cluster: stream a teardown to the

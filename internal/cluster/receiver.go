@@ -232,16 +232,23 @@ func (n *Node) applyField(h frameHeader, payload []byte) error {
 	if !ok {
 		return nil // alloc frame lost to a reconnect; next snapshot repairs
 	}
-	vals, err := bytesToFloat64s(payload)
-	if err != nil {
-		return err
+	if len(payload)%8 != 0 || len(payload)/8 != a.Array.Len() {
+		return fmt.Errorf("field %q/%q: %d bytes for %d cells", h.Tenant, h.Alloc, len(payload), a.Array.Len())
 	}
-	if len(vals) != a.Array.Len() {
-		return fmt.Errorf("field %q/%q: %d values for %d cells", h.Tenant, h.Alloc, len(vals), a.Array.Len())
+	if view, ok := ndarray.ByteView(a.Array); ok {
+		// Zero-copy apply: the wire payload is already the host byte layout.
+		n.eng.WithArrayLock(a.Array, func() {
+			copy(view, payload)
+		})
+	} else {
+		vals, err := bytesToFloat64s(payload)
+		if err != nil {
+			return err
+		}
+		n.eng.WithArrayLock(a.Array, func() {
+			copy(a.Array.Data(), vals)
+		})
 	}
-	n.eng.WithArrayLock(a.Array, func() {
-		copy(a.Array.Data(), vals)
-	})
 	n.eng.FieldUpdated(a.Array)
 	return nil
 }

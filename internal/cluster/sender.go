@@ -16,14 +16,15 @@ type outMsg struct {
 }
 
 // snapshotItem is one locally-served allocation captured for the
-// connect-time snapshot: registration geometry plus a consistent copy of
-// the field.
+// connect-time snapshot: registration geometry plus the field already
+// serialized to the wire format (captured stripe by stripe at snapshot
+// time, so a big field never holds the full array lock).
 type snapshotItem struct {
 	tenant, name string
 	dims         []int
 	dtype        string
 	policy       *policyWire
-	vals         []float64
+	payload      []byte
 }
 
 // sender owns the owner → partner half of replication: it dials the
@@ -275,7 +276,7 @@ func (s *sender) session(conn net.Conn) error {
 			return err
 		}
 		fh := frameHeader{Type: frameField, Tenant: item.tenant, Alloc: item.name}
-		if err := s.send(conn, fh, float64sToBytes(item.vals)); err != nil {
+		if err := s.send(conn, fh, item.payload); err != nil {
 			return err
 		}
 	}

@@ -44,6 +44,7 @@ type stripeSet struct {
 	rows   int // dim-0 layers per stripe (the reach bound)
 	rowLen int // elements per dim-0 layer
 	n      int // number of stripes
+	total  int // total elements (the last stripe absorbs the remainder)
 	locks  []recLock
 
 	// Contention accounting: total time spent acquiring stripe locks and
@@ -77,6 +78,7 @@ func newStripeSet(arr *ndarray.Array, rows int) *stripeSet {
 		rows:   rows,
 		rowLen: arr.Len() / dim0,
 		n:      n,
+		total:  arr.Len(),
 		locks:  make([]recLock, n),
 	}
 	for i := range ss.locks {
@@ -164,6 +166,64 @@ func (ss *stripeSet) tryAcquireAll() bool {
 }
 
 func (ss *stripeSet) releaseAll() { ss.release(0, ss.n-1) }
+
+// stripeSpan returns the half-open element range [lo, hi) owned by stripe s.
+// The last stripe runs to the end of the array (it absorbs the remainder
+// rows, mirroring stripeOf's clamp).
+func (ss *stripeSet) stripeSpan(s int) (lo, hi int) {
+	lo = s * ss.rows * ss.rowLen
+	if s == ss.n-1 {
+		return lo, ss.total
+	}
+	return lo, (s + 1) * ss.rows * ss.rowLen
+}
+
+// ForEachStripeLocked calls f once per stripe with that stripe's element
+// range [lo, hi), holding ONLY that stripe's lock during the call. This is
+// the streaming-I/O primitive behind chunked field upload/download: an
+// element in stripe t is only ever recovered under locks t-1..t+1, and its
+// whole read/write set lies inside those stripes, so any recovery touching
+// stripe s's data necessarily holds lock s — holding lock s alone therefore
+// gives exclusive ownership of stripe s's elements. Iteration is ascending
+// and single-lock, so it composes deadlock-free with the globally ordered
+// range acquisitions. f must not block on external I/O while called (stage
+// through a scratch buffer instead); a non-nil error stops the walk and is
+// returned.
+func (e *Engine) ForEachStripeLocked(arr *ndarray.Array, f func(lo, hi int) error) error {
+	ss := e.stripesFor(arr)
+	for s := 0; s < ss.n; s++ {
+		ss.acquireRangeBlocking(s, s)
+		lo, hi := ss.stripeSpan(s)
+		err := f(lo, hi)
+		ss.release(s, s)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumStripes returns the number of lock stripes of an array. Together with
+// StripeSpan and WithStripeLock it lets callers interleave external I/O with
+// stripe-exclusive access (stage into a scratch buffer outside the lock,
+// memcpy inside it) — the pattern the streaming field handlers use, since
+// ForEachStripeLocked forbids blocking I/O inside the callback.
+func (e *Engine) NumStripes(arr *ndarray.Array) int { return e.stripesFor(arr).n }
+
+// StripeSpan returns the half-open element range [lo, hi) owned by stripe s.
+func (e *Engine) StripeSpan(arr *ndarray.Array, s int) (lo, hi int) {
+	return e.stripesFor(arr).stripeSpan(s)
+}
+
+// WithStripeLock runs f holding exactly stripe s's lock, which by the
+// ownership argument above grants exclusive access to the elements in
+// StripeSpan(arr, s). f must not block on external I/O.
+func (e *Engine) WithStripeLock(arr *ndarray.Array, s int, f func()) {
+	ss := e.stripesFor(arr)
+	ss.acquireRangeBlocking(s, s)
+	defer ss.release(s, s)
+	f()
+}
 
 // stripesFor returns (creating on demand) the stripe table of an array.
 func (e *Engine) stripesFor(arr *ndarray.Array) *stripeSet {

@@ -249,6 +249,15 @@ func (w *World) Checkpoint(ckptID int, level Level) error {
 	}
 	w.mu.Unlock()
 
+	// Seal file-backed datasets first: an mmap-backed array's dirty pages
+	// must be on disk before the blob encode (and any later hard link of
+	// the blob) can claim durability for this checkpoint id.
+	for i, r := range w.ranks {
+		if err := r.sealDatasets(); err != nil {
+			return fmt.Errorf("fti: sealing rank %d: %w", i, err)
+		}
+	}
+
 	// Serialize every rank.
 	blobs := make([][]byte, len(w.ranks))
 	for i, r := range w.ranks {
@@ -259,17 +268,26 @@ func (w *World) Checkpoint(ckptID int, level Level) error {
 		blobs[i] = b
 	}
 
-	// L1: local write on every rank.
+	// L1: local write on every rank. The L1 blob is write-once per
+	// checkpoint id (temp + rename, never mutated afterwards), which is
+	// what makes the hard-link fan-out of the higher levels sound: links
+	// share the inode, so they are only ever taken from immutable sources
+	// — never from a live mmap backing file, which in-place recovery
+	// writes keep mutating.
 	for i := range w.ranks {
 		if err := atomicWrite(filepath.Join(w.rankDir(i), ckptFile(ckptID)), blobs[i]); err != nil {
 			return err
 		}
 	}
-	// L2: partner copies.
+	// L2: partner copies — hard links of the immutable L1 blob (all rank
+	// dirs live under one directory tree, hence one filesystem), so the
+	// partner level costs a metadata operation instead of a byte rewrite;
+	// linkOrCopy falls back to a byte copy where links are unsupported.
 	if level >= L2 {
 		for i := range w.ranks {
 			p := w.partner(i)
-			if err := atomicWrite(filepath.Join(w.rankDir(p), partnerFile(ckptID, i)), blobs[i]); err != nil {
+			src := filepath.Join(w.rankDir(i), ckptFile(ckptID))
+			if err := linkOrCopy(src, filepath.Join(w.rankDir(p), partnerFile(ckptID, i)), blobs[i]); err != nil {
 				return err
 			}
 		}
@@ -295,10 +313,13 @@ func (w *World) Checkpoint(ckptID int, level Level) error {
 			}
 		}
 	}
-	// L4: full copies on the PFS.
+	// L4: full copies on the PFS — hard links of the L1 blobs, same
+	// immutability argument as L2.
 	if level >= L4 {
 		for i := range w.ranks {
-			if err := atomicWrite(filepath.Join(w.pfsDir(), fmt.Sprintf("rank%03d.%s", i, ckptFile(ckptID))), blobs[i]); err != nil {
+			src := filepath.Join(w.rankDir(i), ckptFile(ckptID))
+			dst := filepath.Join(w.pfsDir(), fmt.Sprintf("rank%03d.%s", i, ckptFile(ckptID)))
+			if err := linkOrCopy(src, dst, blobs[i]); err != nil {
 				return err
 			}
 		}
@@ -425,6 +446,35 @@ func atomicWrite(path string, data []byte) error {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// linkOrCopy fans a finished L1 blob out to dst as a hard link — sharing
+// the inode turns the higher checkpoint levels into metadata operations.
+// Sound only because the source blob is write-once (atomicWrite renames a
+// fresh temp file into place and nothing ever mutates it; a later
+// checkpoint of the same id is refused). Where the filesystem refuses links
+// (or dst already exists from a retried level), it falls back to an atomic
+// byte copy of data.
+func linkOrCopy(src, dst string, data []byte) error {
+	_ = os.Remove(dst) // links cannot overwrite; stale dst may exist from a retry
+	if err := os.Link(src, dst); err == nil {
+		return nil
+	}
+	return atomicWrite(dst, data)
+}
+
+// sealDatasets flushes every file-backed dataset to durable storage (msync
+// for mmap backings; no-op for heap) so the checkpoint observes on-disk
+// bytes at least as fresh as the blob it is about to cut.
+func (r *Rank) sealDatasets() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range r.order {
+		if err := r.datasets[id].Array.Seal(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // padShards returns copies of the blobs zero-padded to a common length (the

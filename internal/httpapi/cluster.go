@@ -59,7 +59,11 @@ type Cluster interface {
 	AllocRegistered(a *registry.Allocation)
 	// AllocUnregistered replicates an allocation teardown.
 	AllocUnregistered(tenant, name string)
-	// FieldUploaded replicates a full field upload (vals is the uploaded
-	// snapshot; the callee must not retain it past the call).
-	FieldUploaded(a *registry.Allocation, vals []float64)
+	// FieldUploaded replicates a full field upload. The callee captures its
+	// own stripe-consistent snapshot of a.Array (the streaming upload path
+	// no longer materializes a contiguous vals buffer to hand over);
+	// concurrent recovery writes that slip into the snapshot are benign
+	// because journal-record replay on the replica is idempotent — the same
+	// property the connect-time snapshot already relies on.
+	FieldUploaded(a *registry.Allocation)
 }

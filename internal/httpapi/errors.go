@@ -29,6 +29,7 @@ const (
 	CodeDraining          = "draining"
 	CodeRecoveriesBusy    = "recoveries_in_flight"
 	CodeForwardLoop       = "forward_loop"
+	CodePayloadTooLarge   = "payload_too_large"
 	CodeInternal          = "internal"
 )
 
@@ -109,6 +110,8 @@ func StatusFor(code string) (status int, retryAfter bool) {
 	switch code {
 	case CodeBadRequest:
 		return http.StatusBadRequest, false
+	case CodePayloadTooLarge:
+		return http.StatusRequestEntityTooLarge, false
 	default:
 		return http.StatusInternalServerError, false
 	}

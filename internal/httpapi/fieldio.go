@@ -1,0 +1,146 @@
+package httpapi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"path/filepath"
+
+	"spatialdue/internal/ndarray"
+	"spatialdue/internal/ndarray/mmapstore"
+)
+
+// Field storage backings selectable via ServerConfig.FieldStore.
+const (
+	// FieldStoreHeap keeps each field as a Go slice (the default).
+	FieldStoreHeap = "heap"
+	// FieldStoreMmap backs each field with an mmap'd file under
+	// DataDir/fields/<tenant>/<name>.field.
+	FieldStoreMmap = "mmap"
+)
+
+// FieldPath returns the backing-file path for a tenant's field under
+// dataDir. Tenant and name are validated by the handlers against
+// [A-Za-z0-9._-] patterns; the lone residual traversal risk — a tenant
+// literally named "." or ".." — is neutralized here.
+func FieldPath(dataDir, tenant, name string) string {
+	if tenant == "." || tenant == ".." {
+		tenant = "_" + tenant
+	}
+	return filepath.Join(dataDir, "fields", tenant, name+".field")
+}
+
+// newFieldArray allocates the storage for a new registration according to
+// the configured field store. For mmap, an existing backing file of the
+// right size is remapped (remap-on-restart: journal replay then re-applies
+// quarantine on top of the persisted contents); a size mismatch surfaces as
+// mmapstore.ErrTorn and is never silently resized.
+func (s *Server) newFieldArray(tenant, name string, dims []int, els int) (*ndarray.Array, error) {
+	if s.cfg.FieldStore != FieldStoreMmap {
+		return ndarray.TryNew(dims...)
+	}
+	st, err := mmapstore.OpenOrCreate(FieldPath(s.cfg.DataDir, tenant, name), els)
+	if err != nil {
+		return nil, err
+	}
+	arr, err := ndarray.NewWithBacking(st, dims...)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return arr, nil
+}
+
+// elementCount validates dims (positive, no overflow) and returns their
+// product. Mirrors ndarray's shape check so the registration handler can
+// enforce the size cap BEFORE any storage — heap or file — is allocated.
+func elementCount(dims []int) (int, error) {
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return 0, fmt.Errorf("invalid dimension %d", d)
+		}
+		if n > math.MaxInt/d {
+			return 0, fmt.Errorf("field size overflows")
+		}
+		n *= d
+	}
+	return n, nil
+}
+
+// streamUploadLocked copies exactly Len*8 body bytes into the array, one
+// stripe at a time: each stripe's bytes are staged into scratch from the
+// network with no locks held, then committed under only that stripe's lock
+// (which owns the stripe's elements — see core.WithStripeLock). A slow
+// client therefore never stalls recoveries, and peak extra memory is one
+// stripe, not one field.
+func (s *Server) streamUploadLocked(a *ndarray.Array, body io.Reader) error {
+	var scratch []byte
+	n := s.eng.NumStripes(a)
+	for st := 0; st < n; st++ {
+		lo, hi := s.eng.StripeSpan(a, st)
+		need := (hi - lo) * 8
+		if cap(scratch) < need {
+			scratch = make([]byte, need)
+		}
+		buf := scratch[:need]
+		if _, err := io.ReadFull(body, buf); err != nil {
+			return fmt.Errorf("read body at element %d: %w", lo, err)
+		}
+		s.eng.WithStripeLock(a, st, func() {
+			if view, ok := ndarray.ByteView(a); ok {
+				copy(view[lo*8:hi*8], buf)
+				return
+			}
+			data := a.Data()
+			for i := lo; i < hi; i++ {
+				data[i] = math.Float64frombits(
+					binary.LittleEndian.Uint64(buf[(i-lo)*8:]))
+			}
+		})
+	}
+	return nil
+}
+
+// streamDownload writes the field to w one stripe at a time: each stripe is
+// copied out to scratch under only its own lock, then written to the client
+// with no locks held. The result is stripe-consistent — each stripe is an
+// atomic snapshot, but stripes are captured at slightly different instants;
+// with no recoveries in flight (the quiesced case every verification run
+// uses) it is a bit-exact point-in-time image.
+func (s *Server) streamDownload(a *ndarray.Array, w io.Writer) error {
+	var scratch []byte
+	n := s.eng.NumStripes(a)
+	for st := 0; st < n; st++ {
+		lo, hi := s.eng.StripeSpan(a, st)
+		need := (hi - lo) * 8
+		if cap(scratch) < need {
+			scratch = make([]byte, need)
+		}
+		buf := scratch[:need]
+		s.eng.WithStripeLock(a, st, func() {
+			if view, ok := ndarray.ByteView(a); ok {
+				copy(buf, view[lo*8:hi*8])
+				return
+			}
+			data := a.Data()
+			for i := lo; i < hi; i++ {
+				binary.LittleEndian.PutUint64(buf[(i-lo)*8:],
+					math.Float64bits(data[i]))
+			}
+		})
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// isBodyTooLarge reports whether err is http.MaxBytesReader tripping.
+func isBodyTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}

@@ -1,0 +1,273 @@
+package httpapi_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spatialdue/internal/core"
+	"spatialdue/internal/httpapi"
+	"spatialdue/internal/httpapi/client"
+	"spatialdue/internal/service"
+)
+
+func valbitsEqual(t *testing.T, got, want []float64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: element %d = %x, want %x",
+				label, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestFieldStoreRoundTripBitIdentical runs the same register → upload →
+// inject → recover → download lifecycle against a heap-store server and an
+// mmap-store server: both must return bit-identical fields, and the mmap
+// server must put the backing file where FieldPath says (and delete it on
+// unregister).
+func TestFieldStoreRoundTripBitIdentical(t *testing.T) {
+	const rows, cols, offset, bit = 32, 32, 117, 30
+	vals := smoothField(rows, cols)
+	finals := map[string][]float64{}
+
+	for _, store := range []string{httpapi.FieldStoreHeap, httpapi.FieldStoreMmap} {
+		t.Run(store, func(t *testing.T) {
+			dataDir := t.TempDir()
+			eng := core.NewEngine(core.Options{Seed: 42})
+			_, base, shutdown := startServer(t, eng, httpapi.ServerConfig{
+				EnableInject: true,
+				Service:      service.Config{Workers: 2, QueueDepth: 16},
+				FieldStore:   store,
+				DataDir:      dataDir,
+			})
+			defer func() {
+				if err := shutdown(); err != nil {
+					t.Errorf("shutdown: %v", err)
+				}
+			}()
+
+			ctx := context.Background()
+			c := client.New(client.Config{BaseURL: base, Tenant: "t1"})
+			if _, err := c.Register(ctx, httpapi.RegisterRequest{
+				Name: "field", Dims: []int{rows, cols}, DType: "float64",
+				Policy: httpapi.PolicyInfo{Any: true},
+			}); err != nil {
+				t.Fatalf("register: %v", err)
+			}
+			if err := c.Upload(ctx, "field", vals); err != nil {
+				t.Fatalf("upload: %v", err)
+			}
+
+			backing := httpapi.FieldPath(dataDir, "t1", "field")
+			if store == httpapi.FieldStoreMmap {
+				st, err := os.Stat(backing)
+				if err != nil {
+					t.Fatalf("backing file: %v", err)
+				}
+				if st.Size() != rows*cols*8 {
+					t.Fatalf("backing file is %d bytes, want %d", st.Size(), rows*cols*8)
+				}
+			}
+
+			off, b := offset, bit
+			if _, err := c.Inject(ctx, "field", httpapi.InjectRequest{Offset: &off, Bit: &b}); err != nil {
+				t.Fatalf("inject: %v", err)
+			}
+			if _, err := c.Recover(ctx, "field", offset); err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			final, err := c.Download(ctx, "field")
+			if err != nil {
+				t.Fatalf("download: %v", err)
+			}
+			finals[store] = final
+
+			if err := c.Unregister(ctx, "field"); err != nil {
+				t.Fatalf("unregister: %v", err)
+			}
+			if store == httpapi.FieldStoreMmap {
+				if _, err := os.Stat(backing); !os.IsNotExist(err) {
+					t.Fatalf("backing file survives unregister: %v", err)
+				}
+			}
+		})
+	}
+	if t.Failed() {
+		return
+	}
+	valbitsEqual(t, finals[httpapi.FieldStoreMmap], finals[httpapi.FieldStoreHeap],
+		"mmap vs heap recovered field")
+}
+
+// TestUploadSizeGate: an oversized declared body is refused with 413 before
+// a byte is buffered, an undersized one with 400, and an oversized chunked
+// body (no Content-Length) is cut off at the allocation size by the
+// MaxBytesReader bound — on both backings.
+func TestUploadSizeGate(t *testing.T) {
+	const rows, cols = 8, 8
+	want := rows * cols * 8
+
+	for _, store := range []string{httpapi.FieldStoreHeap, httpapi.FieldStoreMmap} {
+		t.Run(store, func(t *testing.T) {
+			eng := core.NewEngine(core.Options{Seed: 1})
+			_, base, shutdown := startServer(t, eng, httpapi.ServerConfig{
+				Service:    service.Config{Workers: 1, QueueDepth: 4},
+				FieldStore: store,
+				DataDir:    t.TempDir(),
+			})
+			defer func() {
+				if err := shutdown(); err != nil {
+					t.Errorf("shutdown: %v", err)
+				}
+			}()
+			ctx := context.Background()
+			c := client.New(client.Config{BaseURL: base, Tenant: "t1"})
+			if _, err := c.Register(ctx, httpapi.RegisterRequest{
+				Name: "f", Dims: []int{rows, cols}, DType: "float64",
+				Policy: httpapi.PolicyInfo{Any: true},
+			}); err != nil {
+				t.Fatalf("register: %v", err)
+			}
+
+			put := func(body io.Reader) *http.Response {
+				req, err := http.NewRequest(http.MethodPut, base+"/v1/allocations/f/data", body)
+				if err != nil {
+					t.Fatalf("new request: %v", err)
+				}
+				req.Header.Set(httpapi.TenantHeader, "t1")
+				req.Header.Set("Content-Type", "application/octet-stream")
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatalf("do: %v", err)
+				}
+				return resp
+			}
+			codeOf := func(resp *http.Response) string {
+				defer resp.Body.Close()
+				var eb httpapi.ErrorBody
+				if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+					t.Fatalf("decode error body: %v", err)
+				}
+				return eb.Error.Code
+			}
+
+			// Declared oversized: 413 with no buffering.
+			resp := put(bytes.NewReader(make([]byte, want+8)))
+			if resp.StatusCode != http.StatusRequestEntityTooLarge {
+				t.Fatalf("oversized upload status = %d, want 413", resp.StatusCode)
+			}
+			if code := codeOf(resp); code != httpapi.CodePayloadTooLarge {
+				t.Fatalf("oversized upload code = %q, want %q", code, httpapi.CodePayloadTooLarge)
+			}
+
+			// Declared undersized: 400.
+			resp = put(bytes.NewReader(make([]byte, want-8)))
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("undersized upload status = %d, want 400", resp.StatusCode)
+			}
+			resp.Body.Close()
+
+			// Chunked (unknown length) oversized: the stream is cut at the
+			// allocation size and refused as too large.
+			resp = put(io.MultiReader(bytes.NewReader(make([]byte, want)), bytes.NewReader(make([]byte, 8))))
+			if resp.StatusCode != http.StatusRequestEntityTooLarge {
+				t.Fatalf("chunked oversized upload status = %d, want 413", resp.StatusCode)
+			}
+			if code := codeOf(resp); code != httpapi.CodePayloadTooLarge {
+				t.Fatalf("chunked oversized upload code = %q, want %q", code, httpapi.CodePayloadTooLarge)
+			}
+
+			// Exact size still lands.
+			vals := smoothField(rows, cols)
+			if err := c.Upload(context.Background(), "f", vals); err != nil {
+				t.Fatalf("exact-size upload: %v", err)
+			}
+			got, err := c.Download(context.Background(), "f")
+			if err != nil {
+				t.Fatalf("download: %v", err)
+			}
+			valbitsEqual(t, got, vals, "exact-size round trip")
+		})
+	}
+}
+
+// TestMmapFieldPersistsAcrossRestart: shut a mmap-store server down, start a
+// fresh one over the same data dir, re-register the same allocation — the
+// field must come back bit-identical from the remapped backing file
+// (remap-on-restart), without any re-upload.
+func TestMmapFieldPersistsAcrossRestart(t *testing.T) {
+	const rows, cols = 16, 16
+	vals := smoothField(rows, cols)
+	dataDir := t.TempDir()
+	ctx := context.Background()
+
+	eng1 := core.NewEngine(core.Options{Seed: 7})
+	_, base1, shutdown1 := startServer(t, eng1, httpapi.ServerConfig{
+		Service:    service.Config{Workers: 1, QueueDepth: 4},
+		FieldStore: httpapi.FieldStoreMmap,
+		DataDir:    dataDir,
+	})
+	c1 := client.New(client.Config{BaseURL: base1, Tenant: "t1"})
+	if _, err := c1.Register(ctx, httpapi.RegisterRequest{
+		Name: "f", Dims: []int{rows, cols}, DType: "float64",
+		Policy: httpapi.PolicyInfo{Any: true},
+	}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := c1.Upload(ctx, "f", vals); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if err := shutdown1(); err != nil {
+		t.Fatalf("shutdown server 1: %v", err)
+	}
+
+	eng2 := core.NewEngine(core.Options{Seed: 7})
+	_, base2, shutdown2 := startServer(t, eng2, httpapi.ServerConfig{
+		Service:    service.Config{Workers: 1, QueueDepth: 4},
+		FieldStore: httpapi.FieldStoreMmap,
+		DataDir:    dataDir,
+	})
+	defer func() {
+		if err := shutdown2(); err != nil {
+			t.Errorf("shutdown server 2: %v", err)
+		}
+	}()
+	c2 := client.New(client.Config{BaseURL: base2, Tenant: "t1"})
+	if _, err := c2.Register(ctx, httpapi.RegisterRequest{
+		Name: "f", Dims: []int{rows, cols}, DType: "float64",
+		Policy: httpapi.PolicyInfo{Any: true},
+	}); err != nil {
+		t.Fatalf("re-register: %v", err)
+	}
+	got, err := c2.Download(ctx, "f")
+	if err != nil {
+		t.Fatalf("download after restart: %v", err)
+	}
+	valbitsEqual(t, got, vals, "field after restart")
+
+	// A dims change on re-register must be refused (torn/foreign file), not
+	// silently resized.
+	if err := c2.Unregister(ctx, "f"); err != nil {
+		t.Fatalf("unregister: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dataDir, "fields", "t1", "f.field"),
+		make([]byte, 24), 0o644); err != nil {
+		t.Fatalf("plant torn file: %v", err)
+	}
+	if _, err := c2.Register(ctx, httpapi.RegisterRequest{
+		Name: "f", Dims: []int{rows, cols}, DType: "float64",
+		Policy: httpapi.PolicyInfo{Any: true},
+	}); err == nil {
+		t.Fatal("register over a torn backing file succeeded")
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"math"
 	"math/rand"
 	"net/http"
@@ -16,7 +15,7 @@ import (
 
 	"spatialdue/internal/bitflip"
 	"spatialdue/internal/faultinject"
-	"spatialdue/internal/ndarray"
+	"spatialdue/internal/ndarray/mmapstore"
 	"spatialdue/internal/predict"
 	"spatialdue/internal/registry"
 	"spatialdue/internal/service"
@@ -260,17 +259,29 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, "%v", err)
 		return
 	}
-	arr, err := ndarray.TryNew(req.Dims...)
+	els, err := elementCount(req.Dims)
 	if err != nil {
 		writeBadRequest(w, "%v", err)
 		return
 	}
-	if max := int(s.cfg.MaxBodyBytes / 8); arr.Len() > max {
-		writeBadRequest(w, "allocation of %d elements exceeds the %d-element cap", arr.Len(), max)
+	// Cap before allocating: a registration must never materialize storage
+	// (heap slice or backing file) larger than the server will accept.
+	if max := int(s.cfg.MaxBodyBytes / 8); els > max {
+		writeBadRequest(w, "allocation of %d elements exceeds the %d-element cap", els, max)
+		return
+	}
+	arr, err := s.newFieldArray(tenant, req.Name, req.Dims, els)
+	if err != nil {
+		writeBadRequest(w, "%v", err)
 		return
 	}
 	a, err := s.eng.ProtectTenant(tenant, req.Name, arr, dtype, policy)
 	if err != nil {
+		// Unmap a file backing we just opened; keep the file itself — on a
+		// name collision it belongs to the live registration.
+		if st, ok := arr.Backing().(*mmapstore.Store); ok {
+			_ = st.Close()
+		}
 		writeError(w, err)
 		return
 	}
@@ -318,30 +329,50 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	body, err := io.ReadAll(r.Body)
-	if err != nil {
-		writeBadRequest(w, "read body: %v", err)
+	// Size gate BEFORE buffering a single byte: the wire format is always 8
+	// bytes per element (little-endian float64), so the exact body size is
+	// known from the registration. An oversized declared body is 413, an
+	// undersized one 400; a chunked body (no Content-Length) is bounded by
+	// MaxBytesReader so it can never OOM the server either.
+	want := int64(a.Array.Len()) * 8
+	if r.ContentLength > want {
+		writeErrorDetail(w, ErrorDetail{Code: CodePayloadTooLarge, Message: fmt.Sprintf(
+			"field body is %d bytes, allocation %q takes exactly %d (%d elements)",
+			r.ContentLength, a.Name, want, a.Array.Len())})
 		return
 	}
-	vals, err := BytesToFloat64s(body)
-	if err != nil {
+	if r.ContentLength >= 0 && r.ContentLength < want {
+		writeBadRequest(w, "field body is %d bytes, allocation %q takes exactly %d (%d elements)",
+			r.ContentLength, a.Name, want, a.Array.Len())
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, want)
+	// Stream stripe by stripe: stage each stripe's bytes from the network
+	// with no locks held, commit under only that stripe's lock. In-flight
+	// recoveries in other stripes keep running; none ever observes a
+	// half-written stripe.
+	if err := s.streamUploadLocked(a.Array, body); err != nil {
+		if isBodyTooLarge(err) {
+			writeErrorDetail(w, ErrorDetail{Code: CodePayloadTooLarge, Message: fmt.Sprintf(
+				"field body exceeds the %d bytes allocation %q takes", want, a.Name)})
+			return
+		}
 		writeBadRequest(w, "%v", err)
 		return
 	}
-	if len(vals) != a.Array.Len() {
-		writeBadRequest(w, "field has %d elements, allocation %q has %d", len(vals), a.Name, a.Array.Len())
+	// Exactly-sized contract: trailing bytes mean the client's field does
+	// not match the registered shape.
+	var tail [1]byte
+	if n, err := body.Read(tail[:]); n > 0 || isBodyTooLarge(err) {
+		writeErrorDetail(w, ErrorDetail{Code: CodePayloadTooLarge, Message: fmt.Sprintf(
+			"field body exceeds the %d bytes allocation %q takes", want, a.Name)})
 		return
 	}
-	// Serialize against in-flight recoveries: predictors scan the raw
-	// array, so an unsynchronized bulk write would race a ladder climb.
-	s.eng.WithArrayLock(a.Array, func() {
-		copy(a.Array.Data(), vals)
-	})
 	// The field changed character: re-snapshot the shared statistics,
 	// re-admit repaired cells, and drop stale cached tuning decisions.
 	s.eng.FieldUpdated(a.Array)
 	if s.cfg.Cluster != nil {
-		s.cfg.Cluster.FieldUploaded(a, vals)
+		s.cfg.Cluster.FieldUploaded(a)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -357,13 +388,13 @@ func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	var snap []float64
-	s.eng.WithArrayLock(a.Array, func() {
-		snap = append(snap, a.Array.Data()...)
-	})
+	// Sectioned streaming: each stripe is copied out under only its own
+	// lock and written with no locks held, so a slow client never blocks
+	// recoveries and the server never materializes the whole field.
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(a.Array.Len()*8))
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(Float64sToBytes(snap))
+	_ = s.streamDownload(a.Array, w)
 }
 
 func (s *Server) handleElement(w http.ResponseWriter, r *http.Request) {
@@ -888,6 +919,11 @@ func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 	if err := s.eng.Unprotect(a); err != nil {
 		writeError(w, err)
 		return
+	}
+	// A file-backed field is unmapped and its backing file deleted: the
+	// registration is gone, so remap-on-restart must not resurrect it.
+	if st, ok := a.Array.Backing().(*mmapstore.Store); ok {
+		_ = st.Remove()
 	}
 	// Drop the allocation's breaker so a future allocation reusing the name
 	// starts with a closed circuit.

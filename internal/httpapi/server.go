@@ -80,6 +80,15 @@ type ServerConfig struct {
 	// Predictor configures the predictive memory-health tier. In cluster
 	// mode its elevated-tier re-replication is wired to the partner sink.
 	Predictor PredictorConfig
+	// FieldStore selects the storage backing for fields registered through
+	// the API: "heap" (default) keeps today's Go slices; "mmap" backs each
+	// field with a file under DataDir/fields/<tenant>/<name>.field, mapped
+	// into memory — uploads/downloads stream per stripe, cold tenants page
+	// out, and re-registering after a restart remaps the persisted file.
+	FieldStore string
+	// DataDir is where the mmap field store keeps its backing files.
+	// Required when FieldStore is "mmap"; ignored for "heap".
+	DataDir string
 }
 
 // Server is the networked recovery front end. Create with NewServer, serve
@@ -125,6 +134,17 @@ func NewServer(eng *core.Engine, cfg ServerConfig) (*Server, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 30 * time.Second
 	}
+	switch cfg.FieldStore {
+	case "", FieldStoreHeap:
+		cfg.FieldStore = FieldStoreHeap
+	case FieldStoreMmap:
+		if cfg.DataDir == "" {
+			return nil, fmt.Errorf("httpapi: FieldStore %q requires DataDir", cfg.FieldStore)
+		}
+	default:
+		return nil, fmt.Errorf("httpapi: unknown FieldStore %q (want %q or %q)",
+			cfg.FieldStore, FieldStoreHeap, FieldStoreMmap)
+	}
 
 	s := &Server{
 		cfg:      cfg,
@@ -151,7 +171,11 @@ func NewServer(eng *core.Engine, cfg ServerConfig) (*Server, error) {
 		pc := cfg.Predictor
 		var replicate func(*registry.Allocation, []float64)
 		if cfg.Cluster != nil {
-			replicate = cfg.Cluster.FieldUploaded
+			// The cluster captures its own stripe-consistent snapshot;
+			// the predictor's vals argument is the same live array.
+			replicate = func(a *registry.Allocation, _ []float64) {
+				cfg.Cluster.FieldUploaded(a)
+			}
 		}
 		mgr, err := predictor.NewManager(predictor.ManagerConfig{
 			Predictor: predictor.Config{

@@ -1,0 +1,75 @@
+package ndarray
+
+import "os"
+
+// Advice is a paging hint forwarded to the backing store. Heap backings
+// ignore it; file-backed stores translate it to madvise so cold tenants can
+// be paged out (and warm ones pre-faulted) without touching the Go heap.
+type Advice int
+
+const (
+	// AdviseWillNeed hints that the field is about to be accessed (e.g. a
+	// tenant turning hot again); file backings pre-fault pages.
+	AdviseWillNeed Advice = iota
+	// AdviseDontNeed hints that the field is cold; file backings release
+	// resident pages back to the OS. The data stays valid — pages fault
+	// back in from the file on the next access.
+	AdviseDontNeed
+)
+
+// Backing is the storage substrate behind an Array's element slice. The
+// recovery hot paths never see it — they operate on the plain []float64 view
+// — so every implementation must return a slice whose contents ARE the
+// storage (no write-back step). Lifecycle calls (Seal, Advise, Close) are
+// the owner's concern; concurrent element access is governed by the engine's
+// stripe locks exactly as for heap arrays.
+type Backing interface {
+	// Slice returns the element storage. The same slice is returned for
+	// the lifetime of the backing; mutating it mutates the store.
+	Slice() []float64
+	// CloneData returns an independent heap copy of the current contents.
+	CloneData() Backing
+	// Seal flushes the contents to durable storage (msync for file
+	// backings). No-op for heap.
+	Seal() error
+	// Advise forwards a paging hint. No-op for heap.
+	Advise(Advice) error
+	// File returns the backing file and true when the store is file-based
+	// and the file's bytes are the element storage (little-endian
+	// float64s). Heap backings return (nil, false).
+	File() (*os.File, bool)
+	// Close releases mapping resources. The element slice must not be
+	// used afterwards. No-op for heap.
+	Close() error
+}
+
+// heapBacking is the default store: a plain Go slice.
+type heapBacking struct{ data []float64 }
+
+func (h *heapBacking) Slice() []float64 { return h.data }
+
+func (h *heapBacking) CloneData() Backing {
+	c := make([]float64, len(h.data))
+	copy(c, h.data)
+	return &heapBacking{data: c}
+}
+
+func (h *heapBacking) Seal() error            { return nil }
+func (h *heapBacking) Advise(Advice) error    { return nil }
+func (h *heapBacking) File() (*os.File, bool) { return nil, false }
+func (h *heapBacking) Close() error           { return nil }
+
+// NewHeapBacking wraps an existing slice as a heap backing. The slice is
+// used directly, not copied. External backings (e.g. the mmap store) use it
+// to build heap clones.
+func NewHeapBacking(data []float64) Backing { return &heapBacking{data: data} }
+
+// Backing returns the array's storage backing.
+func (a *Array) Backing() Backing { return a.backing }
+
+// Seal flushes the array's contents to durable storage when the backing is
+// file-based; heap arrays return nil immediately.
+func (a *Array) Seal() error { return a.backing.Seal() }
+
+// Advise forwards a paging hint to the backing store.
+func (a *Array) Advise(adv Advice) error { return a.backing.Advise(adv) }

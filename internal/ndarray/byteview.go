@@ -1,0 +1,28 @@
+package ndarray
+
+import "unsafe"
+
+// hostLittleEndian reports whether the running machine stores float64s
+// little-endian in memory — i.e. whether a raw memory view of the element
+// slice is already in the wire/file format used by the HTTP field plane and
+// the mmap store.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// ByteView returns the array's element storage viewed as raw bytes (8 bytes
+// per element, little-endian float64), and true, when the host's native
+// byte order matches the wire format. On big-endian hosts it returns
+// (nil, false) and callers must fall back to an explicit encode/decode.
+//
+// The returned slice aliases the element storage: writes through it are
+// writes to the array, so callers must hold the same locks they would for
+// Data(). This is the zero-copy bridge between stripe-locked memory and
+// file/socket I/O.
+func ByteView(a *Array) ([]byte, bool) {
+	if !hostLittleEndian || len(a.data) == 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&a.data[0])), len(a.data)*8), true
+}

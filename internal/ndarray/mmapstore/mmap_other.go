@@ -1,0 +1,25 @@
+//go:build !linux
+
+package mmapstore
+
+import (
+	"errors"
+	"os"
+
+	"spatialdue/internal/ndarray"
+)
+
+// Non-linux stub: the service targets linux; other platforms get a clear
+// error instead of a partial mmap emulation, and the heap backing remains
+// fully functional everywhere.
+
+var errUnsupported = errors.New("mmapstore: only supported on linux")
+
+func mapFile(path string, f *os.File, elements int) (*Store, error) {
+	f.Close()
+	return nil, errUnsupported
+}
+
+func (s *Store) Seal() error                     { return errUnsupported }
+func (s *Store) Advise(adv ndarray.Advice) error { return errUnsupported }
+func (s *Store) unmap(flush bool) error          { return errUnsupported }

@@ -1,0 +1,95 @@
+//go:build linux
+
+package mmapstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+
+	"spatialdue/internal/ndarray"
+)
+
+func mapFile(path string, f *os.File, elements int) (*Store, error) {
+	size := elements * 8
+	mem, err := syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("mmapstore: mmap %s: %w", path, err)
+	}
+	return &Store{
+		path: path,
+		f:    f,
+		mem:  mem,
+		vals: unsafe.Slice((*float64)(unsafe.Pointer(&mem[0])), elements),
+	}, nil
+}
+
+// Seal flushes the mapped contents to the file with a synchronous msync, so
+// a subsequent hard link or crash-restart observes exactly the sealed bytes.
+func (s *Store) Seal() error {
+	if s.f == nil {
+		return ErrClosed
+	}
+	if err := msync(s.mem); err != nil {
+		return fmt.Errorf("mmapstore: msync %s: %w", s.path, err)
+	}
+	return nil
+}
+
+// Advise forwards paging hints: AdviseDontNeed releases resident pages of a
+// cold tenant back to the OS (MAP_SHARED pages are file-backed, so the data
+// survives and faults back in on next access); AdviseWillNeed pre-faults.
+func (s *Store) Advise(adv ndarray.Advice) error {
+	if s.f == nil {
+		return ErrClosed
+	}
+	var flag int
+	switch adv {
+	case ndarray.AdviseWillNeed:
+		flag = syscall.MADV_WILLNEED
+	case ndarray.AdviseDontNeed:
+		// Flush first: DONTNEED on a MAP_SHARED mapping drops the PTEs
+		// and refaults from the page cache/file, so an msync beforehand
+		// guarantees the cold tenant's bytes are on disk rather than
+		// pinned dirty in the cache.
+		if err := msync(s.mem); err != nil {
+			return fmt.Errorf("mmapstore: msync %s: %w", s.path, err)
+		}
+		flag = syscall.MADV_DONTNEED
+	default:
+		return nil
+	}
+	if err := syscall.Madvise(s.mem, flag); err != nil {
+		return fmt.Errorf("mmapstore: madvise %s: %w", s.path, err)
+	}
+	return nil
+}
+
+func (s *Store) unmap(flush bool) error {
+	var err error
+	if flush {
+		err = msync(s.mem)
+	}
+	if merr := syscall.Munmap(s.mem); err == nil {
+		err = merr
+	}
+	s.mem, s.vals = nil, nil
+	return err
+}
+
+// msync is invoked via the raw syscall number: stdlib syscall does not
+// export Msync on linux and pulling in x/sys is not worth one call site.
+func msync(mem []byte) error {
+	if len(mem) == 0 {
+		return nil
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&mem[0])), uintptr(len(mem)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+// Package mmapstore implements a file-backed ndarray.Backing: the element
+// storage is an mmap'd region of a plain file of little-endian float64s.
+//
+// Why a file per field: upload/download become file-region streaming instead
+// of heap buffer copies, cold tenants page out under memory pressure (the
+// kernel reclaims clean pages; dirty ones write back to the file), and
+// checkpoint levels can hard-link the sealed blob instead of rewriting
+// bytes. The recovery hot path is untouched — the mapping is exposed as an
+// ordinary []float64, so kernels, stripe locks, and predictors cannot tell
+// it from a heap slice.
+//
+// Lifecycle contract (mirrors DESIGN §14):
+//
+//   - The file size is fixed at creation (elements*8 bytes). Open refuses a
+//     file whose size does not match — mapping past EOF would turn a torn
+//     file into a SIGBUS at first touch, so the mismatch is surfaced as
+//     ErrTorn at map time instead.
+//   - Seal (msync MS_SYNC) makes the current contents durable; callers seal
+//     before taking hard-link checkpoints.
+//   - Close unmaps but keeps the file: a restart remaps the same path and
+//     journal replay proceeds over the persisted contents.
+//   - Remove unmaps and deletes the file (tenant unregister).
+package mmapstore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"spatialdue/internal/ndarray"
+)
+
+// ErrTorn is returned when a backing file's size does not match the
+// registered element count — a truncated (torn) or foreign file. Mapping it
+// would risk SIGBUS on access, so it is rejected up front.
+var ErrTorn = errors.New("mmapstore: backing file size mismatch")
+
+// ErrClosed is returned by operations on an unmapped store.
+var ErrClosed = errors.New("mmapstore: store is closed")
+
+// Store is a file-backed ndarray.Backing. It is not safe for concurrent
+// lifecycle calls (Seal/Advise/Close/Remove); element access through Slice
+// is governed by the caller's locks exactly as for a heap slice.
+type Store struct {
+	path string
+	f    *os.File
+	mem  []byte
+	vals []float64
+}
+
+var _ ndarray.Backing = (*Store)(nil)
+
+func byteSize(elements int) (int64, error) {
+	if elements <= 0 || elements > math.MaxInt/8 {
+		return 0, fmt.Errorf("mmapstore: invalid element count %d", elements)
+	}
+	return int64(elements) * 8, nil
+}
+
+// Create makes (or truncates) the file at path sized for elements float64s,
+// zero-filled, and maps it read-write. Parent directories are created.
+func Create(path string, elements int) (*Store, error) {
+	size, err := byteSize(elements)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("mmapstore: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("mmapstore: %w", err)
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("mmapstore: truncate: %w", err)
+	}
+	return mapFile(path, f, elements)
+}
+
+// Open maps an existing backing file. The file size must be exactly
+// elements*8 bytes; anything else returns ErrTorn (wrapped with detail).
+func Open(path string, elements int) (*Store, error) {
+	size, err := byteSize(elements)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("mmapstore: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("mmapstore: %w", err)
+	}
+	if st.Size() != size {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s is %d bytes, want %d (%d elements)",
+			ErrTorn, path, st.Size(), size, elements)
+	}
+	return mapFile(path, f, elements)
+}
+
+// OpenOrCreate opens the backing file when it exists (remap-on-restart) and
+// creates it otherwise. An existing file of the wrong size is reported as
+// ErrTorn, never silently resized — the caller decides whether to discard.
+func OpenOrCreate(path string, elements int) (*Store, error) {
+	if _, err := os.Stat(path); err == nil {
+		return Open(path, elements)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("mmapstore: %w", err)
+	}
+	return Create(path, elements)
+}
+
+// Slice returns the mapped element storage.
+func (s *Store) Slice() []float64 { return s.vals }
+
+// CloneData returns an independent heap copy of the current contents.
+func (s *Store) CloneData() ndarray.Backing {
+	c := make([]float64, len(s.vals))
+	copy(c, s.vals)
+	return ndarray.NewHeapBacking(c)
+}
+
+// File returns the backing file. Its bytes are the element storage
+// (little-endian float64s), so file-region operations (hard links, sendfile)
+// see exactly what the mapping sees after a Seal.
+func (s *Store) File() (*os.File, bool) {
+	if s.f == nil {
+		return nil, false
+	}
+	return s.f, true
+}
+
+// Path returns the backing file path.
+func (s *Store) Path() string { return s.path }
+
+// Close synchronously flushes and unmaps the store but keeps the file on
+// disk for remap-on-restart. Safe to call twice.
+func (s *Store) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.unmap(true)
+	cerr := s.f.Close()
+	s.f = nil
+	if err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Remove unmaps the store (without the durability flush — the file is about
+// to be deleted) and removes the backing file.
+func (s *Store) Remove() error {
+	if s.f == nil {
+		return os.Remove(s.path)
+	}
+	err := s.unmap(false)
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	if rerr := os.Remove(s.path); err == nil {
+		err = rerr
+	}
+	return err
+}

@@ -1,0 +1,251 @@
+package mmapstore_test
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spatialdue/internal/faultinject"
+	"spatialdue/internal/ndarray"
+	"spatialdue/internal/ndarray/mmapstore"
+)
+
+// fill writes a deterministic, bit-diverse pattern (including negatives,
+// tiny and huge magnitudes) so a byte-order or truncation bug cannot hide
+// behind benign values.
+func fill(vals []float64) {
+	for i := range vals {
+		vals[i] = math.Ldexp(float64(i)-float64(len(vals))/2, (i%64)-32)
+	}
+}
+
+func valbits(vals []float64) []uint64 {
+	out := make([]uint64, len(vals))
+	for i, v := range vals {
+		out[i] = math.Float64bits(v)
+	}
+	return out
+}
+
+func TestRoundTripAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.field")
+	const n = 4096
+	st, err := mmapstore.Create(path, n)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	fill(st.Slice())
+	want := valbits(st.Slice())
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	re, err := mmapstore.OpenOrCreate(path, n)
+	if err != nil {
+		t.Fatalf("OpenOrCreate after close: %v", err)
+	}
+	defer re.Close()
+	for i, b := range valbits(re.Slice()) {
+		if b != want[i] {
+			t.Fatalf("element %d: bits %x after reopen, want %x", i, b, want[i])
+		}
+	}
+}
+
+// TestCrashAfterSealRemapsBitIdentical is the crash-consistency contract:
+// the process dies (faultinject crash point) after the store is sealed but
+// before the journal outcome for the in-flight recovery would be written.
+// On restart the remapped field must be bit-identical to the sealed state —
+// the journal then replays the dangling intent on top of exactly those
+// bytes, never on a torn or stale field.
+func TestCrashAfterSealRemapsBitIdentical(t *testing.T) {
+	const point = "mmapstore/sealed-before-outcome"
+	path := filepath.Join(t.TempDir(), "f.field")
+	const n = 2048
+
+	st, err := mmapstore.Create(path, n)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	fill(st.Slice())
+	// An in-flight recovery writes its repaired value in place...
+	st.Slice()[137] = math.Float64frombits(0x7ff8dead_beef0001) // a NaN payload survives only bit-exactly
+	want := valbits(st.Slice())
+
+	faultinject.ArmCrash(point)
+	defer faultinject.DisarmCrashes()
+	crashed := func() (c bool) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			if _, ok := faultinject.IsCrash(r); !ok {
+				panic(r)
+			}
+			c = true
+		}()
+		if err := st.Seal(); err != nil {
+			t.Errorf("Seal: %v", err)
+		}
+		faultinject.CrashPoint(point) // process dies; outcome never written
+		return false
+	}()
+	if crashed != true {
+		t.Fatal("crash point did not fire")
+	}
+
+	// "Restart": the old mapping is gone with the process; remap from disk.
+	// Deliberately no st.Close() first — durability must come from Seal's
+	// msync alone.
+	re, err := mmapstore.Open(path, n)
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	defer re.Close()
+	for i, b := range valbits(re.Slice()) {
+		if b != want[i] {
+			t.Fatalf("element %d: bits %x after crash-restart, want %x", i, b, want[i])
+		}
+	}
+}
+
+// TestTornFileRefusedOnOpen: a truncated backing file (torn by a crash mid-
+// resize or an operator mistake) must be refused at map time — mapping past
+// EOF would SIGBUS on first touch deep inside a recovery instead.
+func TestTornFileRefusedOnOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.field")
+	const n = 1024
+	st, err := mmapstore.Create(path, n)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	fill(st.Slice())
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := os.Truncate(path, int64(n*8-8)); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if _, err := mmapstore.Open(path, n); !errors.Is(err, mmapstore.ErrTorn) {
+		t.Fatalf("Open(torn) error = %v, want ErrTorn", err)
+	}
+	// OpenOrCreate must refuse too — never silently resize a field file.
+	if _, err := mmapstore.OpenOrCreate(path, n); !errors.Is(err, mmapstore.ErrTorn) {
+		t.Fatalf("OpenOrCreate(torn) error = %v, want ErrTorn", err)
+	}
+	// An oversized file is equally suspect.
+	if err := os.Truncate(path, int64(n*8+8)); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if _, err := mmapstore.Open(path, n); !errors.Is(err, mmapstore.ErrTorn) {
+		t.Fatalf("Open(oversized) error = %v, want ErrTorn", err)
+	}
+}
+
+// TestAdviseDontNeedKeepsData: paging a cold tenant out must be lossless —
+// the pages fault back in from the file with identical bits.
+func TestAdviseDontNeedKeepsData(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.field")
+	const n = 8192
+	st, err := mmapstore.Create(path, n)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer st.Close()
+	fill(st.Slice())
+	want := valbits(st.Slice())
+	if err := st.Advise(ndarray.AdviseDontNeed); err != nil {
+		t.Fatalf("Advise(DontNeed): %v", err)
+	}
+	for i, b := range valbits(st.Slice()) {
+		if b != want[i] {
+			t.Fatalf("element %d: bits %x after page-out, want %x", i, b, want[i])
+		}
+	}
+	if err := st.Advise(ndarray.AdviseWillNeed); err != nil {
+		t.Fatalf("Advise(WillNeed): %v", err)
+	}
+}
+
+func TestRemoveDeletesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.field")
+	st, err := mmapstore.Create(path, 64)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := st.Remove(); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("backing file still present after Remove: %v", err)
+	}
+}
+
+// TestCloneOfMmapArrayIsHeap: cloning a file-backed array must not create a
+// second file (checkpoint paths clone freely) — the clone is an independent
+// heap copy with identical bits.
+func TestCloneOfMmapArrayIsHeap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.field")
+	const n = 512
+	st, err := mmapstore.Create(path, n)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer st.Close()
+	arr, err := ndarray.NewWithBacking(st, n)
+	if err != nil {
+		t.Fatalf("NewWithBacking: %v", err)
+	}
+	fill(arr.Data())
+	c := arr.Clone()
+	if _, isMmap := c.Backing().(*mmapstore.Store); isMmap {
+		t.Fatal("clone of an mmap-backed array kept a file backing")
+	}
+	if _, ok := c.Backing().File(); ok {
+		t.Fatal("clone backing reports a file")
+	}
+	want := valbits(arr.Data())
+	for i, b := range valbits(c.Data()) {
+		if b != want[i] {
+			t.Fatalf("element %d: clone bits %x, want %x", i, b, want[i])
+		}
+	}
+	// Independence both ways.
+	c.SetOffset(3, -1)
+	if arr.AtOffset(3) == -1 {
+		t.Fatal("clone aliases the mmap store")
+	}
+	arr.SetOffset(4, -2)
+	if c.AtOffset(4) == -2 {
+		t.Fatal("mmap store aliases the clone")
+	}
+}
+
+func TestArrayOverMmapBacking(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.field")
+	st, err := mmapstore.Create(path, 6)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer st.Close()
+	arr, err := ndarray.NewWithBacking(st, 2, 3)
+	if err != nil {
+		t.Fatalf("NewWithBacking: %v", err)
+	}
+	arr.Set(42.5, 1, 2)
+	if got := st.Slice()[5]; got != 42.5 {
+		t.Fatalf("store saw %v, want 42.5", got)
+	}
+	if _, ok := arr.Backing().(*mmapstore.Store); !ok {
+		t.Fatalf("Backing() = %T, want *mmapstore.Store", arr.Backing())
+	}
+	if f, ok := st.File(); !ok || f == nil {
+		t.Fatal("File() should expose the backing file")
+	}
+	// Shape mismatch is refused.
+	if _, err := ndarray.NewWithBacking(st, 7); err == nil {
+		t.Fatal("NewWithBacking with wrong shape succeeded")
+	}
+}

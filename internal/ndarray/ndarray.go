@@ -31,6 +31,7 @@ var ErrBounds = errors.New("ndarray: index out of bounds")
 // ErrBounds instead.
 type Array struct {
 	data    []float64
+	backing Backing
 	dims    []int
 	strides []int
 }
@@ -50,8 +51,10 @@ func TryNew(dims ...int) (*Array, error) {
 	if err != nil {
 		return nil, err
 	}
+	b := &heapBacking{data: make([]float64, n)}
 	return &Array{
-		data:    make([]float64, n),
+		data:    b.data,
+		backing: b,
 		dims:    append([]int(nil), dims...),
 		strides: computeStrides(dims),
 	}, nil
@@ -70,6 +73,27 @@ func FromData(data []float64, dims ...int) (*Array, error) {
 	}
 	return &Array{
 		data:    data,
+		backing: &heapBacking{data: data},
+		dims:    append([]int(nil), dims...),
+		strides: computeStrides(dims),
+	}, nil
+}
+
+// NewWithBacking builds an array over an externally managed Backing (e.g. an
+// mmap-backed file store). The backing's slice length must equal the product
+// of the dimensions. The array takes ownership of the backing for Seal,
+// Advise, and Close purposes but never closes it itself.
+func NewWithBacking(b Backing, dims ...int) (*Array, error) {
+	n, err := checkDims(dims)
+	if err != nil {
+		return nil, err
+	}
+	if len(b.Slice()) != n {
+		return nil, fmt.Errorf("%w: backing length %d != product of dims %d", ErrShape, len(b.Slice()), n)
+	}
+	return &Array{
+		data:    b.Slice(),
+		backing: b,
 		dims:    append([]int(nil), dims...),
 		strides: computeStrides(dims),
 	}, nil
@@ -195,12 +219,18 @@ func (a *Array) AtOffset(off int) float64 { return a.data[off] }
 // SetOffset stores v at linear offset off.
 func (a *Array) SetOffset(off int, v float64) { a.data[off] = v }
 
-// Clone returns a deep copy of the array.
+// Clone returns a deep copy of the array's values. The clone always lives on
+// the heap regardless of the source backing (cloning an mmap-backed array
+// must not create a second file), and shares the immutable dims/strides
+// slices with the source so the only allocations are the copied data, the
+// backing wrapper, and the Array struct itself.
 func (a *Array) Clone() *Array {
+	b := a.backing.CloneData()
 	return &Array{
-		data:    append([]float64(nil), a.data...),
-		dims:    append([]int(nil), a.dims...),
-		strides: append([]int(nil), a.strides...),
+		data:    b.Slice(),
+		backing: b,
+		dims:    a.dims,
+		strides: a.strides,
 	}
 }
 

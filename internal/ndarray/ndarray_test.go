@@ -188,6 +188,27 @@ func TestCloneIndependent(t *testing.T) {
 	}
 }
 
+// TestCloneHeapAllocations pins the heap-clone allocation budget: the data
+// copy, the backing wrapper, and the Array struct — dims and strides are
+// immutable and shared with the source. The pre-backing implementation also
+// duplicated dims and strides (5 allocations); checkpoint paths clone every
+// protected array, so the budget is load-bearing, not cosmetic.
+func TestCloneHeapAllocations(t *testing.T) {
+	a := New(64, 64)
+	a.FillFunc(func(idx []int) float64 { return float64(idx[0]*64 + idx[1]) })
+	var c *Array
+	allocs := testing.AllocsPerRun(100, func() { c = a.Clone() })
+	if allocs > 3 {
+		t.Fatalf("Clone allocated %.0f times, want <= 3 (data + backing + struct)", allocs)
+	}
+	if c.At(5, 6) != a.At(5, 6) || !SameShape(a, c) {
+		t.Fatal("budget-counted clone is not a faithful copy")
+	}
+	if _, ok := c.Backing().(*heapBacking); !ok {
+		t.Fatalf("heap clone backing = %T, want *heapBacking", c.Backing())
+	}
+}
+
 func TestCopyFrom(t *testing.T) {
 	a, b := New(2, 3), New(2, 3)
 	b.Fill(4)
