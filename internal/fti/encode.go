@@ -79,6 +79,23 @@ func (r *Rank) encode(ckptID int) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// blobOK reports whether blob is a structurally intact checkpoint blob:
+// magic, coherent length header, and matching trailing CRC. Restart uses it
+// to treat a latently corrupted copy as missing — falling through to a
+// checkpoint level whose bytes are independent — instead of failing the
+// whole restore on the first damaged candidate.
+func blobOK(blob []byte) bool {
+	if len(blob) < len(magic)+12 || !bytes.Equal(blob[:8], magic[:]) {
+		return false
+	}
+	total := binary.LittleEndian.Uint64(blob[8:16])
+	if total < uint64(len(magic))+12 || total > uint64(len(blob)) {
+		return false
+	}
+	b := blob[:total]
+	return crc32.ChecksumIEEE(b[:len(b)-4]) == binary.LittleEndian.Uint32(b[len(b)-4:])
+}
+
 // decodeInto restores the rank's protected arrays from a checkpoint blob.
 // The protected set must structurally match the checkpoint (same ids in the
 // same order with the same shapes) — mirroring FTI, which requires the

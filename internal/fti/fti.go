@@ -270,24 +270,23 @@ func (w *World) Checkpoint(ckptID int, level Level) error {
 
 	// L1: local write on every rank. The L1 blob is write-once per
 	// checkpoint id (temp + rename, never mutated afterwards), which is
-	// what makes the hard-link fan-out of the higher levels sound: links
-	// share the inode, so they are only ever taken from immutable sources
-	// — never from a live mmap backing file, which in-place recovery
-	// writes keep mutating.
+	// what makes the L4 hard-link fan-out sound: links share the inode, so
+	// they are only ever taken from immutable sources — never from a live
+	// mmap backing file, which in-place recovery writes keep mutating.
 	for i := range w.ranks {
 		if err := atomicWrite(filepath.Join(w.rankDir(i), ckptFile(ckptID)), blobs[i]); err != nil {
 			return err
 		}
 	}
-	// L2: partner copies — hard links of the immutable L1 blob (all rank
-	// dirs live under one directory tree, hence one filesystem), so the
-	// partner level costs a metadata operation instead of a byte rewrite;
-	// linkOrCopy falls back to a byte copy where links are unsupported.
+	// L2: partner copies — real byte copies on the partner's storage, NOT
+	// hard links of the L1 blob. The partner level exists to survive damage
+	// to rank i's copy, so it must not share the L1 inode: a single latent
+	// media corruption of shared blocks would take out both "copies" at
+	// once.
 	if level >= L2 {
 		for i := range w.ranks {
 			p := w.partner(i)
-			src := filepath.Join(w.rankDir(i), ckptFile(ckptID))
-			if err := linkOrCopy(src, filepath.Join(w.rankDir(p), partnerFile(ckptID, i)), blobs[i]); err != nil {
+			if err := atomicWrite(filepath.Join(w.rankDir(p), partnerFile(ckptID, i)), blobs[i]); err != nil {
 				return err
 			}
 		}
@@ -313,8 +312,12 @@ func (w *World) Checkpoint(ckptID int, level Level) error {
 			}
 		}
 	}
-	// L4: full copies on the PFS — hard links of the L1 blobs, same
-	// immutability argument as L2.
+	// L4: full copies on the PFS — hard links of the immutable L1 blobs.
+	// Shared fate with L1 is acceptable here: the level's threat model is
+	// losing rank-local storage wholesale (where the PFS inode survives
+	// untouched), and latent corruption of the shared blob is caught by the
+	// CRC check on restart, which falls through to the independent-byte L2
+	// copy or L3 parity.
 	if level >= L4 {
 		for i := range w.ranks {
 			src := filepath.Join(w.rankDir(i), ckptFile(ckptID))
@@ -349,8 +352,11 @@ func (w *World) LoseRank(i int) error {
 }
 
 // Restart restores every rank's protected arrays from the most recent
-// checkpoint, using the cheapest level that still has the data: local file,
-// partner copy, XOR reconstruction, then PFS. It returns the level used.
+// checkpoint, using the cheapest level that still has INTACT data: local
+// file, partner copy, PFS copy, then Reed-Solomon reconstruction. Every
+// candidate blob is CRC-verified before use, so a latently corrupted copy
+// reads as missing and the restore falls through to the next level instead
+// of failing on it. It returns the level used.
 func (w *World) Restart() (Level, error) {
 	w.mu.Lock()
 	ckptID := w.ckptID
@@ -363,20 +369,22 @@ func (w *World) Restart() (Level, error) {
 	var missing []int
 	used := L1
 	for i := range w.ranks {
-		if b, err := os.ReadFile(filepath.Join(w.rankDir(i), ckptFile(ckptID))); err == nil {
+		if b, err := os.ReadFile(filepath.Join(w.rankDir(i), ckptFile(ckptID))); err == nil && blobOK(b) {
 			blobs[i] = b
 			continue
 		}
 		// L2: partner copy lives on partner(i)'s storage.
-		if b, err := os.ReadFile(filepath.Join(w.rankDir(w.partner(i)), partnerFile(ckptID, i))); err == nil {
+		if b, err := os.ReadFile(filepath.Join(w.rankDir(w.partner(i)), partnerFile(ckptID, i))); err == nil && blobOK(b) {
 			blobs[i] = b
 			if used < L2 {
 				used = L2
 			}
 			continue
 		}
-		// L4: PFS copy.
-		if b, err := os.ReadFile(filepath.Join(w.pfsDir(), fmt.Sprintf("rank%03d.%s", i, ckptFile(ckptID)))); err == nil {
+		// L4: PFS copy. A hard link of the L1 blob, so L1 corruption (as
+		// opposed to deletion) reappears here and blobOK skips it too —
+		// reconstruction from independent-byte parity is what's left.
+		if b, err := os.ReadFile(filepath.Join(w.pfsDir(), fmt.Sprintf("rank%03d.%s", i, ckptFile(ckptID)))); err == nil && blobOK(b) {
 			blobs[i] = b
 			if used < L4 {
 				used = L4
@@ -449,12 +457,14 @@ func atomicWrite(path string, data []byte) error {
 }
 
 // linkOrCopy fans a finished L1 blob out to dst as a hard link — sharing
-// the inode turns the higher checkpoint levels into metadata operations.
-// Sound only because the source blob is write-once (atomicWrite renames a
-// fresh temp file into place and nothing ever mutates it; a later
-// checkpoint of the same id is refused). Where the filesystem refuses links
-// (or dst already exists from a retried level), it falls back to an atomic
-// byte copy of data.
+// the inode turns the L4 fan-out into a metadata operation. Sound only
+// because the source blob is write-once (atomicWrite renames a fresh temp
+// file into place and nothing ever mutates it; a later checkpoint of the
+// same id is refused) and because Restart CRC-verifies every candidate, so
+// inode-shared corruption falls through to levels with independent bytes
+// (L2 copies, L3 parity). Where the filesystem refuses links (or dst
+// already exists from a retried level), it falls back to an atomic byte
+// copy of data.
 func linkOrCopy(src, dst string, data []byte) error {
 	_ = os.Remove(dst) // links cannot overwrite; stale dst may exist from a retry
 	if err := os.Link(src, dst); err == nil {

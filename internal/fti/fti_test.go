@@ -489,3 +489,68 @@ func TestLevelString(t *testing.T) {
 		t.Error("Level strings wrong")
 	}
 }
+
+// corruptFile flips one byte in the middle of the file at path, simulating
+// latent media corruption (the file stays present and the same size).
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptL1FallsBackToPartner: a latently corrupted L1 blob must be
+// detected by the CRC on restart and restored from the partner copy — which
+// therefore has to hold independent bytes, not a hard link of the damaged
+// L1 inode.
+func TestCorruptL1FallsBackToPartner(t *testing.T) {
+	w := testWorld(t, 3)
+	grids := protectGrids(t, w, 8)
+	if err := w.Checkpoint(1, L2); err != nil {
+		t.Fatal(err)
+	}
+	want := grids[1].Clone()
+	corruptFile(t, filepath.Join(w.rankDir(1), ckptFile(1)))
+	grids[1].Fill(0)
+	lvl, err := w.Restart()
+	if err != nil {
+		t.Fatalf("restart over corrupt L1 blob: %v", err)
+	}
+	if lvl != L2 {
+		t.Errorf("restart level = %v, want L2", lvl)
+	}
+	if !ndarray.ApproxEqual(grids[1], want, 0) {
+		t.Error("corrupt rank not restored from partner copy")
+	}
+}
+
+// TestCorruptL1AndPartnerReconstructsFromParity: with both the L1 blob and
+// the partner copy corrupted, an L4 checkpoint's PFS copy shares the L1
+// inode (hard link) and is corrupt too — only the Reed-Solomon parity holds
+// independent bytes, so restart must reconstruct from it.
+func TestCorruptL1AndPartnerReconstructsFromParity(t *testing.T) {
+	w := testWorld(t, 3)
+	grids := protectGrids(t, w, 8)
+	if err := w.Checkpoint(1, L4); err != nil {
+		t.Fatal(err)
+	}
+	want := grids[2].Clone()
+	corruptFile(t, filepath.Join(w.rankDir(2), ckptFile(1)))
+	corruptFile(t, filepath.Join(w.rankDir(w.partner(2)), partnerFile(1, 2)))
+	grids[2].Fill(0)
+	lvl, err := w.Restart()
+	if err != nil {
+		t.Fatalf("restart over corrupt L1+L2 copies: %v", err)
+	}
+	if lvl < L3 {
+		t.Errorf("restart level = %v, want >= L3 (parity reconstruction)", lvl)
+	}
+	if !ndarray.ApproxEqual(grids[2], want, 0) {
+		t.Error("corrupt rank not reconstructed from parity")
+	}
+}

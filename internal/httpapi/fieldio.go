@@ -7,7 +7,9 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"os"
 	"path/filepath"
+	"sync"
 
 	"spatialdue/internal/ndarray"
 	"spatialdue/internal/ndarray/mmapstore"
@@ -37,27 +39,53 @@ func FieldPath(dataDir, tenant, name string) string {
 // the configured field store. For mmap, an existing backing file of the
 // right size is remapped (remap-on-restart: journal replay then re-applies
 // quarantine on top of the persisted contents); a size mismatch surfaces as
-// mmapstore.ErrTorn and is never silently resized.
-func (s *Server) newFieldArray(tenant, name string, dims []int, els int) (*ndarray.Array, error) {
+// mmapstore.ErrTorn and is never silently resized. created reports whether
+// the call materialized a new backing file (false for heap and for a remap):
+// a registration that fails after this point must delete a file it created —
+// leaving a zero-filled orphan behind would make every future registration
+// of the same tenant/name with a different shape fail as torn.
+func (s *Server) newFieldArray(tenant, name string, dims []int, els int) (arr *ndarray.Array, created bool, err error) {
 	if s.cfg.FieldStore != FieldStoreMmap {
-		return ndarray.TryNew(dims...)
+		arr, err = ndarray.TryNew(dims...)
+		return arr, false, err
 	}
-	st, err := mmapstore.OpenOrCreate(FieldPath(s.cfg.DataDir, tenant, name), els)
+	path := FieldPath(s.cfg.DataDir, tenant, name)
+	_, statErr := os.Stat(path)
+	created = errors.Is(statErr, os.ErrNotExist)
+	st, err := mmapstore.OpenOrCreate(path, els)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	arr, err := ndarray.NewWithBacking(st, dims...)
+	arr, err = ndarray.NewWithBacking(st, dims...)
 	if err != nil {
-		st.Close()
-		return nil, err
+		if created {
+			_ = st.Remove()
+		} else {
+			_ = st.Close()
+		}
+		return nil, false, err
 	}
-	return arr, nil
+	return arr, created, nil
 }
 
-// elementCount validates dims (positive, no overflow) and returns their
-// product. Mirrors ndarray's shape check so the registration handler can
-// enforce the size cap BEFORE any storage — heap or file — is allocated.
+// uploadLock returns the allocation's upload mutex (created on first use).
+// Uploads commit stripe by stripe, so two concurrent PUTs to one field would
+// otherwise interleave and commit an arbitrary stripe-wise mix of both
+// payloads; serializing per allocation keeps every upload atomic with
+// respect to other uploads. Allocation IDs are never reused, so the entry
+// dropped at unregister can't collide with a later registration.
+func (s *Server) uploadLock(id int) *sync.Mutex {
+	mu, _ := s.uploads.LoadOrStore(id, &sync.Mutex{})
+	return mu.(*sync.Mutex)
+}
+
+// elementCount validates dims (non-empty, positive, no overflow) and returns
+// their product. Mirrors ndarray's shape check so the registration handler
+// can enforce the size cap BEFORE any storage — heap or file — is allocated.
 func elementCount(dims []int) (int, error) {
+	if len(dims) == 0 {
+		return 0, fmt.Errorf("dims required")
+	}
 	n := 1
 	for _, d := range dims {
 		if d <= 0 {
@@ -76,8 +104,11 @@ func elementCount(dims []int) (int, error) {
 // network with no locks held, then committed under only that stripe's lock
 // (which owns the stripe's elements — see core.WithStripeLock). A slow
 // client therefore never stalls recoveries, and peak extra memory is one
-// stripe, not one field.
-func (s *Server) streamUploadLocked(a *ndarray.Array, body io.Reader) error {
+// stripe, not one field. mutated reports whether any stripe was committed:
+// a failed upload that returns mutated=true left the array partially
+// overwritten, and the caller must re-snapshot statistics and re-replicate
+// exactly as for a successful one.
+func (s *Server) streamUploadLocked(a *ndarray.Array, body io.Reader) (mutated bool, err error) {
 	var scratch []byte
 	n := s.eng.NumStripes(a)
 	for st := 0; st < n; st++ {
@@ -88,7 +119,7 @@ func (s *Server) streamUploadLocked(a *ndarray.Array, body io.Reader) error {
 		}
 		buf := scratch[:need]
 		if _, err := io.ReadFull(body, buf); err != nil {
-			return fmt.Errorf("read body at element %d: %w", lo, err)
+			return mutated, fmt.Errorf("read body at element %d: %w", lo, err)
 		}
 		s.eng.WithStripeLock(a, st, func() {
 			if view, ok := ndarray.ByteView(a); ok {
@@ -101,8 +132,9 @@ func (s *Server) streamUploadLocked(a *ndarray.Array, body io.Reader) error {
 					binary.LittleEndian.Uint64(buf[(i-lo)*8:]))
 			}
 		})
+		mutated = true
 	}
-	return nil
+	return mutated, nil
 }
 
 // streamDownload writes the field to w one stripe at a time: each stripe is

@@ -1,0 +1,26 @@
+package httpapi
+
+import "testing"
+
+// elementCount must mirror ndarray.checkDims exactly — in particular it
+// must reject empty dims instead of returning a product of 1, which in mmap
+// mode would materialize an 8-byte backing file the shape check then
+// strands.
+func TestElementCount(t *testing.T) {
+	if _, err := elementCount(nil); err == nil {
+		t.Error("empty dims accepted")
+	}
+	if _, err := elementCount([]int{4, 0}); err == nil {
+		t.Error("zero dim accepted")
+	}
+	if _, err := elementCount([]int{4, -2}); err == nil {
+		t.Error("negative dim accepted")
+	}
+	if _, err := elementCount([]int{1 << 32, 1 << 32}); err == nil {
+		t.Error("overflowing dims accepted")
+	}
+	n, err := elementCount([]int{3, 4, 5})
+	if err != nil || n != 60 {
+		t.Errorf("elementCount(3,4,5) = %d, %v; want 60, nil", n, err)
+	}
+}

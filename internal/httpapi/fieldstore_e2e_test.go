@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"spatialdue/internal/core"
@@ -270,4 +271,175 @@ func TestMmapFieldPersistsAcrossRestart(t *testing.T) {
 	}); err == nil {
 		t.Fatal("register over a torn backing file succeeded")
 	}
+}
+
+// TestChunkedUploadValidatesBeforeCommit: a wrong-sized chunked body (no
+// Content-Length) must be rejected WITHOUT mutating the field — the handler
+// stages and validates the whole body before the first stripe commits.
+func TestChunkedUploadValidatesBeforeCommit(t *testing.T) {
+	const rows, cols = 8, 8
+	want := rows * cols * 8
+
+	for _, store := range []string{httpapi.FieldStoreHeap, httpapi.FieldStoreMmap} {
+		t.Run(store, func(t *testing.T) {
+			eng := core.NewEngine(core.Options{Seed: 3})
+			_, base, shutdown := startServer(t, eng, httpapi.ServerConfig{
+				Service:    service.Config{Workers: 1, QueueDepth: 4},
+				FieldStore: store,
+				DataDir:    t.TempDir(),
+			})
+			defer func() {
+				if err := shutdown(); err != nil {
+					t.Errorf("shutdown: %v", err)
+				}
+			}()
+			ctx := context.Background()
+			c := client.New(client.Config{BaseURL: base, Tenant: "t1"})
+			if _, err := c.Register(ctx, httpapi.RegisterRequest{
+				Name: "f", Dims: []int{rows, cols}, DType: "float64",
+				Policy: httpapi.PolicyInfo{Any: true},
+			}); err != nil {
+				t.Fatalf("register: %v", err)
+			}
+			vals := smoothField(rows, cols)
+			if err := c.Upload(ctx, "f", vals); err != nil {
+				t.Fatalf("upload: %v", err)
+			}
+
+			// Chunked PUT with a wrong size: io.MultiReader hides the length
+			// so the client sends Transfer-Encoding: chunked.
+			chunked := func(n int) *http.Response {
+				body := io.MultiReader(bytes.NewReader(make([]byte, n)))
+				req, err := http.NewRequest(http.MethodPut, base+"/v1/allocations/f/data", body)
+				if err != nil {
+					t.Fatalf("new request: %v", err)
+				}
+				req.Header.Set(httpapi.TenantHeader, "t1")
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatalf("do: %v", err)
+				}
+				resp.Body.Close()
+				return resp
+			}
+			if resp := chunked(want - 8); resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("chunked undersized status = %d, want 400", resp.StatusCode)
+			}
+			if resp := chunked(want + 8); resp.StatusCode != http.StatusRequestEntityTooLarge {
+				t.Fatalf("chunked oversized status = %d, want 413", resp.StatusCode)
+			}
+
+			// Neither rejected body may have touched a single element.
+			got, err := c.Download(ctx, "f")
+			if err != nil {
+				t.Fatalf("download: %v", err)
+			}
+			valbitsEqual(t, got, vals, "field after rejected chunked uploads")
+		})
+	}
+}
+
+// TestConcurrentUploadsSerialize: two racing PUTs to one field must not
+// interleave stripe commits — the final field is one payload or the other
+// in its entirety, never a stripe-wise mix.
+func TestConcurrentUploadsSerialize(t *testing.T) {
+	const rows, cols = 32, 32
+	eng := core.NewEngine(core.Options{Seed: 5})
+	_, base, shutdown := startServer(t, eng, httpapi.ServerConfig{
+		Service: service.Config{Workers: 1, QueueDepth: 4},
+	})
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	ctx := context.Background()
+	c := client.New(client.Config{BaseURL: base, Tenant: "t1"})
+	if _, err := c.Register(ctx, httpapi.RegisterRequest{
+		Name: "f", Dims: []int{rows, cols}, DType: "float64",
+		Policy: httpapi.PolicyInfo{Any: true},
+	}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+
+	payload := func(v float64) []float64 {
+		p := make([]float64, rows*cols)
+		for i := range p {
+			p[i] = v
+		}
+		return p
+	}
+	for round := 0; round < 8; round++ {
+		var wg sync.WaitGroup
+		for _, v := range []float64{1, 2} {
+			wg.Add(1)
+			go func(v float64) {
+				defer wg.Done()
+				if err := c.Upload(ctx, "f", payload(v)); err != nil {
+					t.Errorf("upload %v: %v", v, err)
+				}
+			}(v)
+		}
+		wg.Wait()
+		got, err := c.Download(ctx, "f")
+		if err != nil {
+			t.Fatalf("download: %v", err)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] != got[0] {
+				t.Fatalf("round %d: field mixes payloads: element 0 = %v, element %d = %v",
+					round, got[0], i, got[i])
+			}
+		}
+	}
+}
+
+// TestFailedRegisterLeavesNoOrphanFile: when an mmap-mode registration fails
+// after the backing file was created, the file must be deleted — an orphaned
+// zero-filled file would make every future registration of that tenant/name
+// with a different shape fail as torn. A duplicate-name failure, by
+// contrast, must NOT delete the live registration's backing file.
+func TestFailedRegisterLeavesNoOrphanFile(t *testing.T) {
+	const rows, cols = 8, 8
+	dataDir := t.TempDir()
+	eng := core.NewEngine(core.Options{Seed: 9})
+	_, base, shutdown := startServer(t, eng, httpapi.ServerConfig{
+		Service:    service.Config{Workers: 1, QueueDepth: 4},
+		FieldStore: httpapi.FieldStoreMmap,
+		DataDir:    dataDir,
+	})
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	ctx := context.Background()
+	c := client.New(client.Config{BaseURL: base, Tenant: "t1"})
+	if _, err := c.Register(ctx, httpapi.RegisterRequest{
+		Name: "f", Dims: []int{rows, cols}, DType: "float64",
+		Policy: httpapi.PolicyInfo{Any: true},
+	}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	vals := smoothField(rows, cols)
+	if err := c.Upload(ctx, "f", vals); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+
+	// Duplicate name: rejected, and the live registration's backing file and
+	// contents survive untouched.
+	if _, err := c.Register(ctx, httpapi.RegisterRequest{
+		Name: "f", Dims: []int{rows, cols}, DType: "float64",
+		Policy: httpapi.PolicyInfo{Any: true},
+	}); err == nil {
+		t.Fatal("duplicate register succeeded")
+	}
+	if _, err := os.Stat(httpapi.FieldPath(dataDir, "t1", "f")); err != nil {
+		t.Fatalf("live backing file gone after duplicate register: %v", err)
+	}
+	got, err := c.Download(ctx, "f")
+	if err != nil {
+		t.Fatalf("download: %v", err)
+	}
+	valbitsEqual(t, got, vals, "field after duplicate register")
 }

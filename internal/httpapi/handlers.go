@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net/http"
@@ -270,17 +271,26 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, "allocation of %d elements exceeds the %d-element cap", els, max)
 		return
 	}
-	arr, err := s.newFieldArray(tenant, req.Name, req.Dims, els)
+	arr, created, err := s.newFieldArray(tenant, req.Name, req.Dims, els)
 	if err != nil {
 		writeBadRequest(w, "%v", err)
 		return
 	}
 	a, err := s.eng.ProtectTenant(tenant, req.Name, arr, dtype, policy)
 	if err != nil {
-		// Unmap a file backing we just opened; keep the file itself — on a
-		// name collision it belongs to the live registration.
 		if st, ok := arr.Backing().(*mmapstore.Store); ok {
-			_ = st.Close()
+			// A backing file this registration created must not outlive its
+			// failure: a zero-filled orphan would make every later
+			// registration of the name with a different shape fail as torn.
+			// Exception: losing a duplicate-name race — the path may now
+			// belong to the winning live registration, so only unmap. A
+			// pre-existing file (remap-on-restart contents, or a collision
+			// with the live owner) is likewise only unmapped.
+			if created && !errors.Is(err, registry.ErrNameTaken) {
+				_ = st.Remove()
+			} else {
+				_ = st.Close()
+			}
 		}
 		writeError(w, err)
 		return
@@ -346,33 +356,62 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			r.ContentLength, a.Name, want, a.Array.Len())
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, want)
-	// Stream stripe by stripe: stage each stripe's bytes from the network
-	// with no locks held, commit under only that stripe's lock. In-flight
-	// recoveries in other stripes keep running; none ever observes a
-	// half-written stripe.
-	if err := s.streamUploadLocked(a.Array, body); err != nil {
-		if isBodyTooLarge(err) {
-			writeErrorDetail(w, ErrorDetail{Code: CodePayloadTooLarge, Message: fmt.Sprintf(
-				"field body exceeds the %d bytes allocation %q takes", want, a.Name)})
+	// One upload per field at a time: stripe-wise commits from two
+	// concurrent PUTs would interleave into a field that is a mix of both
+	// payloads. Recoveries are unaffected — they contend on stripe locks,
+	// never on this mutex.
+	mu := s.uploadLock(a.ID)
+	mu.Lock()
+	defer mu.Unlock()
+
+	var body io.Reader
+	if r.ContentLength < 0 {
+		// Chunked transfer: the body size is unknowable until EOF, so the
+		// whole body (bounded by MaxBytesReader) is staged and validated
+		// BEFORE the first stripe commits — a wrong-sized chunked body must
+		// be rejected without mutating the field. Peak memory is the
+		// allocation size, the same bound the declared-length gate enforces.
+		staged, err := io.ReadAll(http.MaxBytesReader(w, r.Body, want))
+		if err != nil {
+			if isBodyTooLarge(err) {
+				writeErrorDetail(w, ErrorDetail{Code: CodePayloadTooLarge, Message: fmt.Sprintf(
+					"field body exceeds the %d bytes allocation %q takes", want, a.Name)})
+				return
+			}
+			writeBadRequest(w, "read body: %v", err)
 			return
 		}
+		if int64(len(staged)) != want {
+			writeBadRequest(w, "field body is %d bytes, allocation %q takes exactly %d (%d elements)",
+				len(staged), a.Name, want, a.Array.Len())
+			return
+		}
+		body = bytes.NewReader(staged)
+	} else {
+		// Declared exact length: the server's body reader ends at
+		// Content-Length, so the stripe streamer consumes exactly the field
+		// and trailing bytes cannot exist. Stream stripe by stripe: stage
+		// each stripe's bytes from the network with no locks held, commit
+		// under only that stripe's lock. In-flight recoveries in other
+		// stripes keep running; none ever observes a half-written stripe.
+		body = http.MaxBytesReader(w, r.Body, want)
+	}
+	mutated, err := s.streamUploadLocked(a.Array, body)
+	if mutated {
+		// The field changed — fully, or partially when the client died
+		// mid-body. Either way the live bytes are new: re-snapshot the
+		// shared statistics, re-admit repaired cells, drop stale cached
+		// tuning decisions, and re-replicate to the partner. Statistics and
+		// replica must track the field as it IS, not as the last successful
+		// upload left it.
+		s.eng.FieldUpdated(a.Array)
+		if s.cfg.Cluster != nil {
+			s.cfg.Cluster.FieldUploaded(a)
+		}
+	}
+	if err != nil {
 		writeBadRequest(w, "%v", err)
 		return
-	}
-	// Exactly-sized contract: trailing bytes mean the client's field does
-	// not match the registered shape.
-	var tail [1]byte
-	if n, err := body.Read(tail[:]); n > 0 || isBodyTooLarge(err) {
-		writeErrorDetail(w, ErrorDetail{Code: CodePayloadTooLarge, Message: fmt.Sprintf(
-			"field body exceeds the %d bytes allocation %q takes", want, a.Name)})
-		return
-	}
-	// The field changed character: re-snapshot the shared statistics,
-	// re-admit repaired cells, and drop stale cached tuning decisions.
-	s.eng.FieldUpdated(a.Array)
-	if s.cfg.Cluster != nil {
-		s.cfg.Cluster.FieldUploaded(a)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -926,8 +965,10 @@ func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 		_ = st.Remove()
 	}
 	// Drop the allocation's breaker so a future allocation reusing the name
-	// starts with a closed circuit.
+	// starts with a closed circuit, and its upload mutex (IDs are never
+	// reused, so the entry is dead weight).
 	s.svc.ForgetBreaker(a.QualifiedName())
+	s.uploads.Delete(a.ID)
 	if s.cfg.Cluster != nil {
 		s.cfg.Cluster.AllocUnregistered(tenant, a.Name)
 	}

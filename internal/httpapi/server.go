@@ -11,6 +11,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -105,6 +106,11 @@ type Server struct {
 	draining atomic.Bool
 	stopTick chan struct{}
 	tickDone chan struct{}
+
+	// uploads holds one mutex per allocation ID (see uploadLock): field
+	// uploads serialize per allocation so concurrent PUTs cannot commit an
+	// interleaved stripe-wise mix of two payloads.
+	uploads sync.Map
 
 	// ingestion counters (Prometheus: spatialdue_http_events_*_total)
 	evAccepted, evLatched, evRejected atomic.Uint64
