@@ -4,8 +4,14 @@
 // Usage:
 //
 //	duecampaign [-fig all|2,5,8] [-trials N] [-autotrials N] [-scale tiny|small|medium]
-//	            [-fault bit|burst|row|column] [-fault-span N]
+//	            [-fault bit|burst|row|column] [-fault-span N] [-spatial]
 //	            [-seed S] [-workers W] [-csvdir DIR] [-v]
+//
+// -spatial appends the spatial-analytics tuning study: clustered
+// simultaneous errors at 1%/5%/10% density, reconstructed by a fixed-K
+// tuner baseline and by the analytics-guided tuner (hot stripes widen K and
+// fall back to the stripe's best method). `duecampaign -fig "" -spatial`
+// runs the study alone.
 //
 // The paper runs >= 6000 trials per dataset; the default here is smaller so
 // a full run finishes in about a minute. Pass -trials 6000 for a
@@ -42,6 +48,7 @@ func main() {
 		svgDir     = flag.String("svgdir", "", "also write each rendered figure as an SVG into this directory")
 		faultFlag  = flag.String("fault", "bit", "fault class per trial: bit, burst, row, or column (structured classes score every wiped cell against degraded stencils)")
 		faultSpan  = flag.Int("fault-span", 0, "fault-class span: burst bit-width or row cells-per-wipe (0 = class default)")
+		spatialRun = flag.Bool("spatial", false, "also run the spatial-analytics tuning study (clustered errors at 1%/5%/10%, analytics-guided vs fixed-K baseline)")
 	)
 	flag.Parse()
 
@@ -88,9 +95,16 @@ func main() {
 		cfg.AutotuneTrials = 0
 	}
 
-	res, err := campaign.Run(cfg)
-	if err != nil {
-		fatalf("campaign failed: %v", err)
+	// `duecampaign -fig "" -spatial` runs the spatial study alone; only
+	// spin up the full fault-injection campaign when something consumes it.
+	runMain := len(figs) > 0 || wantTable2 || *smoothness || *csvDir != ""
+	var res *campaign.Results
+	if runMain {
+		var err error
+		res, err = campaign.Run(cfg)
+		if err != nil {
+			fatalf("campaign failed: %v", err)
+		}
 	}
 
 	if wantTable2 {
@@ -160,6 +174,20 @@ func main() {
 			fh.Close()
 			fmt.Fprintf(os.Stderr, "wrote %s\n", p)
 		}
+	}
+
+	if *spatialRun {
+		scfg := campaign.DefaultSpatialStudyConfig()
+		scfg.Scale = cfg.Scale
+		scfg.Seed = *seed
+		sres, err := campaign.RunSpatialStudy(scfg)
+		if err != nil {
+			fatalf("spatial study: %v", err)
+		}
+		if runMain || *detection {
+			fmt.Println()
+		}
+		sres.Render(os.Stdout)
 	}
 
 	if *csvDir != "" {

@@ -39,6 +39,15 @@
 // least one planted DUE was mitigated from the migration shadow, every
 // corruption recovered, and no critical-tier bank took an unmitigated DUE.
 //
+// With -storm-profile hotspot it scores the spatial-analytics feedback loop
+// (internal/spatial → autotune cache): DUEs concentrate in one narrow row
+// band, harsher than the background, and the run exits nonzero unless the
+// server's GET /v1/analytics/spatial classifies the stormed stripe hot
+// (with clustered global Moran's I), the tune cache converges (hit rate and
+// a measured cold-vs-warm probe-skip speedup), and zero recoveries are
+// lost. The server must run with the tune cache enabled (the duerecover
+// -tune-cache flag defaults on).
+//
 // With -addrs (comma-separated node URLs) the load runs against a cluster:
 // clients spread across entry nodes and ride the 307 shard redirects; when
 // a node dies mid-storm each client rotates to the next node, waits out the
@@ -93,7 +102,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base random seed")
 		tol     = flag.Float64("tol", 0.01, "relative-error bound counted as a high-quality recovery")
 		storm   = flag.Bool("storm", false, "same-array storm: all clients share one tenant+allocation, partitioned offsets, NDJSON stream ingest")
-		profile = flag.String("storm-profile", "", "structured-fault storm: bit, burst, row, column, or metadata (single tenant; zero-lost-recoveries exit assertions); or predicted (CE-precursor storm scoring the server's predictive-health tier: confusion matrix, ROC, proactive-offline assertions — needs a -predictor server)")
+		profile = flag.String("storm-profile", "", "structured-fault storm: bit, burst, row, column, or metadata (single tenant; zero-lost-recoveries exit assertions); predicted (CE-precursor storm scoring the server's predictive-health tier: confusion matrix, ROC, proactive-offline assertions — needs a -predictor server); or hotspot (spatially concentrated storm scoring the spatial-analytics feedback loop: hot-spot detection, tune-cache convergence, probe-skip speedup)")
 		span    = flag.Int("span", 0, "storm-profile fault span: burst bit-width or row cells-per-wipe (0 = class default)")
 	)
 	flag.Parse()
@@ -122,6 +131,10 @@ func main() {
 
 	if *profile == "predicted" {
 		runPredictedProfile(*addr, *rows, *cols, *settle, *seed, *tol)
+		return
+	}
+	if *profile == "hotspot" {
+		runHotspotProfile(*addr, *events, *rows, *cols, *settle, *seed, *tol)
 		return
 	}
 	if *profile != "" {

@@ -69,7 +69,8 @@ func main() {
 		events   = flag.Int("events", 200, "serve: number of MCA events to stream (0 = until signalled)")
 		rate     = flag.Float64("rate", 100, "serve: event rate per second (0 = as fast as possible)")
 
-		frontier = flag.Bool("frontier-batch", false, "order batched cluster recoveries frontier-inward (survives row/block wipes; trades bit-identical batch/sequential equivalence)")
+		frontier  = flag.Bool("frontier-batch", false, "order batched cluster recoveries frontier-inward (survives row/block wipes; trades bit-identical batch/sequential equivalence)")
+		tuneCache = flag.Int("tune-cache", 8, "cache RECOVER_ANY tuning decisions per lock stripe, adaptively re-tuned in spatial hot spots (0 disables; the value is an enable switch — regions are always lock stripes)")
 
 		listen       = flag.String("listen", "", "serve: run the networked HTTP recovery API on this address (e.g. :8080) instead of the synthetic storm")
 		clusterCfg   = flag.String("cluster-config", "", "listen: cluster membership map JSON; joins the node named by -cluster-node to a recovery cluster with partner replication and failover")
@@ -135,7 +136,9 @@ func main() {
 		policy = spatialdue.RecoverWith(m)
 	}
 
-	eng := spatialdue.NewEngine(spatialdue.Options{Seed: *seed, FrontierBatch: *frontier})
+	eng := spatialdue.NewEngine(spatialdue.Options{
+		Seed: *seed, FrontierBatch: *frontier, TuneCacheBlock: *tuneCache,
+	})
 
 	if *serve && *listen != "" && *clusterCfg != "" {
 		runCluster(eng, clusterOptions{

@@ -149,6 +149,15 @@ func Select(env *predict.Env, idx []int, cfg Config) (Result, error) {
 	}
 
 	sort.SliceStable(scores, func(i, j int) bool { return better(scores[i], scores[j]) })
+	// A probe-less score ranks below any method that produced even one bad
+	// prediction (hit rate 0 but finite mean error), so if the BEST score
+	// has zero probes, no candidate predicted anything — every probe's
+	// stencil inputs were masked (e.g. a mass-quarantined row wipe). The
+	// old behavior ranked such scores by method enum and returned a Best
+	// with zero evidence, which the ladder then applied unguarded.
+	if scores[0].Probes == 0 {
+		return Result{Scores: scores}, ErrNoProbes
+	}
 	return Result{Best: scores[0].Method, Scores: scores}, nil
 }
 

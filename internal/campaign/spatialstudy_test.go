@@ -1,0 +1,73 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spatialdue/internal/sdrbench"
+)
+
+// TestSpatialStudyGuidedAtLeastBaseline pins the PR's acceptance criterion:
+// at every swept error rate the analytics-guided arm reconstructs at least
+// as many cells within tolerance as the fixed-K baseline, and the clustered
+// injection actually produces spatial structure for the analytics to see.
+func TestSpatialStudyGuidedAtLeastBaseline(t *testing.T) {
+	cfg := DefaultSpatialStudyConfig()
+	// Keep the tier-1 run fast; the CLI default sweeps 3 small-scale fields.
+	cfg.Scale = sdrbench.ScaleTiny
+	cfg.Fields = 2
+	res, err := RunSpatialStudy(cfg)
+	if err != nil {
+		t.Fatalf("RunSpatialStudy: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (1%%/5%%/10%%)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Guided.Trials == 0 || row.Guided.Trials != row.Baseline.Trials {
+			t.Fatalf("rate %.0f%%: trials baseline %d vs guided %d",
+				100*row.Rate, row.Baseline.Trials, row.Guided.Trials)
+		}
+		if row.Guided.WithinTol < row.Baseline.WithinTol {
+			t.Errorf("rate %.0f%%: guided accuracy %.2f%% below baseline %.2f%%",
+				100*row.Rate, 100*row.Guided.Accuracy(), 100*row.Baseline.Accuracy())
+		}
+	}
+	// Spatial structure needs error mass: at 1% the band's neighborhoods
+	// are barely degraded, so only the denser rates must show clustering.
+	if last := res.Rows[len(res.Rows)-1]; last.MeanMoranI <= 0 {
+		t.Errorf("10%% clustered rate produced Moran's I %.4f, want > 0", last.MeanMoranI)
+	}
+	// Denser error fields must produce hot stripes for the guided arm to act
+	// on; at 1% the band may stay below the z threshold.
+	if last := res.Rows[len(res.Rows)-1]; last.HotStripes == 0 {
+		t.Error("10% clustered rate classified no stripes hot")
+	}
+}
+
+// TestSpatialStudyDeterministic re-runs the study and requires identical
+// tables: every draw is seeded, so the acceptance comparison cannot flake.
+func TestSpatialStudyDeterministic(t *testing.T) {
+	cfg := DefaultSpatialStudyConfig()
+	cfg.Scale = sdrbench.ScaleTiny
+	cfg.Fields = 1
+	cfg.Rates = []float64{0.05}
+	a, err := RunSpatialStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSpatialStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	a.Render(&ba)
+	b.Render(&bb)
+	if ba.String() != bb.String() {
+		t.Errorf("study not deterministic:\n--- first\n%s\n--- second\n%s", ba.String(), bb.String())
+	}
+	if !strings.Contains(ba.String(), "5%") {
+		t.Errorf("rendered table missing rate row:\n%s", ba.String())
+	}
+}

@@ -171,6 +171,46 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 			"spatialdue_descriptor_refusals_total %d\n", verifies, repairs, refusals); err != nil {
 		return err
 	}
+	tc := e.TuneCacheCounters()
+	if _, err := fmt.Fprintf(w,
+		"# HELP spatialdue_tune_cache_hits_total Tune-cache hits (cached decision served, tuner skipped; includes coalesced waits).\n"+
+			"# TYPE spatialdue_tune_cache_hits_total counter\n"+
+			"spatialdue_tune_cache_hits_total %d\n"+
+			"# HELP spatialdue_tune_cache_misses_total Tune-cache misses (tuner runs).\n"+
+			"# TYPE spatialdue_tune_cache_misses_total counter\n"+
+			"spatialdue_tune_cache_misses_total %d\n"+
+			"# HELP spatialdue_tune_cache_invalidations_total Cached tuning decisions dropped by full or stripe-granular invalidation.\n"+
+			"# TYPE spatialdue_tune_cache_invalidations_total counter\n"+
+			"spatialdue_tune_cache_invalidations_total %d\n"+
+			"# HELP spatialdue_tune_cache_expiries_total Hot-spot TTL expiries (cached decision aged out by uses).\n"+
+			"# TYPE spatialdue_tune_cache_expiries_total counter\n"+
+			"spatialdue_tune_cache_expiries_total %d\n"+
+			"# HELP spatialdue_tune_cache_corrections_total Cached decisions replaced after a verification failure exposed them as stale.\n"+
+			"# TYPE spatialdue_tune_cache_corrections_total counter\n"+
+			"spatialdue_tune_cache_corrections_total %d\n",
+		tc.Hits+tc.Coalesced, tc.Misses, tc.Invalidations, tc.Expiries, tc.Corrections); err != nil {
+		return err
+	}
+	if allocs := e.table.Allocations(); len(allocs) > 0 {
+		if _, err := fmt.Fprintf(w,
+			"# HELP spatialdue_spatial_moran_i Global Moran's I over per-stripe recovery-error intensity (0 when undefined).\n"+
+				"# TYPE spatialdue_spatial_moran_i gauge\n"); err != nil {
+			return err
+		}
+		for _, a := range allocs {
+			rep := e.SpatialReport(a.Array)
+			if rep.Recoveries == 0 {
+				continue
+			}
+			label := a.Name
+			if a.Tenant != "" {
+				label = a.Tenant + "/" + a.Name
+			}
+			if _, err := fmt.Fprintf(w, "spatialdue_spatial_moran_i{alloc=%q} %g\n", label, rep.MoranI); err != nil {
+				return err
+			}
+		}
+	}
 	if len(byMethod) > 0 {
 		if _, err := fmt.Fprintf(w,
 			"# HELP spatialdue_recoveries_by_method Lifetime successful recoveries per method.\n"+

@@ -243,9 +243,11 @@ func (e *Engine) recoverBurst(arr *ndarray.Array, policy registry.Policy, offset
 		if err != nil {
 			failed++
 			lastErr = err
+			e.recordSpatial(arr, off, res, false)
 			e.audit.record(AuditEntry{Alloc: "burst", Offset: off, Err: err.Error()})
 			continue
 		}
+		e.recordSpatial(arr, off, res, true)
 		recovered++
 		if res.tuned {
 			tunedExtra++

@@ -29,6 +29,7 @@ import (
 	"spatialdue/internal/ndarray"
 	"spatialdue/internal/predict"
 	"spatialdue/internal/registry"
+	"spatialdue/internal/spatial"
 	"spatialdue/internal/trace"
 )
 
@@ -83,6 +84,21 @@ type Options struct {
 	// TuneCacheBlock^d region of the same array. Zero disables caching
 	// (every corruption re-tunes, as in the paper).
 	TuneCacheBlock int
+	// HotSpotZ is the |G*| z-score past which a stripe counts as an error
+	// hot spot (or, negated, a cold spot) in the spatial analytics. Zero
+	// selects spatial.DefaultHotZ (1.645, the one-sided 95% critical
+	// value).
+	HotSpotZ float64
+	// HotTuneTTL is the tune-cache TTL, in cache hits, applied to hot-spot
+	// regions: after that many served hits the region re-tunes. Counted in
+	// uses — never wall time — so journal replay reproduces the identical
+	// hit/miss sequence. Zero selects the default (16). Cold and neutral
+	// regions keep their cached decision until invalidated.
+	HotTuneTTL int
+	// HotWidenK is added to the tuner's K when a hot-spot region
+	// re-tunes: the decision will be reused across the whole region, so
+	// it is worth more probes. Zero selects the default (2).
+	HotWidenK int
 	// FrontierBatch orders the members of each batch-recovery stripe
 	// cluster frontier-inward: at every step the pending member with the
 	// most healthy (unquarantined) face neighbors recovers next, so cells
@@ -140,6 +156,7 @@ type Engine struct {
 	caches    map[*ndarray.Array]*autotune.Cache
 	stripes   map[*ndarray.Array]*stripeSet
 	shared    map[*ndarray.Array]*predict.SharedStats
+	spatials  map[*ndarray.Array]*spatial.Analytics
 	ckptWorld *fti.World
 	ckptRank  int
 
@@ -264,6 +281,7 @@ func (e *Engine) Unprotect(alloc *registry.Allocation) error {
 	delete(e.caches, arr)
 	delete(e.stripes, arr)
 	delete(e.shared, arr)
+	delete(e.spatials, arr)
 	e.mu.Unlock()
 	return nil
 }
@@ -420,9 +438,13 @@ func (e *Engine) finishRecovery(alloc *registry.Allocation, off int, res ladderR
 		e.mu.Lock()
 		e.stats.Fallbacks++
 		e.mu.Unlock()
+		if errors.Is(err, ErrCheckpointRestartRequired) {
+			e.recordSpatial(alloc.Array, off, res, false)
+		}
 		e.audit.record(AuditEntry{Alloc: alloc.Name, Offset: off, Err: err.Error()})
 		return Outcome{}, err
 	}
+	e.recordSpatial(alloc.Array, off, res, true)
 	e.mu.Lock()
 	e.stats.Recovered++
 	if res.tuned {
@@ -488,9 +510,13 @@ func (e *Engine) FTIRepairer() fti.RepairFunc {
 			e.mu.Lock()
 			e.stats.Fallbacks++
 			e.mu.Unlock()
+			if errors.Is(err, ErrCheckpointRestartRequired) {
+				e.recordSpatial(ds.Array, off, res, false)
+			}
 			e.audit.record(AuditEntry{Alloc: "fti:" + ds.Name, Offset: off, Err: err.Error()})
 			return 0, err
 		}
+		e.recordSpatial(ds.Array, off, res, true)
 		tr.SetOutcome(true, fmt.Sprintf("method=%v stage=%v", res.method, res.stage))
 		e.mu.Lock()
 		e.stats.Recovered++
@@ -509,40 +535,151 @@ func (e *Engine) FTIRepairer() fti.RepairFunc {
 
 func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
-// cacheFor returns (creating on demand) the tuning cache of an array. The
-// block edge is clamped to the stripe height: a block spanning non-adjacent
-// stripes would let two concurrent recoveries race for who tunes the shared
-// region first, making cached decisions (and thus recovered bits) depend on
-// scheduling. Clamped, two elements in the same block are always within one
-// stripe of each other, i.e. always serialized.
+// Default hot-spot cache policy (Options.HotTuneTTL / Options.HotWidenK
+// zero values).
+const (
+	defaultHotTuneTTL = 16
+	defaultHotWidenK  = 2
+)
+
+// cacheFor returns (creating on demand) the tuning cache of an array.
+// Cache regions ARE the array's lock stripes: corruptions in one stripe are
+// always serialized (element recovery holds stripes s-1..s+1), so cached
+// decisions never depend on scheduling, and a streaming upload's
+// stripe-granular invalidation maps one-to-one onto cache regions. The
+// per-region policy closes the analytics feedback loop — hot-spot stripes
+// (|G*| >= HotSpotZ) get a short uses-counted TTL, a widened re-tune K,
+// and a bias toward the stripe's historically best method, while smooth
+// stripes keep their decision until invalidated.
 func (e *Engine) cacheFor(arr *ndarray.Array) *autotune.Cache {
+	e.mu.Lock()
+	c, ok := e.caches[arr]
+	e.mu.Unlock()
+	if ok {
+		return c
+	}
+	// Assemble outside e.mu: the stripe-table and analytics accessors take
+	// e.mu themselves.
+	ss := e.stripesFor(arr)
+	sa := e.spatialFor(arr)
+	c = autotune.NewCache(ss.rows)
+	c.SetRegionFunc(func(idx []int) int {
+		s := 0
+		if len(idx) > 0 {
+			s = idx[0] / ss.rows
+		}
+		if s >= ss.n {
+			s = ss.n - 1
+		}
+		if s < 0 {
+			s = 0
+		}
+		return s
+	})
+	hotTTL := e.opts.HotTuneTTL
+	if hotTTL <= 0 {
+		hotTTL = defaultHotTuneTTL
+	}
+	widen := e.opts.HotWidenK
+	if widen <= 0 {
+		widen = defaultHotWidenK
+	}
+	c.SetPolicyFunc(func(region int) autotune.Policy {
+		if sa.Heat(region) != spatial.HeatHot {
+			return autotune.Policy{}
+		}
+		p := autotune.Policy{TTLUses: hotTTL, WidenK: widen}
+		if m, ok := sa.BestMethod(region); ok {
+			p.Bias, p.BiasOK = m, true
+		}
+		return p
+	})
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.caches == nil {
 		e.caches = map[*ndarray.Array]*autotune.Cache{}
 	}
-	c, ok := e.caches[arr]
-	if !ok {
-		block := e.opts.TuneCacheBlock
-		if rows := stripeRowsFor(e.opts); block > rows {
-			block = rows
-		}
-		c = autotune.NewCache(block)
-		e.caches[arr] = c
+	if prev, ok := e.caches[arr]; ok {
+		return prev // lost the assembly race; the first one wins
 	}
+	e.caches[arr] = c
 	return c
 }
 
 // InvalidateTuneCache drops cached tuning decisions for an array (call
 // after the protected data changes character). A nil array drops all.
+// Lifetime hit/miss counters survive — only the decisions are dropped.
 func (e *Engine) InvalidateTuneCache(arr *ndarray.Array) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if arr == nil {
-		e.caches = nil
+		for _, c := range e.caches {
+			c.Invalidate()
+		}
 		return
 	}
-	delete(e.caches, arr)
+	if c, ok := e.caches[arr]; ok {
+		c.Invalidate()
+	}
+}
+
+// TuneCacheCounters returns tune-cache lifetime counters summed across
+// every protected array (exported as spatialdue_tune_cache_*).
+func (e *Engine) TuneCacheCounters() autotune.CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out autotune.CacheStats
+	for _, c := range e.caches {
+		st := c.Counters()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Coalesced += st.Coalesced
+		out.Expiries += st.Expiries
+		out.Invalidations += st.Invalidations
+		out.Corrections += st.Corrections
+	}
+	return out
+}
+
+// spatialFor returns (creating on demand) the spatial analytics of an
+// array, sized to its stripe table.
+func (e *Engine) spatialFor(arr *ndarray.Array) *spatial.Analytics {
+	ss := e.stripesFor(arr)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.spatials == nil {
+		e.spatials = map[*ndarray.Array]*spatial.Analytics{}
+	}
+	sa, ok := e.spatials[arr]
+	if !ok {
+		sa = spatial.New(ss.n, e.opts.HotSpotZ)
+		e.spatials[arr] = sa
+	}
+	return sa
+}
+
+// SpatialReport computes the spatial-autocorrelation report (Moran's I,
+// Geary's C, per-stripe G* hot/cold spots) over arr's accumulated recovery
+// outcomes.
+func (e *Engine) SpatialReport(arr *ndarray.Array) spatial.Report {
+	return e.spatialFor(arr).Report()
+}
+
+// recordSpatial deposits one finished ladder climb into the array's
+// per-stripe spatial accumulators. ok=false is a ladder exhaustion; lock
+// timeouts and abandoned climbs are NOT recorded (they carry scheduling
+// signal, not spatial signal, and recording them would make the analytics
+// depend on replay timing).
+func (e *Engine) recordSpatial(arr *ndarray.Array, off int, res ladderResult, ok bool) {
+	if off < 0 || off >= arr.Len() {
+		return
+	}
+	s := e.stripesFor(arr).stripeOf(off)
+	if ok {
+		e.spatialFor(arr).Accumulate(s, res.residual, res.verifyFails, int(res.stage), res.method, true)
+	} else {
+		e.spatialFor(arr).Accumulate(s, math.NaN(), res.verifyFails, int(StageExhausted), 0, false)
+	}
 }
 
 // autotuneSelect wraps the tuner for internal reuse (single-element and

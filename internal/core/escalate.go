@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"spatialdue/internal/autotune"
+	"spatialdue/internal/bitflip"
 	"spatialdue/internal/ndarray"
 	"spatialdue/internal/predict"
 	"spatialdue/internal/registry"
@@ -104,6 +106,14 @@ type ladderResult struct {
 	stage  Stage
 	old    float64
 	value  float64
+	// residual is the accepted value's relative deviation from the
+	// provisional (neighbor-mean) estimate — the spatial-analytics error
+	// signal, NaN when no provisional was available. Pure function of the
+	// data, so journal replay reproduces it bit for bit.
+	residual float64
+	// verifyFails counts verification rejections across the whole climb
+	// (every rung), whether or not the climb eventually succeeded.
+	verifyFails int
 }
 
 // safePredict runs one predictor with panic isolation: a method that
@@ -181,14 +191,17 @@ func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bo
 	// clk chains through the ladder: each stage boundary is one clock read,
 	// shared between the ending span and the starting one. The caller seeds
 	// the chain with its last boundary (typically the stripe-wait end).
-	if prov, perr := safePredict(e.opts.Provisional, env, idx); perr == nil && isFinite(prov) {
-		arr.SetOffset(off, prov)
+	prov, provOK := 0.0, false
+	if p, perr := safePredict(e.opts.Provisional, env, idx); perr == nil && isFinite(p) {
+		arr.SetOffset(off, p)
+		prov, provOK = p, true
 	} else {
 		arr.SetOffset(off, 0)
 	}
 	clk = tr.ObserveSince(trace.StageProvisional, clk)
 
 	tried := map[predict.Method]bool{}
+	vFails := 0
 	// attempt runs one predict+verify try, recording the two halves as
 	// separate spans (predStage/verStage name the ladder rung).
 	attempt := func(predStage, verStage string, m predict.Method) (float64, error) {
@@ -204,6 +217,7 @@ func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bo
 		err = e.verifyValue(env, idx, off, v, vr)
 		clk = tr.ObserveSince(verStage, clk)
 		if err != nil {
+			vFails++
 			return 0, err
 		}
 		return v, nil
@@ -211,13 +225,18 @@ func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bo
 	succeed := func(st Stage, m predict.Method, tuned bool, v float64) (ladderResult, error) {
 		arr.SetOffset(off, v)
 		e.quarantine.remove(arr, off)
-		return ladderResult{method: m, tuned: tuned, stage: st, old: old, value: v}, nil
+		residual := math.NaN()
+		if provOK {
+			residual = bitflip.RelErr(v, prov)
+		}
+		return ladderResult{method: m, tuned: tuned, stage: st, old: old, value: v,
+			residual: residual, verifyFails: vFails}, nil
 	}
 	// abort cuts the climb short when the context expires: pre-recovery
 	// value back in place, element still quarantined.
 	abort := func(cause error) (ladderResult, error) {
 		arr.SetOffset(off, old)
-		return ladderResult{old: old}, fmt.Errorf("%w: %s[%d]: %v", ErrRecoveryAbandoned, alloc, off, cause)
+		return ladderResult{old: old, verifyFails: vFails}, fmt.Errorf("%w: %s[%d]: %v", ErrRecoveryAbandoned, alloc, off, cause)
 	}
 
 	// --- Stage: primary ---
@@ -226,10 +245,16 @@ func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bo
 		ranked  []autotune.Score // best-first candidates from the latest tune
 	)
 	method, tuned := fixed, false
+	cachingOn := tuneAny && e.opts.TuneCacheBlock > 0
 	if tuneAny {
-		if e.opts.TuneCacheBlock > 0 {
-			if m, _, terr := e.cacheFor(arr).Select(env, idx, e.opts.Tune); terr == nil {
+		if cachingOn {
+			if m, hit, terr := e.cacheFor(arr).Select(env, idx, e.opts.Tune); terr == nil {
 				method, tuned = m, true
+				if hit {
+					tr.SetTuneCache("hit")
+				} else {
+					tr.SetTuneCache("miss")
+				}
 			} else {
 				lastErr = fmt.Errorf("auto-tune failed: %w", terr)
 			}
@@ -267,6 +292,14 @@ func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bo
 		if !tried[res.Best] {
 			v, aerr := attempt(trace.StagePredictTune, trace.StageVerifyTune, res.Best)
 			if aerr == nil {
+				if cachingOn {
+					// Stale-entry fix: the cached method (if any) just
+					// failed this region, and the fresh tune's winner
+					// verified. Publish it so the region's next recovery
+					// hits the corrected entry instead of re-walking the
+					// ladder.
+					e.cacheFor(arr).Update(idx, res.Best, res.Scores)
+				}
 				return succeed(StageTune, res.Best, true, v)
 			}
 			lastErr = aerr
@@ -295,6 +328,11 @@ func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bo
 			attempts++
 			v, aerr := attempt(trace.StagePredictAlternate, trace.StageVerifyAlternate, sc.Method)
 			if aerr == nil {
+				if cachingOn {
+					// Same correction as the tune rung: the alternate that
+					// finally verified is the region's best current answer.
+					e.cacheFor(arr).Update(idx, sc.Method, ranked)
+				}
 				return succeed(StageAlternate, sc.Method, true, v)
 			}
 			lastErr = aerr
@@ -320,6 +358,7 @@ func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bo
 			if isFinite(v) && (vr == nil || vr.Contains(v)) {
 				return succeed(StageRestore, 0, false, v)
 			}
+			vFails++
 			lastErr = errImplausible{fmt.Sprintf("checkpoint value %v fails plausibility", v)}
 		} else {
 			lastErr = fmt.Errorf("checkpoint restore failed: %w", rerr)
@@ -335,7 +374,7 @@ func (e *Engine) reconstruct(ctx context.Context, arr *ndarray.Array, tuneAny bo
 	if lastErr == nil {
 		lastErr = fmt.Errorf("no recovery method applies")
 	}
-	return ladderResult{old: old}, fmt.Errorf("%w: ladder exhausted for %s[%d]: %w",
+	return ladderResult{old: old, verifyFails: vFails}, fmt.Errorf("%w: ladder exhausted for %s[%d]: %w",
 		ErrCheckpointRestartRequired, alloc, off, lastErr)
 }
 

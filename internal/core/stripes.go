@@ -309,6 +309,39 @@ func (e *Engine) FieldUpdated(arr *ndarray.Array) {
 	e.InvalidateTuneCache(arr)
 }
 
+// FieldUpdatedStripes is FieldUpdated for a partial mutation: the caller
+// committed only the listed stripes (the streaming upload path reports
+// exactly which). The shared statistics are re-snapshotted wholesale — they
+// are array-wide aggregates and any committed stripe shifts them — but
+// cached tuning decisions are dropped only for regions whose tuning
+// neighborhood overlaps a committed stripe: the stripe itself plus one on
+// each side, since a region's tune reads at most one stripe away (the same
+// reach bound the lock striping is built on). Everything further keeps its
+// cached decision. Spatial analytics survive both variants: error history
+// is a property of the memory underneath, not of the field contents.
+func (e *Engine) FieldUpdatedStripes(arr *ndarray.Array, stripes []int) {
+	ss := e.stripesFor(arr)
+	ss.acquireAllBlocking()
+	defer ss.releaseAll()
+	e.sharedFor(arr).Rebuild(e.quarantine.offsets(arr))
+	seen := make(map[int]bool, 3*len(stripes))
+	regions := make([]int, 0, 3*len(stripes))
+	for _, s := range stripes {
+		for r := s - 1; r <= s+1; r++ {
+			if r >= 0 && r < ss.n && !seen[r] {
+				seen[r] = true
+				regions = append(regions, r)
+			}
+		}
+	}
+	e.mu.Lock()
+	c := e.caches[arr]
+	e.mu.Unlock()
+	if c != nil {
+		c.InvalidateRegions(regions)
+	}
+}
+
 // StripeWait reports the cumulative time spent acquiring stripe locks and
 // the number of acquisition spans, across every protected array.
 func (e *Engine) StripeWait() (wait time.Duration, acquisitions int64) {

@@ -431,6 +431,18 @@ func (c *Client) Health(ctx context.Context) (*httpapi.HealthReport, error) {
 	return &out, nil
 }
 
+// SpatialAnalytics fetches the spatial error analytics for the tenant's
+// allocations: Moran's I / Geary's C over per-stripe error intensity, each
+// stripe's Getis-Ord G* z-score and hot/cold classification, and the
+// engine-wide tune-cache counters the hot-spot feedback drives.
+func (c *Client) SpatialAnalytics(ctx context.Context) (*httpapi.SpatialAnalyticsReport, error) {
+	var out httpapi.SpatialAnalyticsReport
+	if err := c.do(ctx, http.MethodGet, "/v1/analytics/spatial", nil, &out, callOpts{retryable: true}); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // RaiseCE reports one correctable error (EventKindCE): no recovery runs,
 // the observation feeds the server's predictive-health tier. bit is the
 // corrected bit position (-1 when unknown).

@@ -104,11 +104,12 @@ func elementCount(dims []int) (int, error) {
 // network with no locks held, then committed under only that stripe's lock
 // (which owns the stripe's elements — see core.WithStripeLock). A slow
 // client therefore never stalls recoveries, and peak extra memory is one
-// stripe, not one field. mutated reports whether any stripe was committed:
-// a failed upload that returns mutated=true left the array partially
-// overwritten, and the caller must re-snapshot statistics and re-replicate
-// exactly as for a successful one.
-func (s *Server) streamUploadLocked(a *ndarray.Array, body io.Reader) (mutated bool, err error) {
+// stripe, not one field. committed lists the stripes actually overwritten,
+// in order: a failed upload that returns a non-empty list left the array
+// partially overwritten, and the caller must re-snapshot statistics,
+// invalidate exactly those stripes' cached tuning decisions, and
+// re-replicate exactly as for a successful one.
+func (s *Server) streamUploadLocked(a *ndarray.Array, body io.Reader) (committed []int, err error) {
 	var scratch []byte
 	n := s.eng.NumStripes(a)
 	for st := 0; st < n; st++ {
@@ -119,7 +120,7 @@ func (s *Server) streamUploadLocked(a *ndarray.Array, body io.Reader) (mutated b
 		}
 		buf := scratch[:need]
 		if _, err := io.ReadFull(body, buf); err != nil {
-			return mutated, fmt.Errorf("read body at element %d: %w", lo, err)
+			return committed, fmt.Errorf("read body at element %d: %w", lo, err)
 		}
 		s.eng.WithStripeLock(a, st, func() {
 			if view, ok := ndarray.ByteView(a); ok {
@@ -132,9 +133,9 @@ func (s *Server) streamUploadLocked(a *ndarray.Array, body io.Reader) (mutated b
 					binary.LittleEndian.Uint64(buf[(i-lo)*8:]))
 			}
 		})
-		mutated = true
+		committed = append(committed, st)
 	}
-	return mutated, nil
+	return committed, nil
 }
 
 // streamDownload writes the field to w one stripe at a time: each stripe is

@@ -396,15 +396,17 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		// stripes keep running; none ever observes a half-written stripe.
 		body = http.MaxBytesReader(w, r.Body, want)
 	}
-	mutated, err := s.streamUploadLocked(a.Array, body)
-	if mutated {
+	committed, err := s.streamUploadLocked(a.Array, body)
+	if len(committed) > 0 {
 		// The field changed — fully, or partially when the client died
 		// mid-body. Either way the live bytes are new: re-snapshot the
-		// shared statistics, re-admit repaired cells, drop stale cached
-		// tuning decisions, and re-replicate to the partner. Statistics and
+		// shared statistics, re-admit repaired cells, drop the cached tuning
+		// decisions for exactly the stripes this upload committed (plus one
+		// stripe of stencil reach each side — untouched regions keep their
+		// decisions), and re-replicate to the partner. Statistics and
 		// replica must track the field as it IS, not as the last successful
 		// upload left it.
-		s.eng.FieldUpdated(a.Array)
+		s.eng.FieldUpdatedStripes(a.Array, committed)
 		if s.cfg.Cluster != nil {
 			s.cfg.Cluster.FieldUploaded(a)
 		}
@@ -935,6 +937,38 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		if owner == tenant {
 			rep.Traces = append(rep.Traces, sum)
 		}
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleSpatialAnalytics serves GET /v1/analytics/spatial: per-allocation
+// spatial error analytics — global Moran's I / Geary's C over per-stripe
+// recovery-error intensity plus each stripe's local Getis-Ord G* z-score and
+// hot/cold classification — for every tenant allocation with recorded
+// recoveries, alongside the engine-wide tune-cache counters the hot-spot
+// feedback drives. An allocation with no recoveries yet is omitted (its
+// statistics are all undefined).
+func (s *Server) handleSpatialAnalytics(w http.ResponseWriter, r *http.Request) {
+	tenant, terr := s.tenant(r)
+	if terr != nil {
+		writeBadRequest(w, "%v", terr)
+		return
+	}
+	rep := SpatialAnalyticsReport{Allocations: []SpatialAllocReport{}}
+	for _, a := range s.eng.Table().TenantAllocations(tenant) {
+		sr := s.eng.SpatialReport(a.Array)
+		if sr.Recoveries == 0 {
+			continue
+		}
+		rep.Allocations = append(rep.Allocations, SpatialAllocReport{Alloc: a.Name, Report: sr})
+	}
+	tc := s.eng.TuneCacheCounters()
+	rep.TuneCache = TuneCacheInfo{
+		Hits:          tc.Hits + tc.Coalesced,
+		Misses:        tc.Misses,
+		Invalidations: tc.Invalidations,
+		Expiries:      tc.Expiries,
+		Corrections:   tc.Corrections,
 	}
 	writeJSON(w, http.StatusOK, rep)
 }

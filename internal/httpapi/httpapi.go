@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"math"
 
+	"spatialdue/internal/spatial"
 	"spatialdue/internal/trace"
 )
 
@@ -324,6 +325,40 @@ type HealthReport struct {
 	// ShadowElements is how many migrated elements the shadow holds.
 	ShadowElements int           `json:"shadow_elements,omitempty"`
 	Topology       *TopologyInfo `json:"topology,omitempty"`
+}
+
+// SpatialAllocReport is one allocation's spatial-autocorrelation analytics:
+// global Moran's I / Geary's C over per-stripe error intensity, plus every
+// stripe's aggregates, local Getis-Ord G* z-score, and hot/cold
+// classification.
+type SpatialAllocReport struct {
+	Alloc string `json:"alloc"`
+	spatial.Report
+}
+
+// TuneCacheInfo summarizes the engine's tune-cache counters. The counters
+// are engine-wide (one cache per protected array, summed), mirroring the
+// spatialdue_tune_cache_* metrics.
+type TuneCacheInfo struct {
+	// Hits counts cached decisions served (including coalesced waits on an
+	// in-flight tuner run); Misses counts tuner runs.
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+	// Invalidations counts cached decisions dropped by field uploads (full
+	// or stripe-granular); Expiries counts hot-spot TTL age-outs;
+	// Corrections counts stale decisions replaced after a verification
+	// failure exposed them.
+	Invalidations int `json:"invalidations"`
+	Expiries      int `json:"expiries"`
+	Corrections   int `json:"corrections"`
+}
+
+// SpatialAnalyticsReport is the GET /v1/analytics/spatial payload: spatial
+// error analytics for every tenant allocation with at least one recorded
+// recovery, plus the engine-wide tune-cache counters the analytics feed.
+type SpatialAnalyticsReport struct {
+	Allocations []SpatialAllocReport `json:"allocations"`
+	TuneCache   TuneCacheInfo        `json:"tune_cache"`
 }
 
 // TracesReport is the GET /v1/traces payload: the slowest retained traces

@@ -316,6 +316,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/quarantine", s.handleQuarantine)
 	mux.HandleFunc("GET /v1/health", s.handleHealth)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/analytics/spatial", s.handleSpatialAnalytics)
 	if s.cfg.Cluster != nil {
 		mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
 	}

@@ -1,0 +1,115 @@
+package httpapi_test
+
+import (
+	"context"
+	"testing"
+
+	"spatialdue/internal/core"
+	"spatialdue/internal/httpapi"
+	"spatialdue/internal/httpapi/client"
+	"spatialdue/internal/service"
+)
+
+// TestSpatialAnalyticsEndToEnd drives synchronous recoveries through the
+// wire and asserts GET /v1/analytics/spatial reports them: per-stripe
+// aggregates, defined global statistics, and the tune-cache counters —
+// including the invalidations a field re-upload must produce now that
+// uploads invalidate by committed stripe.
+func TestSpatialAnalyticsEndToEnd(t *testing.T) {
+	const rows, cols = 64, 16
+	eng := core.NewEngine(core.Options{Seed: 21, TuneCacheBlock: 8})
+	_, base, shutdown := startServer(t, eng, httpapi.ServerConfig{
+		EnableInject: true,
+		Service:      service.Config{Workers: 2, QueueDepth: 16},
+	})
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	ctx := context.Background()
+	c := client.New(client.Config{BaseURL: base, Tenant: "spatial"})
+	if _, err := c.Register(ctx, httpapi.RegisterRequest{
+		Name: "field", Dims: []int{rows, cols}, DType: "float32",
+		Policy: httpapi.PolicyInfo{Any: true},
+	}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	field := smoothField(rows, cols)
+	if err := c.Upload(ctx, "field", field); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+
+	// Synchronous recoveries concentrated in the first stripe band (rows
+	// 2-4), plus one far away: the first tunes (miss), the rest of the band
+	// reuses the cached decision (hits).
+	recoverAt := func(off int) *httpapi.RecoverReport {
+		t.Helper()
+		if _, err := c.Inject(ctx, "field", httpapi.InjectRequest{Offset: &off}); err != nil {
+			t.Fatalf("inject %d: %v", off, err)
+		}
+		rep, err := c.Recover(ctx, "field", off)
+		if err != nil {
+			t.Fatalf("recover %d: %v", off, err)
+		}
+		return rep
+	}
+	offs := []int{2*cols + 5, 3*cols + 8, 4*cols + 11, 40*cols + 5}
+	for _, off := range offs {
+		recoverAt(off)
+	}
+
+	rep, err := c.SpatialAnalytics(ctx)
+	if err != nil {
+		t.Fatalf("spatial analytics: %v", err)
+	}
+	if len(rep.Allocations) != 1 || rep.Allocations[0].Alloc != "field" {
+		t.Fatalf("allocations = %+v, want exactly [field]", rep.Allocations)
+	}
+	ar := rep.Allocations[0]
+	if ar.Recoveries != int64(len(offs)) {
+		t.Errorf("recoveries = %d, want %d", ar.Recoveries, len(offs))
+	}
+	if ar.Stripes < 5 || len(ar.Local) != ar.Stripes {
+		t.Errorf("stripes = %d, local = %d entries", ar.Stripes, len(ar.Local))
+	}
+	if ar.Local[0].Successes == 0 && ar.Local[1].Successes == 0 {
+		t.Error("concentrated band produced no successes in the first stripes")
+	}
+	if rep.TuneCache.Misses == 0 || rep.TuneCache.Hits == 0 {
+		t.Errorf("tune cache = %+v, want both hits and misses", rep.TuneCache)
+	}
+	if rep.TuneCache.Invalidations != 0 {
+		t.Errorf("invalidations before re-upload = %d, want 0", rep.TuneCache.Invalidations)
+	}
+
+	// Re-uploading the field commits every stripe, so the cached decisions
+	// (warmed in two distinct regions above) must all drop.
+	if err := c.Upload(ctx, "field", field); err != nil {
+		t.Fatalf("re-upload: %v", err)
+	}
+	rep2, err := c.SpatialAnalytics(ctx)
+	if err != nil {
+		t.Fatalf("spatial analytics after re-upload: %v", err)
+	}
+	if rep2.TuneCache.Invalidations < 2 {
+		t.Errorf("invalidations after full re-upload = %d, want >= 2", rep2.TuneCache.Invalidations)
+	}
+	// The spatial history survives the upload: error geography is a
+	// hardware property, not a data property.
+	if rep2.Allocations[0].Recoveries != int64(len(offs)) {
+		t.Errorf("recoveries after re-upload = %d, want %d",
+			rep2.Allocations[0].Recoveries, len(offs))
+	}
+
+	// Tenant isolation: another tenant sees no allocations.
+	other := client.New(client.Config{BaseURL: base, Tenant: "other"})
+	orep, err := other.SpatialAnalytics(ctx)
+	if err != nil {
+		t.Fatalf("other tenant: %v", err)
+	}
+	if len(orep.Allocations) != 0 {
+		t.Errorf("other tenant sees %d allocations, want 0", len(orep.Allocations))
+	}
+}

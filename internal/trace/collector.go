@@ -199,6 +199,7 @@ type Summary struct {
 	OK           bool          `json:"ok"`
 	Detail       string        `json:"detail,omitempty"`
 	Replayed     bool          `json:"replayed,omitempty"`
+	TuneCache    string        `json:"tune_cache,omitempty"`
 	TotalSeconds float64       `json:"total_seconds"`
 	Spans        []SpanSummary `json:"spans"`
 }
@@ -228,7 +229,7 @@ func (t *Trace) summaryLocked() Summary {
 	}
 	s := Summary{
 		ID: t.idLocked(), Alloc: t.alloc, Tenant: t.tenant, Offset: t.offset,
-		OK: t.ok, Detail: t.detail, Replayed: t.replayed,
+		OK: t.ok, Detail: t.detail, Replayed: t.replayed, TuneCache: t.tuneCache,
 		TotalSeconds: total.Seconds(),
 		Spans:        make([]SpanSummary, len(t.spans)),
 	}

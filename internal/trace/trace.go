@@ -76,18 +76,19 @@ type Trace struct {
 	idRaw [16]byte
 	born  time.Time // monotonic anchor for span offsets
 
-	mu       sync.Mutex
-	id       string // hex of idRaw, encoded on first use (or external)
-	spans    []Span
-	inl      [12]Span // inline backing for spans: no alloc per recovery
-	done     bool
-	total    time.Duration
-	alloc    string
-	tenant   string
-	offset   int
-	ok       bool
-	detail   string
-	replayed bool
+	mu        sync.Mutex
+	id        string // hex of idRaw, encoded on first use (or external)
+	spans     []Span
+	inl       [12]Span // inline backing for spans: no alloc per recovery
+	done      bool
+	total     time.Duration
+	alloc     string
+	tenant    string
+	offset    int
+	ok        bool
+	detail    string
+	replayed  bool
+	tuneCache string
 }
 
 // ID generation: a per-process random prefix plus an atomic counter gives
@@ -255,6 +256,19 @@ func (t *Trace) SetResult(alloc, tenant string, offset int, ok bool, detail stri
 	t.mu.Lock()
 	t.alloc, t.tenant, t.offset = alloc, tenant, offset
 	t.ok, t.detail = ok, detail
+	t.mu.Unlock()
+}
+
+// SetTuneCache annotates how the RECOVER_ANY primary rung obtained its
+// method: "hit" (served from the per-region tune cache) or "miss" (a tuner
+// run, cached for the region's next recovery). Empty means the recovery
+// never consulted a cache (caching disabled, or a fixed-method policy).
+func (t *Trace) SetTuneCache(v string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tuneCache = v
 	t.mu.Unlock()
 }
 
